@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Reproduces the **§5.7 application case study**: the Theia-style camera
+ * projection-matrix decomposition, with its 3x3 QR hot spot served either
+ * by the Eigen-substitute library or by a Diospyros-compiled kernel.
+ *
+ * Paper numbers: 61% of the baseline runtime in the Eigen QR call; the
+ * Diospyros version is 2.1x faster end-to-end (30,552 vs 64,025 cycles).
+ * This bench prints the per-stage breakdown, the QR share, and the
+ * end-to-end speedup over a batch of random cameras.
+ */
+#include "bench_common.h"
+#include "sfm/sfm.h"
+#include "support/rng.h"
+
+using namespace diospyros;
+using namespace diospyros::sfm;
+using namespace diospyros::linalg;
+
+namespace {
+
+Mat34
+random_projection(Rng& rng)
+{
+    Mat3 k;
+    k(0, 0) = rng.uniform_float(0.8f, 2.5f);
+    k(1, 1) = rng.uniform_float(0.8f, 2.5f);
+    k(2, 2) = 1.0f;
+    k(0, 1) = rng.uniform_float(-0.1f, 0.1f);
+    k(0, 2) = rng.uniform_float(-0.5f, 0.5f);
+    k(1, 2) = rng.uniform_float(-0.5f, 0.5f);
+    Quaternion q{rng.uniform_float(-1, 1), rng.uniform_float(-1, 1),
+                 rng.uniform_float(-1, 1), rng.uniform_float(-1, 1)};
+    const float n = q.norm();
+    q.w /= n;
+    q.x /= n;
+    q.y /= n;
+    q.z /= n;
+    Mat3 r;
+    for (int c = 0; c < 3; ++c) {
+        Vec3 e;
+        e(c, 0) = 1.0f;
+        const Vec3 col = q.rotate(e);
+        for (int rr = 0; rr < 3; ++rr) {
+            r(rr, c) = col(rr, 0);
+        }
+    }
+    Vec3 center;
+    for (int i = 0; i < 3; ++i) {
+        center(i, 0) = rng.uniform_float(-3, 3);
+    }
+    return compose_projection(k, r, center);
+}
+
+}  // namespace
+
+int
+main()
+{
+    const TargetSpec target = TargetSpec::fusion_g3_like();
+    std::printf("=== Section 5.7: Theia-style DecomposeProjectionMatrix "
+                "===\n\n");
+
+    CompilerOptions options = bench::bench_options();
+    const ProjectionPipeline base(QrImpl::kEigenLike, target, options);
+    const ProjectionPipeline fast(QrImpl::kDiospyros, target, options);
+
+    constexpr int kCameras = 10;
+    Rng rng(2021);
+    StageCycles base_total{}, fast_total{};
+    float worst_err = 0.0f;
+    for (int i = 0; i < kCameras; ++i) {
+        const Mat34 p = random_projection(rng);
+        const AppResult b = base.run(p);
+        const AppResult f = fast.run(p);
+        base_total.polar += b.cycles.polar;
+        base_total.qr += b.cycles.qr;
+        base_total.signfix += b.cycles.signfix;
+        base_total.center += b.cycles.center;
+        fast_total.polar += f.cycles.polar;
+        fast_total.qr += f.cycles.qr;
+        fast_total.signfix += f.cycles.signfix;
+        fast_total.center += f.cycles.center;
+
+        // Both must match the host reference decomposition.
+        const ProjectionDecomposition want = decompose_projection(p);
+        worst_err = std::max(
+            worst_err,
+            f.decomposition.calibration.max_abs_diff(want.calibration));
+        worst_err = std::max(
+            worst_err,
+            f.decomposition.rotation.max_abs_diff(want.rotation));
+    }
+
+    auto show = [](const char* name, const StageCycles& c) {
+        std::printf("%-22s polar=%8llu  qr=%8llu  signfix=%6llu  "
+                    "center=%6llu  total=%8llu\n",
+                    name, static_cast<unsigned long long>(c.polar),
+                    static_cast<unsigned long long>(c.qr),
+                    static_cast<unsigned long long>(c.signfix),
+                    static_cast<unsigned long long>(c.center),
+                    static_cast<unsigned long long>(c.total()));
+    };
+    std::printf("cycles over %d cameras:\n", kCameras);
+    show("eigen-sub baseline", base_total);
+    show("diospyros QR", fast_total);
+
+    std::printf("\nQR share of baseline runtime: %.0f%%   (paper: 61%%)\n",
+                100.0 * base_total.qr_share());
+    std::printf("End-to-end speedup:           %.2fx  (paper: 2.1x)\n",
+                static_cast<double>(base_total.total()) /
+                    static_cast<double>(fast_total.total()));
+    std::printf("QR kernel speedup:            %.2fx\n",
+                static_cast<double>(base_total.qr) /
+                    static_cast<double>(fast_total.qr));
+    std::printf("max |error| vs host reference: %g (single precision; "
+                "paper reports 1e-6 agreement)\n",
+                worst_err);
+    return worst_err < 5e-3f ? 0 : 1;
+}

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Shared helpers for the paper-reproduction benchmark binaries: run every
+ * implementation of a kernel on the simulated DSP, format the rows the
+ * paper's tables/figures report, and compute geometric means.
+ *
+ * Scaling note (documented in EXPERIMENTS.md): the paper gives equality
+ * saturation a 3-minute timeout and a 10M-node limit on a 512GB host.
+ * This reimplementation's engine and kernels are smaller, so benches use
+ * a proportionally scaled budget (default 12 iterations / 300k nodes /
+ * 20s) — the stop-reason column shows when a kernel still hits it, which
+ * is the Table 1 "timed out" condition.
+ */
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "compiler/driver.h"
+#include "kernels/kernels.h"
+#include "linalg/baseline.h"
+#include "nature/nature.h"
+#include "scalar/lower.h"
+
+namespace diospyros::bench {
+
+/** Saturation budget used by the benches (see scaling note above). */
+inline RunnerLimits
+bench_limits()
+{
+    return RunnerLimits{.node_limit = 300'000,
+                        .iter_limit = 12,
+                        .time_limit_seconds = 20.0};
+}
+
+inline CompilerOptions
+bench_options()
+{
+    CompilerOptions options;
+    options.limits = bench_limits();
+    return options;
+}
+
+/** Cycle counts for every implementation of one kernel. */
+struct KernelCycles {
+    std::uint64_t naive = 0;
+    std::uint64_t fixed = 0;
+    std::uint64_t diospyros = 0;
+    std::optional<std::uint64_t> nature;
+    std::optional<std::uint64_t> eigen;
+
+    /** Best competitor to Diospyros (paper headline: geomean 3.1x). */
+    std::uint64_t
+    best_baseline() const
+    {
+        std::uint64_t best = fixed;
+        best = std::min(best, naive);
+        if (nature) {
+            best = std::min(best, *nature);
+        }
+        if (eigen) {
+            best = std::min(best, *eigen);
+        }
+        return best;
+    }
+};
+
+/** Runs all five implementations; also checks outputs against the
+ *  reference interpreter (aborts the bench on a miscompare). */
+inline KernelCycles
+measure_kernel(const scalar::Kernel& kernel, const CompiledKernel& compiled,
+               const TargetSpec& target, std::uint64_t seed = 1)
+{
+    const scalar::BufferMap inputs = kernels::make_inputs(kernel, seed);
+    const scalar::BufferMap want = scalar::run_reference(kernel, inputs);
+
+    auto check = [&](const scalar::BufferMap& got, const char* impl) {
+        for (const auto& [name, w] : want) {
+            const auto& g = got.at(name);
+            for (std::size_t i = 0; i < w.size(); ++i) {
+                const float scale =
+                    std::max({1.0f, std::abs(w[i]), std::abs(g[i])});
+                if (std::abs(g[i] - w[i]) > 1e-2f * scale) {
+                    std::fprintf(stderr,
+                                 "MISCOMPARE %s %s[%zu]: %g vs %g\n", impl,
+                                 name.c_str(), i, g[i], w[i]);
+                    std::abort();
+                }
+            }
+        }
+    };
+
+    KernelCycles out;
+    {
+        const auto run = scalar::run_baseline(
+            kernel, inputs, scalar::LowerMode::kNaiveParametric, target);
+        check(run.outputs, "naive");
+        out.naive = run.result.cycles;
+    }
+    {
+        const auto run = scalar::run_baseline(
+            kernel, inputs, scalar::LowerMode::kNaiveFixed, target);
+        check(run.outputs, "fixed");
+        out.fixed = run.result.cycles;
+    }
+    {
+        const auto run = compiled.run(inputs, target);
+        check(run.outputs, "diospyros");
+        out.diospyros = run.result.cycles;
+    }
+    if (nature::supports(kernel)) {
+        const auto run = nature::run_nature(kernel, inputs, target);
+        check(run.outputs, "nature");
+        out.nature = run.result.cycles;
+    }
+    if (linalg::eigen_supports(kernel)) {
+        const auto run = linalg::run_eigen_like(kernel, inputs, target);
+        check(run.outputs, "eigen");
+        out.eigen = run.result.cycles;
+    }
+    return out;
+}
+
+/** Geometric mean of a series of ratios. */
+inline double
+geomean(const std::vector<double>& ratios)
+{
+    if (ratios.empty()) {
+        return 0.0;
+    }
+    double log_sum = 0.0;
+    for (const double r : ratios) {
+        log_sum += std::log(r);
+    }
+    return std::exp(log_sum / static_cast<double>(ratios.size()));
+}
+
+/** Formats an optional cycle count. */
+inline std::string
+cycles_str(const std::optional<std::uint64_t>& v)
+{
+    return v ? std::to_string(*v) : std::string("-");
+}
+
+/** Formats a speedup-over-fixed entry ("-" when unavailable). */
+inline std::string
+speedup_str(std::uint64_t fixed, const std::optional<std::uint64_t>& v)
+{
+    if (!v || *v == 0) {
+        return "-";
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.2f",
+                  static_cast<double>(fixed) / static_cast<double>(*v));
+    return buf;
+}
+
+}  // namespace diospyros::bench

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the e-graph engine itself: term
+ * insertion, congruence rebuild after merges, e-matching, and a full
+ * saturation round. These do not correspond to a paper figure; they
+ * track the engine performance the compile-time results (Table 1)
+ * depend on.
+ */
+#include <benchmark/benchmark.h>
+
+#include "egraph/extract.h"
+#include "egraph/runner.h"
+#include "kernels/kernels.h"
+#include "rules/cost.h"
+#include "rules/rules.h"
+#include "scalar/symbolic.h"
+
+using namespace diospyros;
+
+namespace {
+
+/** Lifted matmul spec of size n (cached per size). */
+TermRef
+matmul_spec(int n)
+{
+    static std::map<int, TermRef> cache;
+    auto it = cache.find(n);
+    if (it == cache.end()) {
+        const scalar::LiftedSpec spec =
+            scalar::lift(kernels::make_matmul(n, n, n));
+        it = cache.emplace(n, spec.spec).first;
+    }
+    return it->second;
+}
+
+void
+bm_add_term(benchmark::State& state)
+{
+    const TermRef spec = matmul_spec(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        EGraph g;
+        benchmark::DoNotOptimize(g.add_term(spec));
+    }
+    state.counters["nodes"] = static_cast<double>([&] {
+        EGraph g;
+        g.add_term(spec);
+        return g.num_nodes();
+    }());
+}
+
+void
+bm_rebuild_after_merges(benchmark::State& state)
+{
+    const TermRef spec = matmul_spec(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        state.PauseTiming();
+        EGraph g;
+        g.add_term(spec);
+        g.rebuild();
+        // Merge sibling products pairwise to trigger congruence work.
+        const auto ids = g.class_ids();
+        state.ResumeTiming();
+        for (std::size_t i = 0; i + 1 < ids.size(); i += 8) {
+            g.merge(ids[i], ids[i + 1]);
+        }
+        g.rebuild();
+        benchmark::DoNotOptimize(g.num_classes());
+    }
+}
+
+void
+bm_ematch_mac_pattern(benchmark::State& state)
+{
+    EGraph g;
+    g.add_term(matmul_spec(static_cast<int>(state.range(0))));
+    g.rebuild();
+    const Pattern p = Pattern::parse("(+ ?a (* ?b ?c))");
+    for (auto _ : state) {
+        std::size_t matches = 0;
+        for (const ClassId id : g.class_ids()) {
+            matches += p.match_class(g, id).size();
+        }
+        benchmark::DoNotOptimize(matches);
+    }
+}
+
+void
+bm_saturation_iteration(benchmark::State& state)
+{
+    const TermRef spec = matmul_spec(static_cast<int>(state.range(0)));
+    RuleConfig config;
+    const std::vector<Rewrite> rules = build_rules(config);
+    for (auto _ : state) {
+        EGraph g;
+        g.add_term(spec);
+        g.rebuild();
+        Runner runner(RunnerLimits{.node_limit = 1'000'000,
+                                   .iter_limit = 1,
+                                   .time_limit_seconds = 60.0});
+        runner.run(g, rules);
+        benchmark::DoNotOptimize(g.num_nodes());
+    }
+}
+
+void
+bm_extract(benchmark::State& state)
+{
+    EGraph g;
+    const ClassId root =
+        g.add_term(matmul_spec(static_cast<int>(state.range(0))));
+    g.rebuild();
+    RuleConfig config;
+    Runner(RunnerLimits{.node_limit = 1'000'000,
+                        .iter_limit = 6,
+                        .time_limit_seconds = 60.0})
+        .run(g, build_rules(config));
+    const DiosCostModel cost;
+    for (auto _ : state) {
+        const Extractor ex(g, cost);
+        benchmark::DoNotOptimize(ex.extract(g.find(root)).cost);
+    }
+}
+
+}  // namespace
+
+BENCHMARK(bm_add_term)->Arg(4)->Arg(8)->Unit(benchmark::kMicrosecond);
+BENCHMARK(bm_rebuild_after_merges)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(bm_ematch_mac_pattern)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(bm_saturation_iteration)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_extract)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

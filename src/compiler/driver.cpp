@@ -1,0 +1,145 @@
+#include "compiler/driver.h"
+
+#include <sstream>
+
+#include "egraph/extract.h"
+#include "support/error.h"
+#include "support/timer.h"
+#include "vir/cprint.h"
+
+namespace diospyros {
+
+namespace {
+
+/**
+ * Inserts alignment zeros so each output array's element run is padded to
+ * a multiple of the vector width, and builds the matching OutputSlots.
+ */
+std::pair<TermRef, std::vector<vir::OutputSlot>>
+pad_spec(const scalar::LiftedSpec& spec, int width)
+{
+    std::vector<vir::OutputSlot> slots;
+    std::vector<TermRef> padded;
+    const TermRef zero = Term::constant(Rational(0));
+    std::size_t cursor = 0;
+    const auto& elements = spec.spec->children();
+    for (const auto& [name, len] : spec.outputs) {
+        const std::int64_t padded_len =
+            (len + width - 1) / width * width;
+        slots.push_back(vir::OutputSlot{name, len, padded_len});
+        for (std::int64_t i = 0; i < len; ++i) {
+            DIOS_ASSERT(cursor < elements.size(),
+                        "spec shorter than its output manifest");
+            padded.push_back(elements[cursor++]);
+        }
+        for (std::int64_t i = len; i < padded_len; ++i) {
+            padded.push_back(zero);
+        }
+    }
+    DIOS_ASSERT(cursor == elements.size(),
+                "spec longer than its output manifest");
+    return {t_list(std::move(padded)), std::move(slots)};
+}
+
+}  // namespace
+
+CompiledKernel::RunOutcome
+CompiledKernel::run(const scalar::BufferMap& inputs,
+                    const TargetSpec& target) const
+{
+    Memory memory = layout.make_memory(inputs);
+    Simulator sim(target);
+    RunOutcome outcome;
+    outcome.result = sim.run(machine, memory);
+    outcome.outputs = layout.read_outputs(memory);
+    return outcome;
+}
+
+CompiledKernel
+compile_kernel(const scalar::Kernel& kernel, CompilerOptions options)
+{
+    options.sync();
+    const int width = options.target.vector_width;
+
+    CompiledKernel out;
+    out.kernel = kernel;
+    Timer total;
+
+    // Phase 1: symbolic evaluation (lifting) + alignment padding.
+    Timer phase;
+    out.spec = scalar::lift(kernel);
+    auto [padded, slots] = pad_spec(out.spec, width);
+    out.padded_spec = padded;
+    out.report.lift_seconds = phase.elapsed_seconds();
+    out.report.spec_elements = padded->arity();
+    out.report.spec_dag_nodes = Term::dag_size(padded);
+
+    // Phase 2: equality saturation.
+    phase.reset();
+    EGraph graph;
+    const ClassId root = graph.add_term(padded);
+    graph.rebuild();
+    const std::vector<Rewrite> rules = build_rules(options.rules);
+    Runner runner(options.limits);
+    const RunnerReport rr = runner.run(graph, rules);
+    out.report.saturation_seconds = phase.elapsed_seconds();
+    out.report.stop_reason = rr.stop_reason;
+    out.report.runner_iterations = rr.iterations.size();
+    out.report.egraph_nodes = graph.num_nodes();
+    out.report.egraph_classes = graph.num_classes();
+    // Memory proxy: e-nodes dominate; count node + hashcons + class
+    // overhead per node, plus per-class bookkeeping.
+    out.report.memory_proxy_bytes =
+        graph.num_nodes() * (sizeof(ENode) + 96) +
+        graph.num_classes() * 160;
+
+    // Phase 3: extraction.
+    phase.reset();
+    const DiosCostModel cost(options.cost, width);
+    const Extractor extractor(graph, cost);
+    Extraction best = extractor.extract(graph.find(root));
+    out.extracted = best.term;
+    out.report.extracted_cost = best.cost;
+    out.report.extract_seconds = phase.elapsed_seconds();
+
+    // Phase 4: backend — lower, LVN, instruction selection, C source.
+    phase.reset();
+    out.vprogram = vir::lower_term(out.extracted, width, slots,
+                                   options.target.has_scalar_mac);
+    out.report.lvn = vir::run_lvn(out.vprogram);
+    out.layout = vir::CompiledLayout::make(kernel, width);
+    out.machine = vir::emit_machine(out.vprogram, out.layout,
+                                    options.target);
+    out.c_source = vir::to_c_intrinsics(out.vprogram, kernel.name);
+    out.report.backend_seconds = phase.elapsed_seconds();
+
+    // Phase 5 (optional): translation validation.
+    if (options.validate) {
+        out.report.validation =
+            validate_translation(out.padded_spec, out.extracted);
+    }
+    if (options.random_check) {
+        out.report.random_check_passed =
+            random_equivalent(out.padded_spec, out.extracted);
+    }
+
+    out.report.total_seconds = total.elapsed_seconds();
+    return out;
+}
+
+std::string
+report_row(const std::string& name, const CompileReport& r)
+{
+    std::ostringstream os;
+    os.setf(std::ios::fixed);
+    os.precision(2);
+    os << name << "  time=" << r.total_seconds << "s"
+       << " (sat=" << r.saturation_seconds << "s)"
+       << " nodes=" << r.egraph_nodes << " classes=" << r.egraph_classes
+       << " stop=" << stop_reason_name(r.stop_reason)
+       << " mem~" << (r.memory_proxy_bytes / (1024.0 * 1024.0)) << "MB"
+       << " cost=" << r.extracted_cost;
+    return os.str();
+}
+
+}  // namespace diospyros

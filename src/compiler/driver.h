@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The end-to-end Diospyros compiler driver (paper Figure 1):
+ *
+ *   scalar kernel --symbolic eval--> List spec --equality saturation-->
+ *   saturated e-graph --extract--> optimized DSL --lower/LVN/emit-->
+ *   DSP machine code (+ C intrinsics text) [--translation validation]
+ *
+ * The driver also pads the spec so each output array starts on a
+ * vector-width boundary (vector stores never straddle arrays) and
+ * produces the compile report that Table 1 summarizes: wall-clock per
+ * phase, e-graph size, stop reason, and a memory proxy.
+ */
+#pragma once
+
+#include <string>
+
+#include "egraph/runner.h"
+#include "machine/sim.h"
+#include "rules/cost.h"
+#include "rules/rules.h"
+#include "scalar/ast.h"
+#include "scalar/interp.h"
+#include "scalar/symbolic.h"
+#include "validation/validate.h"
+#include "vir/emit.h"
+#include "vir/lower_term.h"
+#include "vir/lvn.h"
+
+namespace diospyros {
+
+/** Compiler configuration (paper §5.2 defaults). */
+struct CompilerOptions {
+    TargetSpec target = TargetSpec::fusion_g3_like();
+    RuleConfig rules;
+    RunnerLimits limits = {.node_limit = 10'000'000,
+                           .iter_limit = 100,
+                           .time_limit_seconds = 180.0,
+                           .match_limit_per_rule = 0};
+    CostParams cost;
+    /** Run exact translation validation after extraction. */
+    bool validate = false;
+    /** Also differential-test spec vs extracted term on random inputs. */
+    bool random_check = false;
+
+    /** Synchronizes rule/target parameters (width, recip support). */
+    void
+    sync()
+    {
+        rules.vector_width = target.vector_width;
+        rules.target_has_recip = target.has_reciprocal;
+    }
+};
+
+/** Everything Table 1 reports, per kernel. */
+struct CompileReport {
+    double lift_seconds = 0.0;
+    double saturation_seconds = 0.0;
+    double extract_seconds = 0.0;
+    double backend_seconds = 0.0;
+    double total_seconds = 0.0;
+    std::size_t spec_elements = 0;      ///< output elements (padded)
+    std::size_t spec_dag_nodes = 0;     ///< lifted spec size (DAG)
+    std::size_t egraph_nodes = 0;
+    std::size_t egraph_classes = 0;
+    StopReason stop_reason = StopReason::kSaturated;
+    std::size_t runner_iterations = 0;
+    double extracted_cost = 0.0;
+    vir::LvnStats lvn;
+    /** Estimated peak e-graph memory (bytes), the Table 1 "Memory" proxy. */
+    std::size_t memory_proxy_bytes = 0;
+    Verdict validation = Verdict::kUnknown;
+    bool random_check_passed = true;
+};
+
+/** A fully compiled kernel. */
+struct CompiledKernel {
+    scalar::Kernel kernel;
+    scalar::LiftedSpec spec;
+    /** The padded spec actually optimized (alignment zeros inserted). */
+    TermRef padded_spec;
+    TermRef extracted;
+    vir::VProgram vprogram;
+    vir::CompiledLayout layout;
+    Program machine;
+    std::string c_source;
+    CompileReport report;
+
+    /** Simulates the compiled kernel on the given inputs. */
+    struct RunOutcome {
+        scalar::BufferMap outputs;
+        RunResult result;
+    };
+    RunOutcome run(const scalar::BufferMap& inputs,
+                   const TargetSpec& target) const;
+};
+
+/** Compiles a scalar kernel end to end. */
+CompiledKernel compile_kernel(const scalar::Kernel& kernel,
+                              CompilerOptions options = {});
+
+/** One-line Table 1-style row for a report. */
+std::string report_row(const std::string& name, const CompileReport& r);
+
+}  // namespace diospyros

@@ -1,0 +1,430 @@
+#include "egraph/egraph.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+#include "support/error.h"
+
+namespace diospyros {
+
+ClassId
+EGraph::add(ENode node)
+{
+    node.canonicalize(uf_);
+    auto it = memo_.find(node);
+    if (it != memo_.end()) {
+        return uf_.find(it->second);
+    }
+    const ClassId id = uf_.make_set();
+    EClass cls;
+    if (fold_constants_) {
+        cls.constant = fold_node(node);
+    }
+    for (const ClassId child : node.children) {
+        classes_.at(child).parents.emplace_back(node, id);
+    }
+    cls.nodes.push_back(node);
+    memo_.emplace(std::move(node), id);
+    classes_.emplace(id, std::move(cls));
+    creation_order_.push_back(id);
+    modify(id);
+    return uf_.find(id);
+}
+
+ClassId
+EGraph::add_term(const TermRef& term)
+{
+    DIOS_ASSERT(term != nullptr, "add_term() on null term");
+    // Iterative post-order with pointer memoization: specs are DAGs with
+    // heavy sharing (paper §4's fully-unrolled kernels), so each distinct
+    // subterm is inserted once.
+    std::unordered_map<const Term*, ClassId> done;
+    std::vector<std::pair<const Term*, bool>> stack{{term.get(), false}};
+    while (!stack.empty()) {
+        auto [t, expanded] = stack.back();
+        stack.pop_back();
+        if (done.count(t)) {
+            continue;
+        }
+        if (!expanded) {
+            stack.push_back({t, true});
+            for (const TermRef& c : t->children()) {
+                if (!done.count(c.get())) {
+                    stack.push_back({c.get(), false});
+                }
+            }
+            continue;
+        }
+        std::vector<ClassId> kids;
+        kids.reserve(t->arity());
+        for (const TermRef& c : t->children()) {
+            kids.push_back(done.at(c.get()));
+        }
+        ENode node;
+        switch (t->op()) {
+          case Op::kConst:
+            node = ENode::make_const(t->value());
+            break;
+          case Op::kSymbol:
+            node = ENode::make_symbol(t->symbol());
+            break;
+          case Op::kGet:
+            node = ENode::make_get(t->symbol(), t->index());
+            break;
+          case Op::kCall:
+            node = ENode::make_call(t->symbol(), std::move(kids));
+            break;
+          default:
+            node = ENode::make(t->op(), std::move(kids));
+            break;
+        }
+        done.emplace(t, add(std::move(node)));
+    }
+    return uf_.find(done.at(term.get()));
+}
+
+bool
+EGraph::merge(ClassId a, ClassId b)
+{
+    a = uf_.find(a);
+    b = uf_.find(b);
+    if (a == b) {
+        return false;
+    }
+    const ClassId root = uf_.merge(a, b);
+    const ClassId absorbed = (root == a) ? b : a;
+    ++union_count_;
+
+    // Join analysis data and splice the absorbed class into the root.
+    {
+        EClass& rc = classes_.at(root);
+        EClass& ac = classes_.at(absorbed);
+        if (!rc.constant.has_value()) {
+            rc.constant = ac.constant;
+        } else if (ac.constant.has_value()) {
+            DIOS_ASSERT(*rc.constant == *ac.constant,
+                        "constant analysis disagreement: unsound rewrite?");
+        }
+        rc.nodes.insert(rc.nodes.end(),
+                        std::make_move_iterator(ac.nodes.begin()),
+                        std::make_move_iterator(ac.nodes.end()));
+        rc.parents.insert(rc.parents.end(),
+                          std::make_move_iterator(ac.parents.begin()),
+                          std::make_move_iterator(ac.parents.end()));
+    }
+    classes_.erase(absorbed);
+    dirty_.push_back(root);
+    modify(root);
+    return true;
+}
+
+void
+EGraph::rebuild()
+{
+    while (!dirty_.empty()) {
+        std::vector<ClassId> todo;
+        todo.swap(dirty_);
+        // Dedup on canonical representatives.
+        std::unordered_set<ClassId> seen;
+        for (const ClassId raw : todo) {
+            const ClassId id = uf_.find(raw);
+            if (seen.insert(id).second) {
+                repair(id);
+            }
+        }
+    }
+}
+
+void
+EGraph::repair(ClassId id)
+{
+    id = uf_.find(id);
+    auto parents_it = classes_.find(id);
+    if (parents_it == classes_.end()) {
+        // The class was absorbed by a merge triggered from an earlier
+        // repair in this round; its new root is (or will be) repaired.
+        return;
+    }
+    std::vector<std::pair<ENode, ClassId>> parents =
+        std::move(parents_it->second.parents);
+    parents_it->second.parents.clear();
+
+    // Remove stale (pre-merge) keys before re-inserting canonical ones.
+    for (const auto& [pnode, pclass] : parents) {
+        (void)pclass;
+        memo_.erase(pnode);
+    }
+
+    // Re-canonicalize; congruent duplicates collapse via merge().
+    std::unordered_map<ENode, ClassId, ENodeHash> new_parents;
+    for (auto& [pnode, pclass] : parents) {
+        pnode.canonicalize(uf_);
+        auto [it, inserted] = new_parents.try_emplace(pnode, pclass);
+        if (!inserted) {
+            merge(pclass, it->second);
+        }
+        it->second = uf_.find(it->second);
+    }
+
+    for (auto& [pnode, pclass] : new_parents) {
+        const ClassId canonical_parent = uf_.find(pclass);
+        auto [it, inserted] = memo_.try_emplace(pnode, canonical_parent);
+        if (!inserted && uf_.find(it->second) != canonical_parent) {
+            merge(it->second, canonical_parent);
+        }
+        it->second = uf_.find(it->second);
+        classes_.at(uf_.find(id))
+            .parents.emplace_back(pnode, uf_.find(pclass));
+    }
+}
+
+std::optional<ClassId>
+EGraph::lookup(ENode node)
+{
+    node.canonicalize(uf_);
+    auto it = memo_.find(node);
+    if (it == memo_.end()) {
+        return std::nullopt;
+    }
+    return uf_.find(it->second);
+}
+
+std::vector<ClassId>
+EGraph::class_ids() const
+{
+    std::vector<ClassId> out;
+    out.reserve(classes_.size());
+    std::unordered_set<ClassId> seen;
+    for (const ClassId raw : creation_order_) {
+        const ClassId id = uf_.find_const(raw);
+        if (classes_.count(id) && seen.insert(id).second) {
+            out.push_back(id);
+        }
+    }
+    return out;
+}
+
+std::size_t
+EGraph::num_nodes() const
+{
+    std::size_t total = 0;
+    for (const auto& [id, cls] : classes_) {
+        (void)id;
+        total += cls.nodes.size();
+    }
+    return total;
+}
+
+std::optional<Rational>
+EGraph::fold_node(const ENode& node) const
+{
+    auto child_const = [&](std::size_t i) -> std::optional<Rational> {
+        auto it = classes_.find(uf_.find_const(node.children[i]));
+        if (it == classes_.end()) {
+            return std::nullopt;
+        }
+        return it->second.constant;
+    };
+    try {
+        switch (node.op) {
+          case Op::kConst:
+            return node.value;
+          case Op::kAdd:
+          case Op::kSub:
+          case Op::kMul:
+          case Op::kDiv: {
+            const auto a = child_const(0);
+            const auto b = child_const(1);
+            if (!a || !b) {
+                return std::nullopt;
+            }
+            switch (node.op) {
+              case Op::kAdd:
+                return *a + *b;
+              case Op::kSub:
+                return *a - *b;
+              case Op::kMul:
+                return *a * *b;
+              default:
+                if (b->is_zero()) {
+                    return std::nullopt;
+                }
+                return *a / *b;
+            }
+          }
+          case Op::kNeg: {
+            const auto a = child_const(0);
+            return a ? std::optional<Rational>(-*a) : std::nullopt;
+          }
+          case Op::kSgn: {
+            const auto a = child_const(0);
+            if (!a) {
+                return std::nullopt;
+            }
+            const int s = a->is_zero() ? 0 : (a->num() < 0 ? -1 : 1);
+            return Rational(s);
+          }
+          case Op::kRecip: {
+            const auto a = child_const(0);
+            if (!a || a->is_zero()) {
+                return std::nullopt;
+            }
+            return Rational(1) / *a;
+          }
+          default:
+            return std::nullopt;
+        }
+    } catch (const RationalOverflow&) {
+        return std::nullopt;  // sound: simply stop folding
+    }
+}
+
+void
+EGraph::modify(ClassId id)
+{
+    if (!fold_constants_) {
+        return;
+    }
+    id = uf_.find(id);
+    EClass& cls = classes_.at(id);
+    if (!cls.constant.has_value()) {
+        return;
+    }
+    ENode cn = ENode::make_const(*cls.constant);
+    auto it = memo_.find(cn);
+    if (it != memo_.end()) {
+        if (uf_.find(it->second) != id) {
+            merge(it->second, id);
+        }
+        return;
+    }
+    memo_.emplace(cn, id);
+    cls.nodes.push_back(std::move(cn));
+}
+
+void
+EGraph::check_invariants() const
+{
+    DIOS_ASSERT(dirty_.empty(), "check_invariants() on a dirty e-graph");
+    std::unordered_map<ENode, ClassId, ENodeHash> canonical_nodes;
+    std::size_t total = 0;
+    for (const auto& [id, cls] : classes_) {
+        DIOS_ASSERT(uf_.find_const(id) == id,
+                    "classes_ key is not canonical");
+        for (const ENode& raw : cls.nodes) {
+            ENode node = raw;
+            for (ClassId& c : node.children) {
+                c = uf_.find_const(c);
+            }
+            auto memo_it = memo_.find(node);
+            DIOS_ASSERT(memo_it != memo_.end(),
+                        "canonical e-node missing from hashcons: " +
+                            node.to_string());
+            DIOS_ASSERT(uf_.find_const(memo_it->second) == id,
+                        "hashcons points to the wrong class for " +
+                            node.to_string());
+            auto [it, inserted] = canonical_nodes.try_emplace(node, id);
+            if (!inserted) {
+                DIOS_ASSERT(it->second == id,
+                            "congruence violation: node in two classes: " +
+                                node.to_string());
+            }
+            ++total;
+        }
+    }
+    (void)total;
+    for (const auto& [node, id] : memo_) {
+        ENode canonical = node;
+        for (ClassId& c : canonical.children) {
+            c = uf_.find_const(c);
+        }
+        DIOS_ASSERT(canonical == node || memo_.count(canonical),
+                    "stale hashcons entry without canonical counterpart");
+        DIOS_ASSERT(classes_.count(uf_.find_const(id)),
+                    "hashcons refers to an absent class");
+    }
+}
+
+std::string
+EGraph::dump() const
+{
+    std::ostringstream os;
+    for (const ClassId id : class_ids()) {
+        const EClass& cls = eclass(id);
+        os << "c" << id << ":";
+        if (cls.constant) {
+            os << " [= " << *cls.constant << "]";
+        }
+        for (const ENode& n : cls.nodes) {
+            os << ' ' << n.to_string();
+        }
+        os << '\n';
+    }
+    return os.str();
+}
+
+std::string
+EGraph::to_dot() const
+{
+    std::ostringstream os;
+    os << "digraph egraph {\n  compound=true;\n  node [shape=record];\n";
+    for (const ClassId id : class_ids()) {
+        const EClass& cls = eclass(id);
+        os << "  subgraph cluster_" << id << " {\n"
+           << "    label=\"c" << id;
+        if (cls.constant) {
+            os << " = " << cls.constant->to_string();
+        }
+        os << "\";\n";
+        for (std::size_t n = 0; n < cls.nodes.size(); ++n) {
+            const ENode& node = cls.nodes[n];
+            os << "    n" << id << "_" << n << " [label=\"";
+            os << op_name(node.op);
+            if (node.op == Op::kConst) {
+                os << ' ' << node.value.to_string();
+            }
+            if (node.symbol.valid()) {
+                os << ' ' << node.symbol.str();
+            }
+            if (node.op == Op::kGet) {
+                os << ' ' << node.index;
+            }
+            os << "\"];\n";
+        }
+        os << "  }\n";
+    }
+    // Child edges: from each node to the first node of the child class
+    // (lhead pins the arrow on the cluster border).
+    for (const ClassId id : class_ids()) {
+        const EClass& cls = eclass(id);
+        for (std::size_t n = 0; n < cls.nodes.size(); ++n) {
+            for (const ClassId raw_child : cls.nodes[n].children) {
+                const ClassId child = uf_.find_const(raw_child);
+                os << "  n" << id << "_" << n << " -> n" << child
+                   << "_0 [lhead=cluster_" << child << "];\n";
+            }
+        }
+    }
+    os << "}\n";
+    return os.str();
+}
+
+TermRef
+enode_to_term(const ENode& node, const std::vector<TermRef>& kids)
+{
+    switch (node.op) {
+      case Op::kConst:
+        return Term::constant(node.value);
+      case Op::kSymbol:
+        return Term::variable(node.symbol);
+      case Op::kGet:
+        return Term::get(node.symbol, node.index);
+      case Op::kCall:
+        return Term::call(node.symbol, kids);
+      default:
+        return Term::make(node.op, kids);
+    }
+}
+
+}  // namespace diospyros

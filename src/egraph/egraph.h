@@ -1,0 +1,166 @@
+/**
+ * @file
+ * The e-graph: a congruence-closed union of program terms (paper §3.3).
+ *
+ * Follows the egg architecture (Willsey et al., POPL 2021): mutation
+ * (add/merge) is cheap and may temporarily break the congruence invariant;
+ * rebuild() restores it in a batched pass. Rewrites therefore run in
+ * match-all-then-apply-then-rebuild rounds (see Runner).
+ *
+ * A built-in constant-folding e-class analysis tracks classes whose value
+ * is a known rational and injects the corresponding Const node, mirroring
+ * egg's analysis mechanism.
+ */
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "egraph/enode.h"
+#include "egraph/union_find.h"
+#include "ir/term.h"
+
+namespace diospyros {
+
+/** An equivalence class of e-nodes. */
+class EClass {
+  public:
+    /** E-nodes in this class (canonical after rebuild()). */
+    std::vector<ENode> nodes;
+    /** Uses of this class: (parent node as added, parent class). */
+    std::vector<std::pair<ENode, ClassId>> parents;
+    /** Constant-folding analysis: value if the class is a known constant. */
+    std::optional<Rational> constant;
+};
+
+/** E-graph over the vector DSL. */
+class EGraph {
+  public:
+    /** @param enable_constant_folding run the constant analysis. */
+    explicit EGraph(bool enable_constant_folding = true)
+        : fold_constants_(enable_constant_folding)
+    {
+    }
+
+    /** Adds an e-node (children need not be canonical); returns its class. */
+    ClassId add(ENode node);
+
+    /** Adds a whole term bottom-up; returns the root's class. */
+    ClassId add_term(const TermRef& term);
+
+    /** Convenience leaf/operator insertion helpers. */
+    ClassId add_const(Rational v) { return add(ENode::make_const(v)); }
+    ClassId
+    add_get(Symbol array, std::int64_t index)
+    {
+        return add(ENode::make_get(array, index));
+    }
+    ClassId
+    add_op(Op op, std::vector<ClassId> children)
+    {
+        return add(ENode::make(op, std::move(children)));
+    }
+
+    /**
+     * Asserts a = b. Returns true if this changed the graph (the classes
+     * were previously distinct). Congruence is restored lazily: call
+     * rebuild() before reading the graph again.
+     */
+    bool merge(ClassId a, ClassId b);
+
+    /** Restores the congruence and hashcons invariants. */
+    void rebuild();
+
+    /** Canonical id for a class. */
+    ClassId find(ClassId id) { return uf_.find(id); }
+    ClassId find_const(ClassId id) const { return uf_.find_const(id); }
+
+    /**
+     * Looks up the class that already represents this e-node, if any.
+     * The node is canonicalized first. Requires a clean (rebuilt) graph.
+     */
+    std::optional<ClassId> lookup(ENode node);
+
+    /** The class for a canonical id. */
+    const EClass&
+    eclass(ClassId id) const
+    {
+        auto it = classes_.find(uf_.find_const(id));
+        DIOS_ASSERT(it != classes_.end(), "no such e-class");
+        return it->second;
+    }
+
+    /** All canonical class ids (stable order of creation). */
+    std::vector<ClassId> class_ids() const;
+
+    /** Total number of e-nodes across canonical classes. */
+    std::size_t num_nodes() const;
+
+    /** Number of canonical e-classes. */
+    std::size_t num_classes() const { return classes_.size(); }
+
+    /** Number of unions performed since construction. */
+    std::size_t union_count() const { return union_count_; }
+
+    /** True when no merge is pending a rebuild. */
+    bool is_clean() const { return dirty_.empty(); }
+
+    /** Constant value of a class, if the analysis derived one. */
+    std::optional<Rational>
+    constant_of(ClassId id) const
+    {
+        return eclass(id).constant;
+    }
+
+    /**
+     * Checks internal invariants (hashcons canonical and complete,
+     * congruence closed); for tests. Requires a clean graph.
+     */
+    void check_invariants() const;
+
+    /** Multi-line dump for debugging. */
+    std::string dump() const;
+
+    /**
+     * Graphviz rendering: one cluster per e-class, one node per e-node,
+     * edges to child classes. Feed to `dot -Tsvg` when debugging rewrite
+     * rules (the workflow §3.4 says translation validation supports).
+     */
+    std::string to_dot() const;
+
+  private:
+    EClass&
+    eclass_mut(ClassId id)
+    {
+        auto it = classes_.find(uf_.find(id));
+        DIOS_ASSERT(it != classes_.end(), "no such e-class");
+        return it->second;
+    }
+
+    /** Re-canonicalizes the parents of a just-merged class. */
+    void repair(ClassId id);
+
+    /** Computes the analysis value of a node from child analyses. */
+    std::optional<Rational> fold_node(const ENode& node) const;
+
+    /** Applies analysis consequences (inject Const node) to a class. */
+    void modify(ClassId id);
+
+    UnionFind uf_;
+    std::unordered_map<ENode, ClassId, ENodeHash> memo_;
+    std::unordered_map<ClassId, EClass> classes_;
+    std::vector<ClassId> dirty_;
+    std::vector<ClassId> creation_order_;
+    std::size_t union_count_ = 0;
+    bool fold_constants_;
+};
+
+/**
+ * Reconstructs a term for `node` given already-extracted child terms.
+ * Used by extraction.
+ */
+TermRef enode_to_term(const ENode& node, const std::vector<TermRef>& kids);
+
+}  // namespace diospyros

@@ -1,0 +1,95 @@
+#include "egraph/extract.h"
+
+#include "support/error.h"
+
+namespace diospyros {
+
+Extractor::Extractor(const EGraph& graph, const CostModel& cost)
+    : graph_(graph)
+{
+    DIOS_ASSERT(graph.is_clean(), "extraction requires a rebuilt e-graph");
+    const std::vector<ClassId> ids = graph.class_ids();
+    for (const ClassId id : ids) {
+        best_.emplace(id, Choice{});
+    }
+
+    // Bellman-Ford-style relaxation to a fixpoint. Each pass is linear in
+    // the number of e-nodes; the pass count is bounded by the extraction
+    // DAG depth.
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (const ClassId id : ids) {
+            const EClass& cls = graph.eclass(id);
+            Choice& choice = best_.at(id);
+            for (std::size_t i = 0; i < cls.nodes.size(); ++i) {
+                const ENode& node = cls.nodes[i];
+                double total = cost.node_cost(graph, node);
+                DIOS_ASSERT(total > 0.0,
+                            "cost model must be strictly monotonic");
+                bool realizable = true;
+                for (const ClassId child : node.children) {
+                    const Choice& cc = best_.at(graph.find_const(child));
+                    if (cc.node < 0) {
+                        realizable = false;
+                        break;
+                    }
+                    total += cc.cost;
+                }
+                if (realizable && total < choice.cost) {
+                    choice.cost = total;
+                    choice.node = static_cast<int>(i);
+                    changed = true;
+                }
+            }
+        }
+    }
+}
+
+double
+Extractor::class_cost(ClassId id) const
+{
+    auto it = best_.find(graph_.find_const(id));
+    DIOS_ASSERT(it != best_.end(), "class_cost() for unknown class");
+    return it->second.cost;
+}
+
+Extraction
+Extractor::extract(ClassId id) const
+{
+    id = graph_.find_const(id);
+    auto it = best_.find(id);
+    DIOS_ASSERT(it != best_.end(), "extract() for unknown class");
+    DIOS_CHECK(it->second.node >= 0,
+               "e-class has no realizable term (cyclic without leaves)");
+    std::unordered_map<ClassId, TermRef> memo;
+    Extraction result;
+    result.term = build(id, memo);
+    result.cost = it->second.cost;
+    return result;
+}
+
+TermRef
+Extractor::build(ClassId id,
+                 std::unordered_map<ClassId, TermRef>& memo) const
+{
+    id = graph_.find_const(id);
+    auto found = memo.find(id);
+    if (found != memo.end()) {
+        return found->second;
+    }
+    const Choice& choice = best_.at(id);
+    DIOS_ASSERT(choice.node >= 0, "building an unrealizable class");
+    const ENode& node =
+        graph_.eclass(id).nodes[static_cast<std::size_t>(choice.node)];
+    std::vector<TermRef> kids;
+    kids.reserve(node.children.size());
+    for (const ClassId child : node.children) {
+        kids.push_back(build(child, memo));
+    }
+    TermRef term = enode_to_term(node, kids);
+    memo.emplace(id, term);
+    return term;
+}
+
+}  // namespace diospyros

@@ -1,0 +1,231 @@
+#include "egraph/pattern.h"
+
+#include <utility>
+
+#include "support/error.h"
+#include "support/sexpr.h"
+
+namespace diospyros {
+
+PatternRef
+PatternNode::var(Symbol name)
+{
+    auto n = std::shared_ptr<PatternNode>(new PatternNode());
+    n->kind_ = Kind::kVar;
+    n->var_ = name;
+    return n;
+}
+
+PatternRef
+PatternNode::op_node(ENode prototype, std::vector<PatternRef> children)
+{
+    auto n = std::shared_ptr<PatternNode>(new PatternNode());
+    n->kind_ = Kind::kOperator;
+    n->proto_ = std::move(prototype);
+    n->children_ = std::move(children);
+    return n;
+}
+
+std::string
+PatternNode::to_string() const
+{
+    if (kind_ == Kind::kVar) {
+        return "?" + var_.str();
+    }
+    if (proto_.op == Op::kConst) {
+        return proto_.value.to_string();
+    }
+    if (proto_.op == Op::kSymbol) {
+        return proto_.symbol.str();
+    }
+    std::string out = "(";
+    out += op_name(proto_.op);
+    if (proto_.op == Op::kGet) {
+        out += ' ' + proto_.symbol.str() + ' ' +
+               std::to_string(proto_.index);
+    }
+    if (proto_.op == Op::kCall) {
+        out += ' ' + proto_.symbol.str();
+    }
+    for (const PatternRef& c : children_) {
+        out += ' ' + c->to_string();
+    }
+    out += ')';
+    return out;
+}
+
+namespace {
+
+bool
+is_pattern_var(const std::string& token)
+{
+    return token.size() >= 2 && token[0] == '?';
+}
+
+PatternRef
+pattern_from_sexpr(const Sexpr& s, std::vector<Symbol>& vars)
+{
+    auto note_var = [&vars](Symbol v) {
+        for (const Symbol existing : vars) {
+            if (existing == v) {
+                return;
+            }
+        }
+        vars.push_back(v);
+    };
+
+    if (s.is_atom()) {
+        const std::string& tok = s.token();
+        if (is_pattern_var(tok)) {
+            const Symbol v{tok.substr(1)};
+            note_var(v);
+            return PatternNode::var(v);
+        }
+        if (s.is_integer()) {
+            return PatternNode::op_node(
+                ENode::make_const(Rational(s.as_integer())), {});
+        }
+        return PatternNode::op_node(ENode::make_symbol(Symbol(tok)), {});
+    }
+    DIOS_CHECK(s.size() >= 1 && s[0].is_atom(),
+               "pattern list must start with an operator");
+    const std::string& head = s[0].token();
+    if (head == "Get") {
+        DIOS_CHECK(s.size() == 3 && s[1].is_atom() && s[2].is_integer(),
+                   "pattern Get expects (Get <array> <index>)");
+        return PatternNode::op_node(
+            ENode::make_get(Symbol(s[1].token()), s[2].as_integer()), {});
+    }
+    const Op op = op_from_name(head);
+    ENode proto;
+    std::size_t first_child = 1;
+    if (op == Op::kCall) {
+        DIOS_CHECK(s.size() >= 2 && s[1].is_atom(),
+                   "pattern Call expects (Call <fn> args...)");
+        proto = ENode::make_call(Symbol(s[1].token()), {});
+        first_child = 2;
+    } else {
+        proto = ENode::make(op, {});
+    }
+    std::vector<PatternRef> children;
+    for (std::size_t i = first_child; i < s.size(); ++i) {
+        children.push_back(pattern_from_sexpr(s[i], vars));
+    }
+    return PatternNode::op_node(std::move(proto), std::move(children));
+}
+
+/** True when an e-node's operator and payload match a pattern prototype. */
+bool
+prototype_matches(const ENode& proto, const ENode& node,
+                  std::size_t pattern_arity)
+{
+    if (proto.op != node.op || node.children.size() != pattern_arity) {
+        return false;
+    }
+    switch (proto.op) {
+      case Op::kConst:
+        return proto.value == node.value;
+      case Op::kSymbol:
+      case Op::kCall:
+        return proto.symbol == node.symbol;
+      case Op::kGet:
+        return proto.symbol == node.symbol && proto.index == node.index;
+      default:
+        return true;
+    }
+}
+
+void
+match_node(const EGraph& graph, const PatternRef& pattern, ClassId id,
+           const Subst& subst, std::vector<Subst>& out);
+
+/** Extends `prefix` by matching pattern children against node children. */
+void
+match_children(const EGraph& graph, const PatternNode& pattern,
+               const ENode& node, const Subst& prefix, std::size_t i,
+               std::vector<Subst>& out)
+{
+    if (i == pattern.children().size()) {
+        out.push_back(prefix);
+        return;
+    }
+    std::vector<Subst> partial;
+    match_node(graph, pattern.children()[i], node.children[i], prefix,
+               partial);
+    for (const Subst& s : partial) {
+        match_children(graph, pattern, node, s, i + 1, out);
+    }
+}
+
+void
+match_node(const EGraph& graph, const PatternRef& pattern, ClassId id,
+           const Subst& subst, std::vector<Subst>& out)
+{
+    id = graph.find_const(id);
+    if (pattern->kind() == PatternNode::Kind::kVar) {
+        if (auto bound = subst.find(pattern->var_name())) {
+            if (graph.find_const(*bound) == id) {
+                out.push_back(subst);
+            }
+            return;
+        }
+        Subst extended = subst;
+        extended.bind(pattern->var_name(), id);
+        out.push_back(std::move(extended));
+        return;
+    }
+    const EClass& cls = graph.eclass(id);
+    for (const ENode& node : cls.nodes) {
+        if (!prototype_matches(pattern->prototype(), node,
+                               pattern->children().size())) {
+            continue;
+        }
+        match_children(graph, *pattern, node, subst, 0, out);
+    }
+}
+
+ClassId
+instantiate_node(EGraph& graph, const PatternRef& pattern,
+                 const Subst& subst)
+{
+    if (pattern->kind() == PatternNode::Kind::kVar) {
+        auto bound = subst.find(pattern->var_name());
+        DIOS_ASSERT(bound.has_value(),
+                    "unbound pattern variable during instantiation: " +
+                        pattern->var_name().str());
+        return *bound;
+    }
+    ENode node = pattern->prototype();
+    node.children.clear();
+    node.children.reserve(pattern->children().size());
+    for (const PatternRef& c : pattern->children()) {
+        node.children.push_back(instantiate_node(graph, c, subst));
+    }
+    return graph.add(std::move(node));
+}
+
+}  // namespace
+
+Pattern
+Pattern::parse(const std::string& text)
+{
+    Pattern p;
+    p.root_ = pattern_from_sexpr(parse_sexpr(text), p.vars_);
+    return p;
+}
+
+std::vector<Subst>
+Pattern::match_class(const EGraph& graph, ClassId id) const
+{
+    std::vector<Subst> out;
+    match_node(graph, root_, id, Subst{}, out);
+    return out;
+}
+
+ClassId
+Pattern::instantiate(EGraph& graph, const Subst& subst) const
+{
+    return instantiate_node(graph, root_, subst);
+}
+
+}  // namespace diospyros

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Syntactic rewrite patterns and e-matching.
+ *
+ * Patterns are written in the same s-expression syntax as terms, with
+ * `?x`-style pattern variables, e.g. `(VecAdd ?a (VecMul ?b ?c))`.
+ * e-matching enumerates every substitution (pattern variable -> e-class)
+ * under which an e-class contains the pattern (paper §3.3; egg's pattern
+ * DSL).
+ */
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "egraph/egraph.h"
+
+namespace diospyros {
+
+/** A substitution from pattern variables to e-classes. */
+class Subst {
+  public:
+    /** Class bound to a variable, or nullopt. */
+    std::optional<ClassId>
+    find(Symbol var) const
+    {
+        for (const auto& [v, id] : bindings_) {
+            if (v == var) {
+                return id;
+            }
+        }
+        return std::nullopt;
+    }
+
+    void
+    bind(Symbol var, ClassId id)
+    {
+        bindings_.emplace_back(var, id);
+    }
+
+    const std::vector<std::pair<Symbol, ClassId>>&
+    bindings() const
+    {
+        return bindings_;
+    }
+
+  private:
+    // Substitutions are tiny (a handful of variables), so a flat vector
+    // beats a hash map here.
+    std::vector<std::pair<Symbol, ClassId>> bindings_;
+};
+
+class PatternNode;
+using PatternRef = std::shared_ptr<const PatternNode>;
+
+/** One node of a pattern tree. */
+class PatternNode {
+  public:
+    enum class Kind {
+        kVar,       ///< `?x`: matches any e-class, consistently
+        kOperator,  ///< operator application with sub-patterns
+    };
+
+    static PatternRef var(Symbol name);
+    static PatternRef op_node(ENode prototype,
+                              std::vector<PatternRef> children);
+
+    Kind kind() const { return kind_; }
+    Symbol var_name() const { return var_; }
+    const ENode& prototype() const { return proto_; }
+    const std::vector<PatternRef>& children() const { return children_; }
+
+    std::string to_string() const;
+
+  private:
+    PatternNode() = default;
+
+    Kind kind_ = Kind::kVar;
+    Symbol var_;
+    /** For kOperator: op + payload template (children ignored). */
+    ENode proto_;
+    std::vector<PatternRef> children_;
+};
+
+/** A complete pattern with its variable list (in first-occurrence order). */
+class Pattern {
+  public:
+    /** Parses pattern text, e.g. "(+ ?a (* ?b ?c))". */
+    static Pattern parse(const std::string& text);
+
+    const PatternRef& root() const { return root_; }
+    const std::vector<Symbol>& variables() const { return vars_; }
+    std::string to_string() const { return root_->to_string(); }
+
+    /**
+     * Enumerates all substitutions under which `id` contains this pattern.
+     * Requires a clean (rebuilt) e-graph.
+     */
+    std::vector<Subst> match_class(const EGraph& graph, ClassId id) const;
+
+    /**
+     * Instantiates the pattern under a substitution, adding any new nodes,
+     * and returns the resulting class. All pattern variables must be bound.
+     */
+    ClassId instantiate(EGraph& graph, const Subst& subst) const;
+
+  private:
+    Pattern() = default;
+
+    PatternRef root_;
+    std::vector<Symbol> vars_;
+};
+
+}  // namespace diospyros

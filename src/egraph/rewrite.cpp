@@ -1,0 +1,69 @@
+#include "egraph/rewrite.h"
+
+#include "support/error.h"
+
+namespace diospyros {
+
+std::vector<RuleMatch>
+Searcher::search(const EGraph& graph) const
+{
+    std::vector<RuleMatch> out;
+    for (const ClassId id : graph.class_ids()) {
+        std::vector<RuleMatch> matches = search_class(graph, id);
+        out.insert(out.end(), std::make_move_iterator(matches.begin()),
+                   std::make_move_iterator(matches.end()));
+    }
+    return out;
+}
+
+std::vector<RuleMatch>
+PatternSearcher::search_class(const EGraph& graph, ClassId id) const
+{
+    std::vector<RuleMatch> out;
+    for (Subst& subst : pattern_.match_class(graph, id)) {
+        out.push_back(RuleMatch{id, std::move(subst)});
+    }
+    return out;
+}
+
+bool
+PatternApplier::apply(EGraph& graph, const RuleMatch& match) const
+{
+    const ClassId rhs = pattern_.instantiate(graph, match.subst);
+    return graph.merge(match.root, rhs);
+}
+
+Rewrite
+Rewrite::make(const std::string& name, const std::string& lhs,
+              const std::string& rhs)
+{
+    Pattern lhs_pat = Pattern::parse(lhs);
+    Pattern rhs_pat = Pattern::parse(rhs);
+    // Every RHS variable must be bound by the LHS.
+    for (const Symbol v : rhs_pat.variables()) {
+        bool found = false;
+        for (const Symbol l : lhs_pat.variables()) {
+            if (l == v) {
+                found = true;
+                break;
+            }
+        }
+        DIOS_CHECK(found, "rule '" + name + "': RHS variable ?" + v.str() +
+                              " is not bound by the LHS");
+    }
+    return Rewrite(name,
+                   std::make_shared<PatternSearcher>(std::move(lhs_pat)),
+                   std::make_shared<PatternApplier>(std::move(rhs_pat)));
+}
+
+std::vector<Rewrite>
+Rewrite::make_bidirectional(const std::string& name, const std::string& lhs,
+                            const std::string& rhs)
+{
+    std::vector<Rewrite> out;
+    out.push_back(make(name + "-fwd", lhs, rhs));
+    out.push_back(make(name + "-rev", rhs, lhs));
+    return out;
+}
+
+}  // namespace diospyros

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Rewrite rules: a named searcher/applier pair (mirrors egg's design,
+ * paper §3.3).
+ *
+ * Simple syntactic rules are built from two patterns; the vectorization
+ * rules that need lane-wise "operator-or-zero" matching (paper §3.3,
+ * "Custom matching for vectorization") implement Searcher/Applier
+ * directly — see src/rules/.
+ */
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "egraph/pattern.h"
+
+namespace diospyros {
+
+/** One place a rule fired: the matched class plus variable bindings. */
+struct RuleMatch {
+    ClassId root;
+    Subst subst;
+};
+
+/** Finds instances of a rule's left-hand side. */
+class Searcher {
+  public:
+    virtual ~Searcher() = default;
+
+    /** Matches within one e-class. */
+    virtual std::vector<RuleMatch> search_class(const EGraph& graph,
+                                                ClassId id) const = 0;
+
+    /** Matches across the whole graph (default: every class). */
+    virtual std::vector<RuleMatch> search(const EGraph& graph) const;
+};
+
+/** Applies a rule's right-hand side at a match site. */
+class Applier {
+  public:
+    virtual ~Applier() = default;
+
+    /**
+     * Adds the rewritten program and merges it with the matched class.
+     * Returns true if the e-graph changed.
+     */
+    virtual bool apply(EGraph& graph, const RuleMatch& match) const = 0;
+};
+
+/** Searcher driven by a syntactic pattern. */
+class PatternSearcher : public Searcher {
+  public:
+    explicit PatternSearcher(Pattern pattern)
+        : pattern_(std::move(pattern))
+    {
+    }
+
+    std::vector<RuleMatch> search_class(const EGraph& graph,
+                                        ClassId id) const override;
+
+    const Pattern& pattern() const { return pattern_; }
+
+  private:
+    Pattern pattern_;
+};
+
+/** Applier driven by a syntactic pattern. */
+class PatternApplier : public Applier {
+  public:
+    explicit PatternApplier(Pattern pattern)
+        : pattern_(std::move(pattern))
+    {
+    }
+
+    bool apply(EGraph& graph, const RuleMatch& match) const override;
+
+    const Pattern& pattern() const { return pattern_; }
+
+  private:
+    Pattern pattern_;
+};
+
+/** A named rewrite rule. */
+class Rewrite {
+  public:
+    Rewrite(std::string name, std::shared_ptr<const Searcher> searcher,
+            std::shared_ptr<const Applier> applier)
+        : name_(std::move(name)),
+          searcher_(std::move(searcher)),
+          applier_(std::move(applier))
+    {
+    }
+
+    /** Builds a unidirectional syntactic rule lhs ⇝ rhs. */
+    static Rewrite make(const std::string& name, const std::string& lhs,
+                        const std::string& rhs);
+
+    /** Builds both directions of lhs ↭ rhs (names suffixed -fwd/-rev). */
+    static std::vector<Rewrite> make_bidirectional(const std::string& name,
+                                                   const std::string& lhs,
+                                                   const std::string& rhs);
+
+    const std::string& name() const { return name_; }
+    const Searcher& searcher() const { return *searcher_; }
+    const Applier& applier() const { return *applier_; }
+
+  private:
+    std::string name_;
+    std::shared_ptr<const Searcher> searcher_;
+    std::shared_ptr<const Applier> applier_;
+};
+
+}  // namespace diospyros

@@ -1,0 +1,130 @@
+#include "egraph/runner.h"
+
+#include <sstream>
+
+#include "support/timer.h"
+
+namespace diospyros {
+
+const char*
+stop_reason_name(StopReason r)
+{
+    switch (r) {
+      case StopReason::kSaturated:
+        return "saturated";
+      case StopReason::kNodeLimit:
+        return "node-limit";
+      case StopReason::kIterLimit:
+        return "iter-limit";
+      case StopReason::kTimeLimit:
+        return "time-limit";
+    }
+    return "unknown";
+}
+
+std::string
+RunnerReport::to_string() const
+{
+    std::ostringstream os;
+    os << "stop=" << stop_reason_name(stop_reason)
+       << " iters=" << iterations.size() << " nodes=" << final_nodes
+       << " classes=" << final_classes << " time=" << total_seconds << "s";
+    return os.str();
+}
+
+RunnerReport
+Runner::run(EGraph& graph, const std::vector<Rewrite>& rules) const
+{
+    RunnerReport report;
+    Timer total;
+    graph.rebuild();
+
+    // Backoff state (egg's BackoffScheduler): per rule, the iteration it
+    // is banned until and how many times it has been banned so far.
+    std::vector<int> banned_until(rules.size(), 0);
+    std::vector<int> ban_count(rules.size(), 0);
+
+    for (int iter = 0; iter < limits_.iter_limit; ++iter) {
+        Timer iter_timer;
+        IterationStats stats;
+        const std::size_t unions_before = graph.union_count();
+        const std::size_t nodes_before = graph.num_nodes();
+
+        // Phase 1: search every rule against the clean graph, so all rules
+        // see the same snapshot (no phase ordering within an iteration).
+        std::vector<std::vector<RuleMatch>> all_matches;
+        all_matches.reserve(rules.size());
+        for (std::size_t r = 0; r < rules.size(); ++r) {
+            if (limits_.backoff_threshold != 0 && banned_until[r] > iter) {
+                ++stats.banned_rules;
+                all_matches.emplace_back();
+                continue;
+            }
+            std::vector<RuleMatch> matches =
+                rules[r].searcher().search(graph);
+            if (limits_.backoff_threshold != 0 &&
+                matches.size() > limits_.backoff_threshold) {
+                // Ban for a geometrically growing window and keep only
+                // the threshold's worth of matches this round.
+                ++ban_count[r];
+                banned_until[r] = iter + 1 + (1 << std::min(ban_count[r], 10));
+                matches.resize(limits_.backoff_threshold);
+            }
+            if (limits_.match_limit_per_rule != 0 &&
+                matches.size() > limits_.match_limit_per_rule) {
+                matches.resize(limits_.match_limit_per_rule);
+            }
+            stats.matches += matches.size();
+            all_matches.push_back(std::move(matches));
+            if (total.elapsed_seconds() > limits_.time_limit_seconds) {
+                break;
+            }
+        }
+
+        // Phase 2: apply everything that was found.
+        for (std::size_t r = 0; r < all_matches.size(); ++r) {
+            for (const RuleMatch& match : all_matches[r]) {
+                if (rules[r].applier().apply(graph, match)) {
+                    ++stats.applications;
+                }
+            }
+            if (graph.num_nodes() > limits_.node_limit ||
+                total.elapsed_seconds() > limits_.time_limit_seconds) {
+                break;
+            }
+        }
+
+        // Phase 3: one batched congruence restoration.
+        graph.rebuild();
+
+        stats.nodes_after = graph.num_nodes();
+        stats.classes_after = graph.num_classes();
+        stats.seconds = iter_timer.elapsed_seconds();
+        report.iterations.push_back(stats);
+
+        const bool changed = graph.union_count() != unions_before ||
+                             graph.num_nodes() != nodes_before;
+        if (!changed && stats.banned_rules == 0) {
+            report.stop_reason = StopReason::kSaturated;
+            break;
+        }
+        if (graph.num_nodes() > limits_.node_limit) {
+            report.stop_reason = StopReason::kNodeLimit;
+            break;
+        }
+        if (total.elapsed_seconds() > limits_.time_limit_seconds) {
+            report.stop_reason = StopReason::kTimeLimit;
+            break;
+        }
+        if (iter + 1 == limits_.iter_limit) {
+            report.stop_reason = StopReason::kIterLimit;
+        }
+    }
+
+    report.total_seconds = total.elapsed_seconds();
+    report.final_nodes = graph.num_nodes();
+    report.final_classes = graph.num_classes();
+    return report;
+}
+
+}  // namespace diospyros

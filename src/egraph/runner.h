@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The equality-saturation runner (paper §3.3).
+ *
+ * Each iteration runs in egg's batched style: search all rules on the
+ * clean graph, apply every match, then rebuild once. The runner stops at
+ * saturation (an iteration that changes nothing) or at a node / time /
+ * iteration limit — the paper's evaluation gives saturation a 3-minute
+ * timeout and a 10M-node limit and extracts from the partial graph when
+ * they trip (§5.2, §5.5).
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "egraph/rewrite.h"
+
+namespace diospyros {
+
+/** Stop conditions for saturation. */
+struct RunnerLimits {
+    /** Stop when the e-graph grows past this many e-nodes. */
+    std::size_t node_limit = 10'000'000;
+    /** Stop after this many search/apply/rebuild rounds. */
+    int iter_limit = 100;
+    /** Wall-clock budget in seconds. */
+    double time_limit_seconds = 180.0;
+    /** Per-rule, per-iteration cap on applied matches (0 = unlimited). */
+    std::size_t match_limit_per_rule = 0;
+    /**
+     * Exponential rule backoff (egg's BackoffScheduler): a rule whose
+     * match count exceeds `backoff_threshold` in one iteration is banned
+     * for a geometrically growing number of iterations, preventing one
+     * explosive rule from starving the rest. 0 disables backoff.
+     */
+    std::size_t backoff_threshold = 0;
+};
+
+/** Why the runner stopped. */
+enum class StopReason {
+    kSaturated,
+    kNodeLimit,
+    kIterLimit,
+    kTimeLimit,
+};
+
+/** Human-readable stop reason. */
+const char* stop_reason_name(StopReason r);
+
+/** Statistics of one saturation iteration. */
+struct IterationStats {
+    std::size_t matches = 0;
+    std::size_t applications = 0;
+    std::size_t nodes_after = 0;
+    std::size_t classes_after = 0;
+    /** Rules skipped this iteration because of backoff bans. */
+    std::size_t banned_rules = 0;
+    double seconds = 0.0;
+};
+
+/** Overall saturation report. */
+struct RunnerReport {
+    StopReason stop_reason = StopReason::kSaturated;
+    std::vector<IterationStats> iterations;
+    double total_seconds = 0.0;
+    std::size_t final_nodes = 0;
+    std::size_t final_classes = 0;
+
+    std::string to_string() const;
+};
+
+/** Drives equality saturation over a rule set. */
+class Runner {
+  public:
+    explicit Runner(RunnerLimits limits = {}) : limits_(limits) {}
+
+    /**
+     * Saturates `graph` under `rules`. The graph is left clean (rebuilt)
+     * regardless of the stop reason, so extraction can always proceed.
+     */
+    RunnerReport run(EGraph& graph, const std::vector<Rewrite>& rules) const;
+
+  private:
+    RunnerLimits limits_;
+};
+
+}  // namespace diospyros

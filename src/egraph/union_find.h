@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Union-find over e-class ids with path halving.
+ *
+ * Follows the egg design: no union-by-rank, because egg deliberately makes
+ * the *second* argument of union the new root so callers can control which
+ * id survives (useful for keeping analysis data stable).
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/error.h"
+
+namespace diospyros {
+
+/** Identifier of an e-class. */
+using ClassId = std::uint32_t;
+
+/** Disjoint-set forest keyed by dense ClassIds. */
+class UnionFind {
+  public:
+    /** Creates a fresh singleton set and returns its id. */
+    ClassId
+    make_set()
+    {
+        const ClassId id = static_cast<ClassId>(parents_.size());
+        parents_.push_back(id);
+        return id;
+    }
+
+    std::size_t size() const { return parents_.size(); }
+
+    /** Canonical representative of id's set (with path halving). */
+    ClassId
+    find(ClassId id)
+    {
+        DIOS_ASSERT(id < parents_.size(), "union-find id out of range");
+        while (parents_[id] != id) {
+            parents_[id] = parents_[parents_[id]];
+            id = parents_[id];
+        }
+        return id;
+    }
+
+    /** Non-mutating find (no path compression); for const contexts. */
+    ClassId
+    find_const(ClassId id) const
+    {
+        DIOS_ASSERT(id < parents_.size(), "union-find id out of range");
+        while (parents_[id] != id) {
+            id = parents_[id];
+        }
+        return id;
+    }
+
+    /**
+     * Unions the sets of a and b; the canonical representative of *a*
+     * becomes the root. Returns the surviving root.
+     */
+    ClassId
+    merge(ClassId a, ClassId b)
+    {
+        const ClassId ra = find(a);
+        const ClassId rb = find(b);
+        parents_[rb] = ra;
+        return ra;
+    }
+
+    /** True when a and b are in the same set. */
+    bool same(ClassId a, ClassId b) { return find(a) == find(b); }
+
+  private:
+    std::vector<ClassId> parents_;
+};
+
+}  // namespace diospyros

@@ -1,0 +1,224 @@
+#include "ir/eval.h"
+
+#include <cmath>
+
+#include "support/error.h"
+
+namespace diospyros {
+
+const std::vector<double>*
+EvalEnv::find_array(Symbol s) const
+{
+    auto it = arrays_.find(s);
+    return it == arrays_.end() ? nullptr : &it->second;
+}
+
+const double*
+EvalEnv::find_scalar(Symbol s) const
+{
+    auto it = scalars_.find(s);
+    return it == scalars_.end() ? nullptr : &it->second;
+}
+
+const std::function<double(std::span<const double>)>*
+EvalEnv::find_function(Symbol s) const
+{
+    auto it = functions_.find(s);
+    return it == functions_.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+class Evaluator {
+  public:
+    explicit Evaluator(const EvalEnv& env) : env_(env) {}
+
+    const std::vector<double>&
+    eval(const Term* t)
+    {
+        auto it = memo_.find(t);
+        if (it != memo_.end()) {
+            return it->second;
+        }
+        std::vector<double> value = compute(t);
+        return memo_.emplace(t, std::move(value)).first->second;
+    }
+
+  private:
+    double
+    eval_scalar(const Term* t)
+    {
+        const std::vector<double>& v = eval(t);
+        DIOS_CHECK(v.size() == 1, "expected a scalar value");
+        return v[0];
+    }
+
+    std::vector<double>
+    compute(const Term* t)
+    {
+        switch (t->op()) {
+          case Op::kConst:
+            return {t->value().to_double()};
+          case Op::kSymbol: {
+            const double* v = env_.find_scalar(t->symbol());
+            DIOS_CHECK(v != nullptr,
+                       "unbound scalar variable: " + t->symbol().str());
+            return {*v};
+          }
+          case Op::kGet: {
+            const std::vector<double>* arr = env_.find_array(t->symbol());
+            DIOS_CHECK(arr != nullptr,
+                       "unbound input array: " + t->symbol().str());
+            const auto idx = static_cast<std::size_t>(t->index());
+            DIOS_CHECK(idx < arr->size(),
+                       "Get index out of range for array " +
+                           t->symbol().str());
+            return {(*arr)[idx]};
+          }
+          case Op::kAdd:
+            return {eval_scalar(t->child(0).get()) +
+                    eval_scalar(t->child(1).get())};
+          case Op::kSub:
+            return {eval_scalar(t->child(0).get()) -
+                    eval_scalar(t->child(1).get())};
+          case Op::kMul:
+            return {eval_scalar(t->child(0).get()) *
+                    eval_scalar(t->child(1).get())};
+          case Op::kDiv:
+            return {eval_scalar(t->child(0).get()) /
+                    eval_scalar(t->child(1).get())};
+          case Op::kNeg:
+            return {-eval_scalar(t->child(0).get())};
+          case Op::kSgn: {
+            const double x = eval_scalar(t->child(0).get());
+            return {static_cast<double>((x > 0.0) - (x < 0.0))};
+          }
+          case Op::kSqrt:
+            return {std::sqrt(eval_scalar(t->child(0).get()))};
+          case Op::kRecip:
+            return {1.0 / eval_scalar(t->child(0).get())};
+          case Op::kCall: {
+            const auto* fn = env_.find_function(t->symbol());
+            DIOS_CHECK(fn != nullptr,
+                       "no semantics bound for user function: " +
+                           t->symbol().str());
+            std::vector<double> args;
+            args.reserve(t->arity());
+            for (const TermRef& c : t->children()) {
+                args.push_back(eval_scalar(c.get()));
+            }
+            return {(*fn)(args)};
+          }
+          case Op::kVec:
+          case Op::kList:
+          case Op::kConcat: {
+            std::vector<double> out;
+            for (const TermRef& c : t->children()) {
+                const std::vector<double>& v = eval(c.get());
+                out.insert(out.end(), v.begin(), v.end());
+            }
+            return out;
+          }
+          case Op::kVecAdd:
+          case Op::kVecMinus:
+          case Op::kVecMul:
+          case Op::kVecDiv:
+            return lanewise_binary(t);
+          case Op::kVecMAC: {
+            const std::vector<double>& acc = eval(t->child(0).get());
+            const std::vector<double>& x = eval(t->child(1).get());
+            const std::vector<double>& y = eval(t->child(2).get());
+            DIOS_CHECK(acc.size() == x.size() && x.size() == y.size(),
+                       "VecMAC lane-width mismatch");
+            std::vector<double> out(acc.size());
+            for (std::size_t i = 0; i < acc.size(); ++i) {
+                out[i] = acc[i] + x[i] * y[i];
+            }
+            return out;
+          }
+          case Op::kVecNeg:
+          case Op::kVecSgn:
+          case Op::kVecSqrt:
+          case Op::kVecRecip:
+            return lanewise_unary(t);
+        }
+        DIOS_ASSERT(false, "unhandled operator in evaluator");
+    }
+
+    std::vector<double>
+    lanewise_binary(const Term* t)
+    {
+        const std::vector<double>& a = eval(t->child(0).get());
+        const std::vector<double>& b = eval(t->child(1).get());
+        DIOS_CHECK(a.size() == b.size(), "vector lane-width mismatch");
+        std::vector<double> out(a.size());
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            switch (t->op()) {
+              case Op::kVecAdd:
+                out[i] = a[i] + b[i];
+                break;
+              case Op::kVecMinus:
+                out[i] = a[i] - b[i];
+                break;
+              case Op::kVecMul:
+                out[i] = a[i] * b[i];
+                break;
+              case Op::kVecDiv:
+                out[i] = a[i] / b[i];
+                break;
+              default:
+                DIOS_ASSERT(false, "not a lane-wise binary op");
+            }
+        }
+        return out;
+    }
+
+    std::vector<double>
+    lanewise_unary(const Term* t)
+    {
+        const std::vector<double>& a = eval(t->child(0).get());
+        std::vector<double> out(a.size());
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            switch (t->op()) {
+              case Op::kVecNeg:
+                out[i] = -a[i];
+                break;
+              case Op::kVecSgn:
+                out[i] = static_cast<double>((a[i] > 0.0) - (a[i] < 0.0));
+                break;
+              case Op::kVecSqrt:
+                out[i] = std::sqrt(a[i]);
+                break;
+              case Op::kVecRecip:
+                out[i] = 1.0 / a[i];
+                break;
+              default:
+                DIOS_ASSERT(false, "not a lane-wise unary op");
+            }
+        }
+        return out;
+    }
+
+    const EvalEnv& env_;
+    std::unordered_map<const Term*, std::vector<double>> memo_;
+};
+
+}  // namespace
+
+std::vector<double>
+evaluate(const TermRef& term, const EvalEnv& env)
+{
+    DIOS_ASSERT(term != nullptr, "evaluate() on null term");
+    Evaluator e(env);
+    return e.eval(term.get());
+}
+
+double
+evaluate_scalar(const TermRef& term, const EvalEnv& env)
+{
+    const std::vector<double> v = evaluate(term, env);
+    DIOS_CHECK(v.size() == 1, "evaluate_scalar() on non-scalar term");
+    return v[0];
+}
+
+}  // namespace diospyros

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Concrete (reference) evaluation of vector-DSL terms.
+ *
+ * Used as the semantic ground truth throughout the project: rewrite-rule
+ * soundness tests, the randomized half of translation validation, and
+ * differential tests of the backend (generated machine code must agree
+ * with this evaluator on random inputs).
+ */
+#pragma once
+
+#include <functional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/term.h"
+
+namespace diospyros {
+
+/** Binding environment for evaluation. */
+class EvalEnv {
+  public:
+    /** Binds an input array (flattened row-major, as in Get indices). */
+    void
+    bind_array(const std::string& name, std::vector<double> data)
+    {
+        arrays_[Symbol(name)] = std::move(data);
+    }
+
+    /** Binds a free scalar variable. */
+    void
+    bind_scalar(const std::string& name, double value)
+    {
+        scalars_[Symbol(name)] = value;
+    }
+
+    /** Supplies a semantics for a user-defined function (paper §3.1). */
+    void
+    bind_function(const std::string& name,
+                  std::function<double(std::span<const double>)> fn)
+    {
+        functions_[Symbol(name)] = std::move(fn);
+    }
+
+    const std::vector<double>* find_array(Symbol s) const;
+    const double* find_scalar(Symbol s) const;
+    const std::function<double(std::span<const double>)>*
+    find_function(Symbol s) const;
+
+  private:
+    std::unordered_map<Symbol, std::vector<double>> arrays_;
+    std::unordered_map<Symbol, double> scalars_;
+    std::unordered_map<Symbol,
+                       std::function<double(std::span<const double>)>>
+        functions_;
+};
+
+/**
+ * Evaluates a term to its flattened value sequence: a scalar yields one
+ * element; a vector yields one element per lane; a List yields the
+ * concatenation of its elements' values.
+ *
+ * Raises UserError on unbound symbols, out-of-range Get indices, or calls
+ * to functions without bound semantics.
+ */
+std::vector<double> evaluate(const TermRef& term, const EvalEnv& env);
+
+/** Evaluates a scalar term to a single double. */
+double evaluate_scalar(const TermRef& term, const EvalEnv& env);
+
+}  // namespace diospyros

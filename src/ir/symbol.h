@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Interned identifiers for input arrays, free scalar variables, and
+ * user-defined (uninterpreted) functions.
+ *
+ * Interning gives O(1) equality/hashing for the hot paths in the e-graph
+ * and keeps payloads in e-nodes POD-sized.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "support/error.h"
+
+namespace diospyros {
+
+/** An interned identifier; value-equal iff the spellings are equal. */
+class Symbol {
+  public:
+    /** The invalid/absent symbol. */
+    Symbol() : id_(kInvalid) {}
+
+    /** Interns (or finds) the given spelling. */
+    explicit Symbol(const std::string& name) : id_(intern(name)) {}
+
+    bool valid() const { return id_ != kInvalid; }
+
+    /** The spelling this symbol was interned from. */
+    const std::string&
+    str() const
+    {
+        DIOS_ASSERT(valid(), "str() on invalid symbol");
+        return table().spellings[id_];
+    }
+
+    std::uint32_t id() const { return id_; }
+
+    bool operator==(const Symbol& o) const { return id_ == o.id_; }
+    bool operator!=(const Symbol& o) const { return id_ != o.id_; }
+    bool operator<(const Symbol& o) const { return id_ < o.id_; }
+
+  private:
+    static constexpr std::uint32_t kInvalid = 0xffffffffu;
+
+    struct Table {
+        std::unordered_map<std::string, std::uint32_t> ids;
+        std::vector<std::string> spellings;
+    };
+
+    /**
+     * Process-wide interning table. The compiler is single-threaded by
+     * design (like the reference implementation), so no locking.
+     */
+    static Table&
+    table()
+    {
+        static Table t;
+        return t;
+    }
+
+    static std::uint32_t
+    intern(const std::string& name)
+    {
+        Table& t = table();
+        auto [it, inserted] =
+            t.ids.try_emplace(name, static_cast<std::uint32_t>(
+                                        t.spellings.size()));
+        if (inserted) {
+            t.spellings.push_back(name);
+        }
+        return it->second;
+    }
+
+    std::uint32_t id_;
+};
+
+}  // namespace diospyros
+
+namespace std {
+
+template <>
+struct hash<diospyros::Symbol> {
+    size_t
+    operator()(const diospyros::Symbol& s) const
+    {
+        return std::hash<std::uint32_t>()(s.id());
+    }
+};
+
+}  // namespace std

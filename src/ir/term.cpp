@@ -1,0 +1,524 @@
+#include "ir/term.h"
+
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "support/error.h"
+#include "support/hash.h"
+#include "support/sexpr.h"
+
+namespace diospyros {
+
+namespace {
+
+struct OpInfo {
+    Op op;
+    const char* name;
+    /** Exact arity, or -1 for variadic (with min_arity minimum). */
+    int arity;
+    int min_arity;
+};
+
+constexpr OpInfo kOpTable[] = {
+    {Op::kConst, "Const", 0, 0},
+    {Op::kSymbol, "Symbol", 0, 0},
+    {Op::kGet, "Get", 0, 0},
+    {Op::kAdd, "+", 2, 2},
+    {Op::kSub, "-", 2, 2},
+    {Op::kMul, "*", 2, 2},
+    {Op::kDiv, "/", 2, 2},
+    {Op::kNeg, "neg", 1, 1},
+    {Op::kSgn, "sgn", 1, 1},
+    {Op::kSqrt, "sqrt", 1, 1},
+    {Op::kRecip, "recip", 1, 1},
+    {Op::kCall, "Call", -1, 0},
+    {Op::kVec, "Vec", -1, 1},
+    {Op::kConcat, "Concat", 2, 2},
+    {Op::kVecAdd, "VecAdd", 2, 2},
+    {Op::kVecMinus, "VecMinus", 2, 2},
+    {Op::kVecMul, "VecMul", 2, 2},
+    {Op::kVecDiv, "VecDiv", 2, 2},
+    {Op::kVecMAC, "VecMAC", 3, 3},
+    {Op::kVecNeg, "VecNeg", 1, 1},
+    {Op::kVecSgn, "VecSgn", 1, 1},
+    {Op::kVecSqrt, "VecSqrt", 1, 1},
+    {Op::kVecRecip, "VecRecip", 1, 1},
+    {Op::kList, "List", -1, 1},
+};
+
+const OpInfo&
+op_info(Op op)
+{
+    const int idx = static_cast<int>(op);
+    DIOS_ASSERT(idx >= 0 && idx < kNumOps, "bad Op value");
+    DIOS_ASSERT(kOpTable[idx].op == op, "kOpTable order mismatch");
+    return kOpTable[idx];
+}
+
+}  // namespace
+
+const char*
+op_name(Op op)
+{
+    return op_info(op).name;
+}
+
+Op
+op_from_name(const std::string& name)
+{
+    for (const OpInfo& info : kOpTable) {
+        if (name == info.name) {
+            return info.op;
+        }
+    }
+    throw UserError("unknown DSL operator: " + name);
+}
+
+bool
+op_is_scalar(Op op)
+{
+    switch (op) {
+      case Op::kConst:
+      case Op::kSymbol:
+      case Op::kGet:
+      case Op::kAdd:
+      case Op::kSub:
+      case Op::kMul:
+      case Op::kDiv:
+      case Op::kNeg:
+      case Op::kSgn:
+      case Op::kSqrt:
+      case Op::kRecip:
+      case Op::kCall:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+op_is_vector(Op op)
+{
+    return !op_is_scalar(op) && op != Op::kList;
+}
+
+TermRef
+Term::constant(Rational v)
+{
+    auto t = std::shared_ptr<Term>(new Term());
+    t->op_ = Op::kConst;
+    t->value_ = v;
+    return t;
+}
+
+TermRef
+Term::variable(Symbol s)
+{
+    DIOS_CHECK(s.valid(), "variable() needs a valid symbol");
+    auto t = std::shared_ptr<Term>(new Term());
+    t->op_ = Op::kSymbol;
+    t->symbol_ = s;
+    return t;
+}
+
+TermRef
+Term::get(Symbol array, std::int64_t index)
+{
+    DIOS_CHECK(array.valid(), "get() needs a valid array symbol");
+    DIOS_CHECK(index >= 0, "get() index must be non-negative");
+    auto t = std::shared_ptr<Term>(new Term());
+    t->op_ = Op::kGet;
+    t->symbol_ = array;
+    t->index_ = index;
+    return t;
+}
+
+TermRef
+Term::call(Symbol fn, std::vector<TermRef> args)
+{
+    DIOS_CHECK(fn.valid(), "call() needs a valid function symbol");
+    auto t = std::shared_ptr<Term>(new Term());
+    t->op_ = Op::kCall;
+    t->symbol_ = fn;
+    t->children_ = std::move(args);
+    return t;
+}
+
+TermRef
+Term::make(Op op, std::vector<TermRef> children)
+{
+    DIOS_CHECK(op != Op::kConst && op != Op::kSymbol && op != Op::kGet &&
+                   op != Op::kCall,
+               "use the dedicated factory for payload-carrying ops");
+    const OpInfo& info = op_info(op);
+    if (info.arity >= 0) {
+        DIOS_CHECK(static_cast<int>(children.size()) == info.arity,
+                   std::string("wrong arity for ") + info.name);
+    } else {
+        DIOS_CHECK(static_cast<int>(children.size()) >= info.min_arity,
+                   std::string("too few operands for ") + info.name);
+    }
+    for (const TermRef& c : children) {
+        DIOS_CHECK(c != nullptr, "null child term");
+    }
+    auto t = std::shared_ptr<Term>(new Term());
+    t->op_ = op;
+    t->children_ = std::move(children);
+    return t;
+}
+
+namespace {
+
+struct PtrPairHash {
+    std::size_t
+    operator()(const std::pair<const Term*, const Term*>& p) const
+    {
+        std::size_t seed = 0;
+        hash_combine(seed, p.first);
+        hash_combine(seed, p.second);
+        return seed;
+    }
+};
+
+using PairSet =
+    std::unordered_set<std::pair<const Term*, const Term*>, PtrPairHash>;
+
+bool
+equal_rec(const Term* a, const Term* b, PairSet& seen)
+{
+    if (a == b) {
+        return true;
+    }
+    // Memoize visited pairs so shared DAGs stay linear. Terms are acyclic
+    // and any false verdict aborts the whole comparison immediately, so a
+    // revisited pair must previously have compared equal.
+    if (!seen.insert({a, b}).second) {
+        return true;
+    }
+    if (a->op() != b->op() || a->arity() != b->arity()) {
+        return false;
+    }
+    switch (a->op()) {
+      case Op::kConst:
+        if (!(a->value() == b->value())) return false;
+        break;
+      case Op::kSymbol:
+      case Op::kCall:
+        if (a->symbol() != b->symbol()) return false;
+        break;
+      case Op::kGet:
+        if (a->symbol() != b->symbol() || a->index() != b->index()) {
+            return false;
+        }
+        break;
+      default:
+        break;
+    }
+    for (std::size_t i = 0; i < a->arity(); ++i) {
+        if (!equal_rec(a->child(i).get(), b->child(i).get(), seen)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+}  // namespace
+
+bool
+Term::equal(const TermRef& a, const TermRef& b)
+{
+    DIOS_ASSERT(a && b, "equal() on null terms");
+    PairSet seen;
+    return equal_rec(a.get(), b.get(), seen);
+}
+
+std::size_t
+Term::dag_size(const TermRef& t)
+{
+    std::unordered_set<const Term*> seen;
+    std::vector<const Term*> stack = {t.get()};
+    while (!stack.empty()) {
+        const Term* cur = stack.back();
+        stack.pop_back();
+        if (!seen.insert(cur).second) {
+            continue;
+        }
+        for (const TermRef& c : cur->children()) {
+            stack.push_back(c.get());
+        }
+    }
+    return seen.size();
+}
+
+std::size_t
+Term::tree_size(const TermRef& t)
+{
+    // Memoized by node pointer: tree size is the same for every occurrence.
+    std::unordered_map<const Term*, std::size_t> memo;
+    struct Rec {
+        std::unordered_map<const Term*, std::size_t>& memo;
+        std::size_t
+        run(const Term* n)
+        {
+            auto it = memo.find(n);
+            if (it != memo.end()) {
+                return it->second;
+            }
+            std::size_t total = 1;
+            for (const TermRef& c : n->children()) {
+                total += run(c.get());
+            }
+            memo.emplace(n, total);
+            return total;
+        }
+    } rec{memo};
+    return rec.run(t.get());
+}
+
+namespace {
+
+void
+write_term(const Term* t, std::string& out)
+{
+    switch (t->op()) {
+      case Op::kConst:
+        out += t->value().to_string();
+        return;
+      case Op::kSymbol:
+        out += t->symbol().str();
+        return;
+      case Op::kGet:
+        out += "(Get ";
+        out += t->symbol().str();
+        out += ' ';
+        out += std::to_string(t->index());
+        out += ')';
+        return;
+      case Op::kCall:
+        out += "(Call ";
+        out += t->symbol().str();
+        for (const TermRef& c : t->children()) {
+            out += ' ';
+            write_term(c.get(), out);
+        }
+        out += ')';
+        return;
+      default:
+        break;
+    }
+    out += '(';
+    out += op_name(t->op());
+    for (const TermRef& c : t->children()) {
+        out += ' ';
+        write_term(c.get(), out);
+    }
+    out += ')';
+}
+
+TermRef
+term_from_sexpr(const Sexpr& s)
+{
+    if (s.is_atom()) {
+        if (s.is_integer()) {
+            return Term::constant(Rational(s.as_integer()));
+        }
+        // Rational literals: "<int>/<int>", e.g. 1/2 or -3/4.
+        const std::string& tok = s.token();
+        const std::size_t slash = tok.find('/');
+        if (slash != std::string::npos && slash > 0 &&
+            slash + 1 < tok.size()) {
+            const Sexpr num = Sexpr::atom(tok.substr(0, slash));
+            const Sexpr den = Sexpr::atom(tok.substr(slash + 1));
+            if (num.is_integer() && den.is_integer() &&
+                den.as_integer() != 0) {
+                return Term::constant(
+                    Rational(num.as_integer(), den.as_integer()));
+            }
+        }
+        DIOS_CHECK(!s.is_number(),
+                   "non-integer numeric literals are not supported in the "
+                   "DSL; scale to rationals instead: " + tok);
+        return Term::variable(Symbol(tok));
+    }
+    DIOS_CHECK(s.size() >= 1 && s[0].is_atom(),
+               "term list must start with an operator atom");
+    const std::string& head = s[0].token();
+    if (head == "Get") {
+        DIOS_CHECK(s.size() == 3 && s[1].is_atom() && s[2].is_integer(),
+                   "Get expects (Get <array> <index>)");
+        return Term::get(Symbol(s[1].token()), s[2].as_integer());
+    }
+    if (head == "Call") {
+        DIOS_CHECK(s.size() >= 2 && s[1].is_atom(),
+                   "Call expects (Call <fn> args...)");
+        std::vector<TermRef> args;
+        for (std::size_t i = 2; i < s.size(); ++i) {
+            args.push_back(term_from_sexpr(s[i]));
+        }
+        return Term::call(Symbol(s[1].token()), std::move(args));
+    }
+    const Op op = op_from_name(head);
+    std::vector<TermRef> children;
+    children.reserve(s.size() - 1);
+    for (std::size_t i = 1; i < s.size(); ++i) {
+        children.push_back(term_from_sexpr(s[i]));
+    }
+    return Term::make(op, std::move(children));
+}
+
+}  // namespace
+
+std::string
+Term::to_string(const TermRef& t)
+{
+    DIOS_ASSERT(t != nullptr, "to_string() on null term");
+    std::string out;
+    write_term(t.get(), out);
+    return out;
+}
+
+TermRef
+Term::parse(const std::string& text)
+{
+    return term_from_sexpr(parse_sexpr(text));
+}
+
+TermRef
+t_const(std::int64_t v)
+{
+    return Term::constant(Rational(v));
+}
+
+TermRef
+t_add(TermRef a, TermRef b)
+{
+    return Term::make(Op::kAdd, {std::move(a), std::move(b)});
+}
+
+TermRef
+t_sub(TermRef a, TermRef b)
+{
+    return Term::make(Op::kSub, {std::move(a), std::move(b)});
+}
+
+TermRef
+t_mul(TermRef a, TermRef b)
+{
+    return Term::make(Op::kMul, {std::move(a), std::move(b)});
+}
+
+TermRef
+t_div(TermRef a, TermRef b)
+{
+    return Term::make(Op::kDiv, {std::move(a), std::move(b)});
+}
+
+TermRef
+t_neg(TermRef a)
+{
+    return Term::make(Op::kNeg, {std::move(a)});
+}
+
+TermRef
+t_sqrt(TermRef a)
+{
+    return Term::make(Op::kSqrt, {std::move(a)});
+}
+
+TermRef
+t_sgn(TermRef a)
+{
+    return Term::make(Op::kSgn, {std::move(a)});
+}
+
+TermRef
+t_get(const std::string& array, std::int64_t index)
+{
+    return Term::get(Symbol(array), index);
+}
+
+TermRef
+t_list(std::vector<TermRef> elems)
+{
+    return Term::make(Op::kList, std::move(elems));
+}
+
+TermRef
+t_vec(std::vector<TermRef> lanes)
+{
+    return Term::make(Op::kVec, std::move(lanes));
+}
+
+namespace {
+
+Shape
+check_shape_rec(const Term* t, std::unordered_map<const Term*, Shape>& memo)
+{
+    auto it = memo.find(t);
+    if (it != memo.end()) {
+        return it->second;
+    }
+    Shape result;
+    const Op op = t->op();
+    if (op_is_scalar(op)) {
+        for (const TermRef& c : t->children()) {
+            const Shape cs = check_shape_rec(c.get(), memo);
+            DIOS_CHECK(cs.kind == Shape::Kind::kScalar,
+                       std::string("scalar operator ") + op_name(op) +
+                           " applied to a non-scalar operand");
+        }
+        result = Shape{Shape::Kind::kScalar, 1};
+    } else if (op == Op::kVec) {
+        for (const TermRef& c : t->children()) {
+            const Shape cs = check_shape_rec(c.get(), memo);
+            DIOS_CHECK(cs.kind == Shape::Kind::kScalar,
+                       "Vec lanes must be scalars");
+        }
+        result = Shape{Shape::Kind::kVector,
+                       static_cast<int>(t->arity())};
+    } else if (op == Op::kConcat) {
+        const Shape a = check_shape_rec(t->child(0).get(), memo);
+        const Shape b = check_shape_rec(t->child(1).get(), memo);
+        DIOS_CHECK(a.kind == Shape::Kind::kVector &&
+                       b.kind == Shape::Kind::kVector,
+                   "Concat operands must be vectors");
+        result = Shape{Shape::Kind::kVector, a.width + b.width};
+    } else if (op == Op::kList) {
+        int total = 0;
+        for (const TermRef& c : t->children()) {
+            const Shape cs = check_shape_rec(c.get(), memo);
+            total += cs.width;
+        }
+        result = Shape{Shape::Kind::kList, total};
+    } else {
+        // Lane-wise vector operator: all operands are vectors of equal
+        // width.
+        DIOS_ASSERT(op_is_vector(op), "unclassified operator");
+        int width = -1;
+        for (const TermRef& c : t->children()) {
+            const Shape cs = check_shape_rec(c.get(), memo);
+            DIOS_CHECK(cs.kind == Shape::Kind::kVector,
+                       std::string("vector operator ") + op_name(op) +
+                           " applied to a non-vector operand");
+            DIOS_CHECK(width == -1 || cs.width == width,
+                       std::string("lane-width mismatch in ") + op_name(op));
+            width = cs.width;
+        }
+        result = Shape{Shape::Kind::kVector, width};
+    }
+    memo.emplace(t, result);
+    return result;
+}
+
+}  // namespace
+
+Shape
+check_shape(const TermRef& t)
+{
+    DIOS_ASSERT(t != nullptr, "check_shape() on null term");
+    std::unordered_map<const Term*, Shape> memo;
+    return check_shape_rec(t.get(), memo);
+}
+
+}  // namespace diospyros

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * The Diospyros vector DSL (paper Figure 3).
+ *
+ * A program is a (possibly singleton) `List` of outputs; expressions are
+ * scalars or vectors. Terms are immutable shared DAGs: symbolic tracing
+ * naturally shares common subexpressions by pointer, which keeps the huge
+ * fully-unrolled specs (e.g. QRDecomp) tractable before they reach the
+ * deduplicating e-graph.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/symbol.h"
+#include "support/rational.h"
+
+namespace diospyros {
+
+/** Operators of the vector DSL. */
+enum class Op : std::uint8_t {
+    // Scalar leaves.
+    kConst,   ///< exact rational literal
+    kSymbol,  ///< free scalar variable
+    kGet,     ///< (Get <array> <index>): element of a flattened input array
+
+    // Scalar operators.
+    kAdd,
+    kSub,
+    kMul,
+    kDiv,
+    kNeg,
+    kSgn,
+    kSqrt,
+    kRecip,  ///< fast reciprocal — target-extension example (paper §6)
+    kCall,   ///< user-defined (uninterpreted) scalar function
+
+    // Vector constructors.
+    kVec,     ///< vector literal of machine-width scalars
+    kConcat,  ///< concatenation of two vectors
+
+    // Vector operators (lane-wise).
+    kVecAdd,
+    kVecMinus,
+    kVecMul,
+    kVecDiv,
+    kVecMAC,  ///< (VecMAC acc x y) = acc + x*y per lane
+    kVecNeg,
+    kVecSgn,
+    kVecSqrt,
+    kVecRecip,  ///< vector fast reciprocal (target extension)
+
+    // Program structure.
+    kList,  ///< top-level list of outputs
+};
+
+/** Number of distinct operators (for tables indexed by Op). */
+constexpr int kNumOps = static_cast<int>(Op::kList) + 1;
+
+/** Canonical operator spelling used in s-expression syntax. */
+const char* op_name(Op op);
+
+/** Inverse of op_name(); raises UserError for unknown spellings. */
+Op op_from_name(const std::string& name);
+
+/** True for operators whose result is a scalar. */
+bool op_is_scalar(Op op);
+
+/** True for operators whose result is a vector (Vec/Concat/Vec*). */
+bool op_is_vector(Op op);
+
+class Term;
+
+/** Shared immutable reference to a term. */
+using TermRef = std::shared_ptr<const Term>;
+
+/**
+ * An immutable DSL term.
+ *
+ * Payload fields are meaningful only for specific operators:
+ *  - kConst: value()
+ *  - kSymbol, kCall: symbol()
+ *  - kGet: symbol() (the array) and index()
+ */
+class Term {
+  public:
+    Op op() const { return op_; }
+    const Rational& value() const { return value_; }
+    Symbol symbol() const { return symbol_; }
+    std::int64_t index() const { return index_; }
+    const std::vector<TermRef>& children() const { return children_; }
+    std::size_t arity() const { return children_.size(); }
+    const TermRef& child(std::size_t i) const { return children_[i]; }
+
+    /** True if this term is the literal constant zero. */
+    bool
+    is_zero() const
+    {
+        return op_ == Op::kConst && value_.is_zero();
+    }
+
+    /** True if this term is a scalar-valued expression. */
+    bool is_scalar() const { return op_is_scalar(op_); }
+
+    // --- Factories -------------------------------------------------------
+
+    static TermRef constant(Rational v);
+    static TermRef variable(Symbol s);
+    static TermRef get(Symbol array, std::int64_t index);
+    static TermRef call(Symbol fn, std::vector<TermRef> args);
+    static TermRef make(Op op, std::vector<TermRef> children);
+
+    /** Structural (deep) equality; memoized by pointer identity. */
+    static bool equal(const TermRef& a, const TermRef& b);
+
+    /** Number of nodes counting shared subterms once (DAG size). */
+    static std::size_t dag_size(const TermRef& t);
+
+    /** Number of nodes counting shared subterms repeatedly (tree size). */
+    static std::size_t tree_size(const TermRef& t);
+
+    /** Renders as an s-expression string. */
+    static std::string to_string(const TermRef& t);
+
+    /** Parses a term from s-expression text. */
+    static TermRef parse(const std::string& text);
+
+  private:
+    Term() = default;
+
+    Op op_ = Op::kConst;
+    Rational value_;
+    Symbol symbol_;
+    std::int64_t index_ = 0;
+    std::vector<TermRef> children_;
+};
+
+/** Convenience scalar-term builders. */
+TermRef t_const(std::int64_t v);
+TermRef t_add(TermRef a, TermRef b);
+TermRef t_sub(TermRef a, TermRef b);
+TermRef t_mul(TermRef a, TermRef b);
+TermRef t_div(TermRef a, TermRef b);
+TermRef t_neg(TermRef a);
+TermRef t_sqrt(TermRef a);
+TermRef t_sgn(TermRef a);
+TermRef t_get(const std::string& array, std::int64_t index);
+TermRef t_list(std::vector<TermRef> elems);
+TermRef t_vec(std::vector<TermRef> lanes);
+
+/**
+ * Shape of a term: scalars have width 1 and vectors carry their lane
+ * count. Lists report the sum of their element widths (the flattened
+ * output length).
+ */
+struct Shape {
+    enum class Kind { kScalar, kVector, kList } kind = Kind::kScalar;
+    /** Flattened element count. */
+    int width = 1;
+};
+
+/**
+ * Computes and checks the shape of a term: verifies operator arities,
+ * that Vec lanes are scalars, and that lane widths of vector operands
+ * agree. Raises UserError on malformed terms.
+ */
+Shape check_shape(const TermRef& t);
+
+}  // namespace diospyros

@@ -1,0 +1,137 @@
+#include "kernels/extras.h"
+
+namespace diospyros::kernels {
+
+using scalar::f_const;
+using scalar::f_sqrt;
+using scalar::IntExpr;
+using scalar::IntRef;
+using scalar::Kernel;
+using scalar::KernelBuilder;
+using scalar::st_accumulate;
+using scalar::st_for;
+using scalar::st_store;
+
+namespace {
+
+IntRef
+ic(std::int64_t v)
+{
+    return IntExpr::constant(v);
+}
+
+}  // namespace
+
+Kernel
+make_fir(int signal_len, int taps)
+{
+    KernelBuilder kb("fir");
+    const IntRef n = kb.param("n", signal_len);
+    const IntRef t = kb.param("t", taps);
+    const IntRef out_len = kb.param("m", signal_len - taps + 1);
+    kb.input("x", n);
+    kb.input("h", t);
+    kb.output("y", out_len);
+    const IntRef i = KernelBuilder::var("i");
+    const IntRef j = KernelBuilder::var("j");
+    kb.append(st_for(
+        "i", ic(0), out_len,
+        {st_for("j", ic(0), t,
+                {st_accumulate("y", i,
+                               KernelBuilder::load("x", i + j) *
+                                   KernelBuilder::load("h", j))})}));
+    return kb.build();
+}
+
+Kernel
+make_normalize(int n)
+{
+    KernelBuilder kb("normalize");
+    const IntRef len = kb.param("n", n);
+    kb.input("x", len);
+    kb.output("y", len);
+    kb.scratch("s", ic(1));
+    const IntRef i = KernelBuilder::var("i");
+    kb.append(st_store("s", ic(0), f_const(0)));
+    kb.append(st_for("i", ic(0), len,
+                     {st_accumulate("s", ic(0),
+                                    KernelBuilder::load("x", i) *
+                                        KernelBuilder::load("x", i))}));
+    kb.append(st_store("s", ic(0),
+                       f_const(1) / f_sqrt(KernelBuilder::load("s", ic(0)))));
+    kb.append(st_for("i", ic(0), len,
+                     {st_store("y", i,
+                               KernelBuilder::load("x", i) *
+                                   KernelBuilder::load("s", ic(0)))}));
+    return kb.build();
+}
+
+Kernel
+make_inverse2x2()
+{
+    KernelBuilder kb("inverse2x2");
+    kb.input("A", ic(4));
+    kb.output("B", ic(4));
+    kb.scratch("d", ic(1));
+    auto a = [](int i) { return KernelBuilder::load("A", ic(i)); };
+    auto d = []() { return KernelBuilder::load("d", ic(0)); };
+    kb.append(st_store("d", ic(0),
+                       f_const(1) / (a(0) * a(3) - a(1) * a(2))));
+    kb.append(st_store("B", ic(0), a(3) * d()));
+    kb.append(st_store("B", ic(1), (f_const(0) - a(1)) * d()));
+    kb.append(st_store("B", ic(2), (f_const(0) - a(2)) * d()));
+    kb.append(st_store("B", ic(3), a(0) * d()));
+    return kb.build();
+}
+
+Kernel
+make_affine3(int points)
+{
+    KernelBuilder kb("affine3");
+    const IntRef n = kb.param("n", points);
+    kb.input("A", ic(9));
+    kb.input("b", ic(3));
+    kb.input("x", n * 3);
+    kb.output("y", n * 3);
+    const IntRef p = KernelBuilder::var("p");
+    const IntRef r = KernelBuilder::var("r");
+    const IntRef c = KernelBuilder::var("c");
+    kb.append(st_for(
+        "p", ic(0), n,
+        {st_for(
+            "r", ic(0), ic(3),
+            {st_store("y", p * 3 + r, KernelBuilder::load("b", r)),
+             st_for("c", ic(0), ic(3),
+                    {st_accumulate("y", p * 3 + r,
+                                   KernelBuilder::load("A", r * 3 + c) *
+                                       KernelBuilder::load("x",
+                                                           p * 3 + c))})})}));
+    return kb.build();
+}
+
+Kernel
+make_pairwise_dist2(int a_points, int b_points)
+{
+    KernelBuilder kb("pairwise-dist2");
+    const IntRef na = kb.param("na", a_points);
+    const IntRef nb = kb.param("nb", b_points);
+    kb.input("P", na * 3);
+    kb.input("Q", nb * 3);
+    kb.output("D", na * nb);
+    const IntRef i = KernelBuilder::var("i");
+    const IntRef j = KernelBuilder::var("j");
+    const IntRef k = KernelBuilder::var("k");
+    auto diff = [&](IntRef pi, IntRef qj, IntRef kk) {
+        return KernelBuilder::load("P", pi * 3 + kk) -
+               KernelBuilder::load("Q", qj * 3 + kk);
+    };
+    kb.append(st_for(
+        "i", ic(0), na,
+        {st_for("j", ic(0), nb,
+                {st_for("k", ic(0), ic(3),
+                        {st_accumulate("D", i * nb + j,
+                                       diff(i, j, k) * diff(i, j, k))})})}));
+    return kb.build();
+}
+
+}  // namespace diospyros::kernels

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Additional small-kernel definitions beyond Table 1 — the wider
+ * "plethora of kernels" the paper's introduction motivates (machine
+ * perception pipelines mix many small fixed-size operations). These
+ * exercise the division/sqrt paths and serve as ready-made library
+ * content for users.
+ */
+#pragma once
+
+#include "scalar/ast.h"
+
+namespace diospyros::kernels {
+
+/** 1D FIR filter: y[i] = sum_t h[t] * x[i + t], valid region only. */
+scalar::Kernel make_fir(int signal_len, int taps);
+
+/** Vector normalization: y = x / ||x||_2. */
+scalar::Kernel make_normalize(int n);
+
+/** 2x2 matrix inverse via the adjugate (branch-free; assumes det != 0). */
+scalar::Kernel make_inverse2x2();
+
+/** Affine transform of a point batch: y_i = A (3x3) * x_i + b. */
+scalar::Kernel make_affine3(int points);
+
+/** Pairwise squared Euclidean distances between two point sets (3D). */
+scalar::Kernel make_pairwise_dist2(int a_points, int b_points);
+
+}  // namespace diospyros::kernels

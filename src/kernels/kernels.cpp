@@ -1,0 +1,306 @@
+#include "kernels/kernels.h"
+
+#include "support/rng.h"
+
+namespace diospyros::kernels {
+
+using scalar::f_const;
+using scalar::IntExpr;
+using scalar::IntRef;
+using scalar::Kernel;
+using scalar::KernelBuilder;
+using scalar::st_accumulate;
+using scalar::st_for;
+using scalar::st_if;
+using scalar::st_store;
+using scalar::StmtRef;
+
+namespace {
+
+IntRef
+ic(std::int64_t v)
+{
+    return IntExpr::constant(v);
+}
+
+}  // namespace
+
+Kernel
+make_conv2d(int irows, int icols, int frows, int fcols)
+{
+    // The paper's §2 motivating kernel, verbatim structure: "full"
+    // convolution with implicit zero padding and a transposed filter.
+    KernelBuilder kb("conv2d");
+    const IntRef ir = kb.param("iR", irows);
+    const IntRef icn = kb.param("iC", icols);
+    const IntRef fr = kb.param("fR", frows);
+    const IntRef fc = kb.param("fC", fcols);
+    const IntRef orows = kb.param("oR", irows + frows - 1);
+    const IntRef ocols = kb.param("oC", icols + fcols - 1);
+    kb.input("in", ir * icn);
+    kb.input("f", fr * fc);
+    kb.output("out", orows * ocols);
+
+    const IntRef o_row = KernelBuilder::var("oRow");
+    const IntRef o_col = KernelBuilder::var("oCol");
+    const IntRef f_row = KernelBuilder::var("fRow");
+    const IntRef f_col = KernelBuilder::var("fCol");
+    // fRT = fR-1-fRow; fCT = fC-1-fCol; iRow = oRow-fRT; iCol = oCol-fCT.
+    const IntRef frt = fr - 1 - f_row;
+    const IntRef fct = fc - 1 - f_col;
+    const IntRef i_row = o_row - frt;
+    const IntRef i_col = o_col - fct;
+
+    kb.append(st_for(
+        "oRow", ic(0), orows,
+        {st_for(
+            "oCol", ic(0), ocols,
+            {st_for(
+                "fRow", ic(0), fr,
+                {st_for(
+                    "fCol", ic(0), fc,
+                    {st_if(i_row >= ic(0) && i_row < ir &&
+                               i_col >= ic(0) && i_col < icn,
+                           {st_accumulate(
+                               "out", o_row * ocols + o_col,
+                               KernelBuilder::load("in",
+                                                   i_row * icn + i_col) *
+                                   KernelBuilder::load(
+                                       "f", frt * fc + fct))})})})})}));
+    return kb.build();
+}
+
+Kernel
+make_matmul(int n, int m, int p)
+{
+    KernelBuilder kb("matmul");
+    const IntRef rn = kb.param("N", n);
+    const IntRef rm = kb.param("M", m);
+    const IntRef rp = kb.param("P", p);
+    kb.input("A", rn * rm);
+    kb.input("B", rm * rp);
+    kb.output("C", rn * rp);
+    const IntRef i = KernelBuilder::var("i");
+    const IntRef j = KernelBuilder::var("j");
+    const IntRef k = KernelBuilder::var("k");
+    kb.append(st_for(
+        "i", ic(0), rn,
+        {st_for(
+            "j", ic(0), rp,
+            {st_for("k", ic(0), rm,
+                    {st_accumulate(
+                        "C", i * rp + j,
+                        KernelBuilder::load("A", i * rm + k) *
+                            KernelBuilder::load("B", k * rp + j))})})}));
+    return kb.build();
+}
+
+Kernel
+make_qprod()
+{
+    // Euclidean (SE(3)-style) product with quaternion rotation part:
+    //   qr = q1 (*) q2           (Hamilton product, w x y z layout)
+    //   tr = rot(q1, t2) + t1    (rotate then translate)
+    // The rotation uses the 2-cross-product formulation:
+    //   u  = 2 * (qv x t2);  tr = t2 + w*u + qv x u + t1
+    KernelBuilder kb("qprod");
+    kb.input("q1", ic(4));
+    kb.input("t1", ic(3));
+    kb.input("q2", ic(4));
+    kb.input("t2", ic(3));
+    kb.output("qr", ic(4));
+    kb.output("tr", ic(3));
+    kb.scratch("u", ic(3));
+
+    auto q1 = [](int i) { return KernelBuilder::load("q1", ic(i)); };
+    auto q2 = [](int i) { return KernelBuilder::load("q2", ic(i)); };
+    auto t1 = [](int i) { return KernelBuilder::load("t1", ic(i)); };
+    auto t2 = [](int i) { return KernelBuilder::load("t2", ic(i)); };
+    auto u = [](int i) { return KernelBuilder::load("u", ic(i)); };
+
+    // Hamilton product (w = idx 0).
+    kb.append(st_store("qr", ic(0),
+                       q1(0) * q2(0) - q1(1) * q2(1) - q1(2) * q2(2) -
+                           q1(3) * q2(3)));
+    kb.append(st_store("qr", ic(1),
+                       q1(0) * q2(1) + q1(1) * q2(0) + q1(2) * q2(3) -
+                           q1(3) * q2(2)));
+    kb.append(st_store("qr", ic(2),
+                       q1(0) * q2(2) - q1(1) * q2(3) + q1(2) * q2(0) +
+                           q1(3) * q2(1)));
+    kb.append(st_store("qr", ic(3),
+                       q1(0) * q2(3) + q1(1) * q2(2) - q1(2) * q2(1) +
+                           q1(3) * q2(0)));
+
+    // u = 2 * (qv x t2), with qv = (q1[1], q1[2], q1[3]).
+    kb.append(st_store(
+        "u", ic(0), f_const(2) * (q1(2) * t2(2) - q1(3) * t2(1))));
+    kb.append(st_store(
+        "u", ic(1), f_const(2) * (q1(3) * t2(0) - q1(1) * t2(2))));
+    kb.append(st_store(
+        "u", ic(2), f_const(2) * (q1(1) * t2(1) - q1(2) * t2(0))));
+
+    // tr = t2 + w*u + qv x u + t1.
+    kb.append(st_store("tr", ic(0),
+                       t2(0) + q1(0) * u(0) +
+                           (q1(2) * u(2) - q1(3) * u(1)) + t1(0)));
+    kb.append(st_store("tr", ic(1),
+                       t2(1) + q1(0) * u(1) +
+                           (q1(3) * u(0) - q1(1) * u(2)) + t1(1)));
+    kb.append(st_store("tr", ic(2),
+                       t2(2) + q1(0) * u(2) +
+                           (q1(1) * u(1) - q1(2) * u(0)) + t1(2)));
+    return kb.build();
+}
+
+Kernel
+make_qrdecomp(int n)
+{
+    // Householder QR (the paper's §5.7 description: "the Householder
+    // algorithm... a series of matrix multiplications along with scalar
+    // computations"). A = Q*R with Q orthogonal, R upper triangular.
+    KernelBuilder kb("qrdecomp");
+    const IntRef rn = kb.param("n", n);
+    kb.input("A", rn * rn);
+    kb.output("Q", rn * rn);
+    kb.output("R", rn * rn);
+    kb.scratch("v", rn);
+    kb.scratch("s", ic(4));  // s[0]=norm2, s[1]=alpha, s[2]=vnorm2, s[3]=t
+
+    const IntRef i = KernelBuilder::var("i");
+    const IntRef j = KernelBuilder::var("j");
+    const IntRef k = KernelBuilder::var("k");
+    auto A = [](IntRef idx) { return KernelBuilder::load("A", idx); };
+    auto R = [](IntRef idx) { return KernelBuilder::load("R", idx); };
+    auto Q = [](IntRef idx) { return KernelBuilder::load("Q", idx); };
+    auto V = [](IntRef idx) { return KernelBuilder::load("v", idx); };
+    auto S = [](int idx) {
+        return KernelBuilder::load("s", IntExpr::constant(idx));
+    };
+
+    // R = A; Q = I.
+    kb.append(st_for("i", ic(0), rn * rn,
+                     {st_store("R", i, A(i))}));
+    kb.append(st_for(
+        "i", ic(0), rn,
+        {st_for("j", ic(0), rn,
+                {st_if(i == j,
+                       {st_store("Q", i * rn + j, f_const(1))},
+                       {st_store("Q", i * rn + j, f_const(0))})})}));
+
+    std::vector<StmtRef> body;
+    // norm2 of the k-th column tail.
+    body.push_back(st_store("s", ic(0), f_const(0)));
+    body.push_back(st_for(
+        "i", k, rn,
+        {st_accumulate("s", ic(0), R(i * rn + k) * R(i * rn + k))}));
+    // alpha = -sgn(R[k][k]) * sqrt(norm2).
+    body.push_back(st_store(
+        "s", ic(1), f_const(0) - f_sgn(R(k * rn + k)) * f_sqrt(S(0))));
+    // v = column tail; v[k] -= alpha.
+    body.push_back(st_for("i", ic(0), rn,
+                          {st_store("v", i, f_const(0))}));
+    body.push_back(st_for("i", k, rn, {st_store("v", i, R(i * rn + k))}));
+    body.push_back(st_store("v", k, R(k * rn + k) - S(1)));
+    // vnorm2.
+    body.push_back(st_store("s", ic(2), f_const(0)));
+    body.push_back(st_for("i", k, rn,
+                          {st_accumulate("s", ic(2), V(i) * V(i))}));
+    // R update: for each column j >= k.
+    body.push_back(st_for(
+        "j", k, rn,
+        {st_store("s", ic(3), f_const(0)),
+         st_for("i", k, rn,
+                {st_accumulate("s", ic(3), V(i) * R(i * rn + j))}),
+         st_store("s", ic(3), f_const(2) * S(3) / S(2)),
+         st_for("i", k, rn,
+                {st_store("R", i * rn + j,
+                          R(i * rn + j) - V(i) * S(3))})}));
+    // Q update: Q := Q * H_k (rows of Q, columns >= k).
+    body.push_back(st_for(
+        "i", ic(0), rn,
+        {st_store("s", ic(3), f_const(0)),
+         st_for("j", k, rn,
+                {st_accumulate("s", ic(3), Q(i * rn + j) * V(j))}),
+         st_store("s", ic(3), f_const(2) * S(3) / S(2)),
+         st_for("j", k, rn,
+                {st_store("Q", i * rn + j,
+                          Q(i * rn + j) - V(j) * S(3))})}));
+
+    kb.append(st_for("k", ic(0), rn, std::move(body)));
+    return kb.build();
+}
+
+std::vector<BenchmarkInstance>
+table1_instances()
+{
+    std::vector<BenchmarkInstance> out;
+    auto conv = [&out](int ir, int icl, int fr, int fc) {
+        out.push_back(BenchmarkInstance{
+            "2DConv",
+            std::to_string(ir) + "x" + std::to_string(icl) + ", " +
+                std::to_string(fr) + "x" + std::to_string(fc),
+            make_conv2d(ir, icl, fr, fc)});
+    };
+    auto matmul = [&out](int n, int m, int p) {
+        out.push_back(BenchmarkInstance{
+            "MatMul",
+            std::to_string(n) + "x" + std::to_string(m) + ", " +
+                std::to_string(m) + "x" + std::to_string(p),
+            make_matmul(n, m, p)});
+    };
+    // Table 1, in order.
+    conv(3, 3, 2, 2);
+    conv(3, 3, 3, 3);
+    conv(3, 5, 3, 3);
+    conv(4, 4, 3, 3);
+    conv(8, 8, 3, 3);
+    conv(10, 10, 2, 2);
+    conv(10, 10, 3, 3);
+    conv(10, 10, 4, 4);
+    conv(16, 16, 2, 2);
+    conv(16, 16, 3, 3);
+    conv(16, 16, 4, 4);
+    matmul(2, 2, 2);
+    matmul(2, 3, 3);
+    matmul(3, 3, 3);
+    matmul(4, 4, 4);
+    matmul(8, 8, 8);
+    matmul(10, 10, 10);
+    matmul(16, 16, 16);
+    out.push_back(BenchmarkInstance{"QProd", "4, 3, 4, 3", make_qprod()});
+    out.push_back(
+        BenchmarkInstance{"QRDecomp", "3x3", make_qrdecomp(3)});
+    out.push_back(
+        BenchmarkInstance{"QRDecomp", "4x4", make_qrdecomp(4)});
+    return out;
+}
+
+scalar::BufferMap
+make_inputs(const scalar::Kernel& kernel, std::uint64_t seed)
+{
+    Rng rng(seed);
+    scalar::BufferMap out;
+    const bool is_qr = kernel.name == "qrdecomp";
+    for (const scalar::ArrayDecl& decl :
+         kernel.arrays_with_role(scalar::ArrayRole::kInput)) {
+        const auto n = static_cast<std::size_t>(
+            scalar::array_length(kernel, decl));
+        std::vector<float> data(n);
+        for (float& v : data) {
+            v = rng.uniform_float(-1.0f, 1.0f);
+        }
+        if (is_qr && decl.name.str() == "A") {
+            // Diagonal dominance keeps Householder reflections (and the
+            // 1/vnorm2 divisions) well conditioned.
+            const auto dim = static_cast<std::size_t>(kernel.param("n"));
+            for (std::size_t d = 0; d < dim; ++d) {
+                data[d * dim + d] += static_cast<float>(dim) + 1.0f;
+            }
+        }
+        out.emplace(decl.name.str(), std::move(data));
+    }
+    return out;
+}
+
+}  // namespace diospyros::kernels

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The paper's benchmark kernels (Table 1), written once in the scalar
+ * input language and parameterized over the sizes the evaluation sweeps:
+ *
+ *  - 2DConv   — 2D convolution with implicit zero padding ("full"
+ *               correlation output, (iR+fR-1) x (iC+fC-1)); the §2
+ *               motivating example, boundary conditions and all.
+ *  - MatMul   — dense matrix multiply, A (n x m) * B (m x p).
+ *  - QProd    — Euclidean Lie group product (paper cites Sophus):
+ *               quaternion product + rotated-translation accumulate,
+ *               sizes (4, 3, 4, 3).
+ *  - QRDecomp — Householder QR of a square matrix, producing Q and R
+ *               (the Theia case-study hot spot, §5.7).
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "scalar/ast.h"
+#include "scalar/interp.h"
+
+namespace diospyros::kernels {
+
+/** 2D convolution: input (irows x icols), filter (frows x fcols). */
+scalar::Kernel make_conv2d(int irows, int icols, int frows, int fcols);
+
+/** Matrix multiply: A (n x m) * B (m x p) -> C (n x p). */
+scalar::Kernel make_matmul(int n, int m, int p);
+
+/** Euclidean Lie group (quaternion + translation) product. */
+scalar::Kernel make_qprod();
+
+/** Householder QR decomposition of an n x n matrix into Q and R. */
+scalar::Kernel make_qrdecomp(int n);
+
+/** One Table 1 row: a kernel plus its display labels. */
+struct BenchmarkInstance {
+    std::string suite;  ///< "2DConv", "MatMul", "QProd", "QRDecomp"
+    std::string size;   ///< e.g. "3x5, 3x3"
+    scalar::Kernel kernel;
+
+    std::string
+    label() const
+    {
+        return suite + " " + size;
+    }
+};
+
+/** All 21 kernels of Table 1 / Figure 5, in the paper's order. */
+std::vector<BenchmarkInstance> table1_instances();
+
+/**
+ * Deterministic pseudo-random inputs for a kernel. QRDecomp inputs are
+ * conditioned (diagonally dominated) so the decomposition is well-posed,
+ * mirroring how such kernels are exercised in practice.
+ */
+scalar::BufferMap make_inputs(const scalar::Kernel& kernel,
+                              std::uint64_t seed);
+
+}  // namespace diospyros::kernels

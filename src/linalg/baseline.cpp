@@ -1,0 +1,59 @@
+#include "linalg/baseline.h"
+
+#include "support/error.h"
+
+namespace diospyros::linalg {
+
+bool
+eigen_supports(const scalar::Kernel& kernel)
+{
+    return kernel.name == "matmul" || kernel.name == "qprod" ||
+           kernel.name == "qrdecomp" || kernel.name == "signfix" ||
+           kernel.name == "center" || kernel.name == "polar";
+}
+
+namespace {
+
+/**
+ * Eigen's expression-template kernels (products, component-wise math)
+ * specialize and unroll for fixed sizes; its *decomposition* modules
+ * (HouseholderQR, SVD) iterate with dynamic loops even on fixed-size
+ * matrices. The paper's profile reflects this: one 3x3 Eigen QR consumed
+ * 61% of a 64k-cycle function.
+ */
+bool
+is_iterative_decomposition(const scalar::Kernel& kernel)
+{
+    return kernel.name == "qrdecomp" || kernel.name == "polar";
+}
+
+}  // namespace
+
+scalar::LowerParams
+eigen_like_params()
+{
+    scalar::LowerParams params;
+    params.scalar_mac = false;  // portable code, no target intrinsics
+    // Portable expression-template code holds fewer values in registers
+    // than hand-scheduled kernels...
+    params.forward_capacity = 6;
+    params.cse_capacity = 4;
+    // ...and pays per-call abstraction overhead (dispatch, stack setup).
+    params.entry_overhead = 24;
+    return params;
+}
+
+scalar::BaselineRun
+run_eigen_like(const scalar::Kernel& kernel,
+               const scalar::BufferMap& inputs, const TargetSpec& target)
+{
+    DIOS_CHECK(eigen_supports(kernel),
+               "the Eigen substitute has no kernel for " + kernel.name);
+    const scalar::LowerParams params = eigen_like_params();
+    const scalar::LowerMode mode = is_iterative_decomposition(kernel)
+                                       ? scalar::LowerMode::kNaiveParametric
+                                       : scalar::LowerMode::kNaiveFixed;
+    return scalar::run_baseline(kernel, inputs, mode, target, &params);
+}
+
+}  // namespace diospyros::linalg

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * The "Eigen" cycle-count baseline (paper §5.2): a portable, *not*
+ * DSP-tuned C++ template library. Templates specialize sizes (so loops
+ * unroll and addresses fold like the fixed-size baseline), but portable
+ * expression-template code keeps more intermediate traffic and spends
+ * call/abstraction overhead — modelled here by the generic-library
+ * lowering configuration (small promotion/CSE windows + entry overhead).
+ *
+ * Availability mirrors Figure 5: Eigen bars exist for MatMul, QProd, and
+ * QRDecomp but not for 2D convolution (Eigen has no conv kernel).
+ */
+#pragma once
+
+#include "scalar/lower.h"
+
+namespace diospyros::linalg {
+
+/** True if the Eigen substitute covers this kernel. */
+bool eigen_supports(const scalar::Kernel& kernel);
+
+/** The lowering configuration modelling portable template code. */
+scalar::LowerParams eigen_like_params();
+
+/**
+ * Lower + simulate the kernel the way the Eigen substitute would run it.
+ * Raises UserError if !eigen_supports(kernel).
+ */
+scalar::BaselineRun run_eigen_like(const scalar::Kernel& kernel,
+                                   const scalar::BufferMap& inputs,
+                                   const TargetSpec& target);
+
+}  // namespace diospyros::linalg

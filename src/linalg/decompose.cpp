@@ -1,0 +1,104 @@
+#include "linalg/decompose.h"
+
+namespace diospyros::linalg {
+
+namespace {
+
+float
+det3(const Mat3& m)
+{
+    return m(0, 0) * (m(1, 1) * m(2, 2) - m(1, 2) * m(2, 1)) -
+           m(0, 1) * (m(1, 0) * m(2, 2) - m(1, 2) * m(2, 0)) +
+           m(0, 2) * (m(1, 0) * m(2, 1) - m(1, 1) * m(2, 0));
+}
+
+/** Back substitution: solves K y = b for upper-triangular K. */
+Vec3
+solve_upper(const Mat3& k, const Vec3& b)
+{
+    Vec3 y;
+    y(2, 0) = b(2, 0) / k(2, 2);
+    y(1, 0) = (b(1, 0) - k(1, 2) * y(2, 0)) / k(1, 1);
+    y(0, 0) = (b(0, 0) - k(0, 1) * y(1, 0) - k(0, 2) * y(2, 0)) / k(0, 0);
+    return y;
+}
+
+}  // namespace
+
+RqResult<3>
+rq_decompose(const Mat3& a)
+{
+    // RQ via QR of the row-reversed transpose:
+    //   A = R*Q  with  R = flip2(R1^T),  Q = flipud(Q1^T)
+    // where (Q1, R1) = QR(flipud(A)^T) and flip2 flips rows and columns.
+    const Mat3 a_flip_t = a.flipped_rows().transposed();
+    const QrResult<3> qr = householder_qr(a_flip_t);
+    RqResult<3> out;
+    out.r = qr.r.transposed().flipped_rows().flipped_cols();
+    out.q = qr.q.transposed().flipped_rows();
+    return out;
+}
+
+ProjectionDecomposition
+decompose_projection(const Mat34& p)
+{
+    // Projection matrices are defined up to scale: flip the overall sign
+    // so the rotation part ends up with determinant +1.
+    Mat3 m;
+    Vec3 p4;
+    for (int r = 0; r < 3; ++r) {
+        for (int c = 0; c < 3; ++c) {
+            m(r, c) = p(r, c);
+        }
+        p4(r, 0) = p(r, 3);
+    }
+    if (det3(m) < 0.0f) {
+        m = m * -1.0f;
+        p4 = p4 * -1.0f;
+    }
+
+    const RqResult<3> rq = rq_decompose(m);
+
+    // Force a positive calibration diagonal: K := K*D, R := D*Q with
+    // D = diag(sgn(K_ii)) (D*D = I keeps the product unchanged).
+    float d[3];
+    for (int i = 0; i < 3; ++i) {
+        d[i] = rq.r(i, i) < 0.0f ? -1.0f : 1.0f;
+    }
+    ProjectionDecomposition out;
+    for (int r = 0; r < 3; ++r) {
+        for (int c = 0; c < 3; ++c) {
+            out.calibration(r, c) = rq.r(r, c) * d[c];
+            out.rotation(r, c) = rq.q(r, c) * d[r];
+        }
+    }
+
+    // Camera center: c = -R^T K^{-1} p4.
+    const Vec3 y = solve_upper(out.calibration, p4 * -1.0f);
+    out.center = out.rotation.transposed() * y;
+
+    // Canonical scale: K(2,2) = 1.
+    const float scale = out.calibration(2, 2);
+    if (scale != 0.0f) {
+        out.calibration = out.calibration * (1.0f / scale);
+    }
+    return out;
+}
+
+Mat34
+compose_projection(const Mat3& calibration, const Mat3& rotation,
+                   const Vec3& center)
+{
+    const Mat3 m = calibration * rotation;
+    const Vec3 p4 = (m * center) * -1.0f;
+    Mat34 p;
+    for (int r = 0; r < 3; ++r) {
+        for (int c = 0; c < 3; ++c) {
+            p(r, c) = m(r, c);
+        }
+        p(r, 3) = p4(r, 0);
+    }
+    return p;
+}
+
+}  // namespace diospyros::linalg

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Host-side decompositions: Householder QR, RQ via QR, and the Theia-style
+ * projection-matrix decomposition that the §5.7 case study exercises.
+ * These are the golden references the simulated application (src/sfm/) is
+ * validated against.
+ */
+#pragma once
+
+#include "linalg/matrix.h"
+
+namespace diospyros::linalg {
+
+/** QR factorization: a == q * r with q orthogonal, r upper triangular. */
+template <int N>
+struct QrResult {
+    Mat<N, N> q;
+    Mat<N, N> r;
+};
+
+/** Householder QR of a square matrix (same algorithm as the DSP kernel). */
+template <int N>
+QrResult<N> householder_qr(const Mat<N, N>& a);
+
+/** RQ factorization: a == r * q with r upper triangular, q orthogonal. */
+template <int N>
+struct RqResult {
+    Mat<N, N> r;
+    Mat<N, N> q;
+};
+
+/** RQ via QR of the row-reversed transpose. */
+RqResult<3> rq_decompose(const Mat3& a);
+
+/**
+ * Decomposition of a 3x4 camera projection matrix P = K [R | -R c]:
+ * calibration K (upper triangular, positive diagonal), world-to-camera
+ * rotation R, and camera center c.
+ */
+struct ProjectionDecomposition {
+    Mat3 calibration;
+    Mat3 rotation;
+    Vec3 center;
+};
+
+ProjectionDecomposition decompose_projection(const Mat34& p);
+
+/** Composes a projection matrix from its parts (for round-trip tests). */
+Mat34 compose_projection(const Mat3& calibration, const Mat3& rotation,
+                         const Vec3& center);
+
+// --- Template definitions ----------------------------------------------------
+
+template <int N>
+QrResult<N>
+householder_qr(const Mat<N, N>& a)
+{
+    QrResult<N> out;
+    out.r = a;
+    out.q = Mat<N, N>::identity();
+    for (int k = 0; k < N; ++k) {
+        float norm2 = 0.0f;
+        for (int i = k; i < N; ++i) {
+            norm2 += out.r(i, k) * out.r(i, k);
+        }
+        const float pivot = out.r(k, k);
+        const float sign =
+            static_cast<float>((pivot > 0.0f) - (pivot < 0.0f));
+        const float alpha = -sign * std::sqrt(norm2);
+        std::array<float, N> v{};
+        for (int i = k; i < N; ++i) {
+            v[static_cast<std::size_t>(i)] = out.r(i, k);
+        }
+        v[static_cast<std::size_t>(k)] = pivot - alpha;
+        float vnorm2 = 0.0f;
+        for (int i = k; i < N; ++i) {
+            vnorm2 +=
+                v[static_cast<std::size_t>(i)] * v[static_cast<std::size_t>(i)];
+        }
+        for (int j = k; j < N; ++j) {
+            float dot = 0.0f;
+            for (int i = k; i < N; ++i) {
+                dot += v[static_cast<std::size_t>(i)] * out.r(i, j);
+            }
+            const float t = 2.0f * dot / vnorm2;
+            for (int i = k; i < N; ++i) {
+                out.r(i, j) -= v[static_cast<std::size_t>(i)] * t;
+            }
+        }
+        for (int i = 0; i < N; ++i) {
+            float dot = 0.0f;
+            for (int j = k; j < N; ++j) {
+                dot += out.q(i, j) * v[static_cast<std::size_t>(j)];
+            }
+            const float t = 2.0f * dot / vnorm2;
+            for (int j = k; j < N; ++j) {
+                out.q(i, j) -= v[static_cast<std::size_t>(j)] * t;
+            }
+        }
+    }
+    return out;
+}
+
+}  // namespace diospyros::linalg

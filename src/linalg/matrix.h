@@ -1,0 +1,223 @@
+/**
+ * @file
+ * A small fixed-size matrix library — the project's Eigen substitute for
+ * *host-side* computation (ground truth for the SFM case study and
+ * convenience in examples). Single precision, like the DSP (paper §5.7
+ * ports the case study to float).
+ *
+ * For *simulated* Eigen-style cycle counts, see linalg/baseline.h: the
+ * library's computational kernels run on the DSP simulator through the
+ * generic-library lowering.
+ */
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+
+#include "support/error.h"
+
+namespace diospyros::linalg {
+
+/** Dense row-major matrix with compile-time shape. */
+template <int R, int C>
+class Mat {
+  public:
+    static_assert(R > 0 && C > 0, "matrix dimensions must be positive");
+
+    Mat() { data_.fill(0.0f); }
+
+    /** Element access (row, col). */
+    float&
+    operator()(int r, int c)
+    {
+        DIOS_ASSERT(r >= 0 && r < R && c >= 0 && c < C,
+                    "matrix index out of range");
+        return data_[static_cast<std::size_t>(r * C + c)];
+    }
+
+    float
+    operator()(int r, int c) const
+    {
+        DIOS_ASSERT(r >= 0 && r < R && c >= 0 && c < C,
+                    "matrix index out of range");
+        return data_[static_cast<std::size_t>(r * C + c)];
+    }
+
+    /** Flattened row-major storage (matches kernel Get indexing). */
+    const std::array<float, R * C>& data() const { return data_; }
+    std::array<float, R * C>& data() { return data_; }
+
+    static Mat
+    identity()
+    {
+        static_assert(R == C, "identity requires a square matrix");
+        Mat m;
+        for (int i = 0; i < R; ++i) {
+            m(i, i) = 1.0f;
+        }
+        return m;
+    }
+
+    Mat<C, R>
+    transposed() const
+    {
+        Mat<C, R> t;
+        for (int r = 0; r < R; ++r) {
+            for (int c = 0; c < C; ++c) {
+                t(c, r) = (*this)(r, c);
+            }
+        }
+        return t;
+    }
+
+    /** Rows in reverse order (flipud). */
+    Mat
+    flipped_rows() const
+    {
+        Mat m;
+        for (int r = 0; r < R; ++r) {
+            for (int c = 0; c < C; ++c) {
+                m(r, c) = (*this)(R - 1 - r, c);
+            }
+        }
+        return m;
+    }
+
+    /** Columns in reverse order (fliplr). */
+    Mat
+    flipped_cols() const
+    {
+        Mat m;
+        for (int r = 0; r < R; ++r) {
+            for (int c = 0; c < C; ++c) {
+                m(r, c) = (*this)(r, C - 1 - c);
+            }
+        }
+        return m;
+    }
+
+    Mat
+    operator+(const Mat& o) const
+    {
+        Mat m;
+        for (std::size_t i = 0; i < data_.size(); ++i) {
+            m.data_[i] = data_[i] + o.data_[i];
+        }
+        return m;
+    }
+
+    Mat
+    operator-(const Mat& o) const
+    {
+        Mat m;
+        for (std::size_t i = 0; i < data_.size(); ++i) {
+            m.data_[i] = data_[i] - o.data_[i];
+        }
+        return m;
+    }
+
+    Mat
+    operator*(float k) const
+    {
+        Mat m;
+        for (std::size_t i = 0; i < data_.size(); ++i) {
+            m.data_[i] = data_[i] * k;
+        }
+        return m;
+    }
+
+    template <int C2>
+    Mat<R, C2>
+    operator*(const Mat<C, C2>& o) const
+    {
+        Mat<R, C2> m;
+        for (int r = 0; r < R; ++r) {
+            for (int c = 0; c < C2; ++c) {
+                float acc = 0.0f;
+                for (int k = 0; k < C; ++k) {
+                    acc += (*this)(r, k) * o(k, c);
+                }
+                m(r, c) = acc;
+            }
+        }
+        return m;
+    }
+
+    /** Frobenius norm. */
+    float
+    norm() const
+    {
+        float acc = 0.0f;
+        for (const float v : data_) {
+            acc += v * v;
+        }
+        return std::sqrt(acc);
+    }
+
+    /** Max absolute element difference. */
+    float
+    max_abs_diff(const Mat& o) const
+    {
+        float worst = 0.0f;
+        for (std::size_t i = 0; i < data_.size(); ++i) {
+            worst = std::max(worst, std::abs(data_[i] - o.data_[i]));
+        }
+        return worst;
+    }
+
+  private:
+    std::array<float, R * C> data_;
+};
+
+using Mat3 = Mat<3, 3>;
+using Mat4 = Mat<4, 4>;
+using Mat34 = Mat<3, 4>;
+using Vec3 = Mat<3, 1>;
+
+/** 3-vector cross product. */
+inline Vec3
+cross(const Vec3& a, const Vec3& b)
+{
+    Vec3 c;
+    c(0, 0) = a(1, 0) * b(2, 0) - a(2, 0) * b(1, 0);
+    c(1, 0) = a(2, 0) * b(0, 0) - a(0, 0) * b(2, 0);
+    c(2, 0) = a(0, 0) * b(1, 0) - a(1, 0) * b(0, 0);
+    return c;
+}
+
+/** Hamilton quaternion (w, x, y, z), used by the QProd example/app. */
+struct Quaternion {
+    float w = 1.0f, x = 0.0f, y = 0.0f, z = 0.0f;
+
+    Quaternion
+    operator*(const Quaternion& o) const
+    {
+        return Quaternion{
+            w * o.w - x * o.x - y * o.y - z * o.z,
+            w * o.x + x * o.w + y * o.z - z * o.y,
+            w * o.y - x * o.z + y * o.w + z * o.x,
+            w * o.z + x * o.y - y * o.x + z * o.w,
+        };
+    }
+
+    /** Rotates a 3-vector by this (unit) quaternion. */
+    Vec3
+    rotate(const Vec3& v) const
+    {
+        Vec3 q;
+        q(0, 0) = x;
+        q(1, 0) = y;
+        q(2, 0) = z;
+        const Vec3 u = cross(q, v) * 2.0f;
+        return v + u * w + cross(q, u);
+    }
+
+    float
+    norm() const
+    {
+        return std::sqrt(w * w + x * x + y * y + z * z);
+    }
+};
+
+}  // namespace diospyros::linalg

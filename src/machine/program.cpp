@@ -1,0 +1,596 @@
+#include "machine/program.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/error.h"
+
+namespace diospyros {
+
+namespace {
+
+bool
+is_fbinop(Opcode op)
+{
+    switch (op) {
+      case Opcode::kFAdd:
+      case Opcode::kFSub:
+      case Opcode::kFMul:
+      case Opcode::kFDiv:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+is_funop(Opcode op)
+{
+    switch (op) {
+      case Opcode::kFNeg:
+      case Opcode::kFSqrt:
+      case Opcode::kFSgn:
+      case Opcode::kFRecip:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+is_vbinop(Opcode op)
+{
+    switch (op) {
+      case Opcode::kVAdd:
+      case Opcode::kVSub:
+      case Opcode::kVMul:
+      case Opcode::kVDiv:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+is_vunop(Opcode op)
+{
+    switch (op) {
+      case Opcode::kVNeg:
+      case Opcode::kVSqrt:
+      case Opcode::kVSgn:
+      case Opcode::kVRecip:
+        return true;
+      default:
+        return false;
+    }
+}
+
+}  // namespace
+
+InstrPorts
+instr_ports(const Instr& i)
+{
+    InstrPorts p;
+    switch (i.op) {
+      case Opcode::kMovI:
+        p.dst_file = 1;
+        p.dst = i.dst;
+        break;
+      case Opcode::kAddI:
+      case Opcode::kIMulI:
+        p.i_src[0] = i.a;
+        p.dst_file = 1;
+        p.dst = i.dst;
+        break;
+      case Opcode::kIAdd:
+      case Opcode::kIMul:
+        p.i_src[0] = i.a;
+        p.i_src[1] = i.b;
+        p.dst_file = 1;
+        p.dst = i.dst;
+        break;
+      case Opcode::kFLoad:
+        p.i_src[0] = i.a;
+        p.dst_file = 2;
+        p.dst = i.dst;
+        break;
+      case Opcode::kFStore:
+        p.i_src[0] = i.a;
+        p.f_src[0] = i.b;
+        break;
+      case Opcode::kFMovI:
+        p.dst_file = 2;
+        p.dst = i.dst;
+        break;
+      case Opcode::kFMov:
+      case Opcode::kFNeg:
+      case Opcode::kFSqrt:
+      case Opcode::kFSgn:
+      case Opcode::kFRecip:
+        p.f_src[0] = i.a;
+        p.dst_file = 2;
+        p.dst = i.dst;
+        break;
+      case Opcode::kFAdd:
+      case Opcode::kFSub:
+      case Opcode::kFMul:
+      case Opcode::kFDiv:
+        p.f_src[0] = i.a;
+        p.f_src[1] = i.b;
+        p.dst_file = 2;
+        p.dst = i.dst;
+        break;
+      case Opcode::kFMac:
+        p.f_src[0] = i.a;
+        p.f_src[1] = i.b;
+        p.dst_file = 2;
+        p.dst = i.dst;
+        p.dst_is_acc = true;
+        break;
+      case Opcode::kVLoad:
+        p.i_src[0] = i.a;
+        p.dst_file = 3;
+        p.dst = i.dst;
+        break;
+      case Opcode::kVStore:
+        p.i_src[0] = i.a;
+        p.v_src[0] = i.b;
+        break;
+      case Opcode::kVSplat:
+        p.dst_file = 3;
+        p.dst = i.dst;
+        break;
+      case Opcode::kVSplatR:
+        p.f_src[0] = i.a;
+        p.dst_file = 3;
+        p.dst = i.dst;
+        break;
+      case Opcode::kVAdd:
+      case Opcode::kVSub:
+      case Opcode::kVMul:
+      case Opcode::kVDiv:
+      case Opcode::kSel:
+        p.v_src[0] = i.a;
+        p.v_src[1] = i.b;
+        p.dst_file = 3;
+        p.dst = i.dst;
+        break;
+      case Opcode::kVMac:
+        p.v_src[0] = i.a;
+        p.v_src[1] = i.b;
+        p.dst_file = 3;
+        p.dst = i.dst;
+        p.dst_is_acc = true;
+        break;
+      case Opcode::kVNeg:
+      case Opcode::kVSqrt:
+      case Opcode::kVSgn:
+      case Opcode::kVRecip:
+      case Opcode::kShuf:
+        p.v_src[0] = i.a;
+        p.dst_file = 3;
+        p.dst = i.dst;
+        break;
+      case Opcode::kVInsert:
+        p.f_src[0] = i.a;
+        p.dst_file = 3;
+        p.dst = i.dst;
+        p.dst_is_acc = true;
+        break;
+      case Opcode::kVExtract:
+        p.v_src[0] = i.a;
+        p.dst_file = 2;
+        p.dst = i.dst;
+        break;
+      case Opcode::kBranchLt:
+      case Opcode::kBranchGe:
+        p.i_src[0] = i.a;
+        p.i_src[1] = i.b;
+        break;
+      case Opcode::kJump:
+      case Opcode::kHalt:
+        break;
+    }
+    return p;
+}
+
+
+ProgramBuilder::Label
+ProgramBuilder::new_label()
+{
+    const int id = static_cast<int>(label_offsets_.size());
+    label_offsets_.push_back(-1);
+    return Label{id};
+}
+
+void
+ProgramBuilder::bind(Label label)
+{
+    DIOS_ASSERT(label.id >= 0 &&
+                    label.id < static_cast<int>(label_offsets_.size()),
+                "bind() on unknown label");
+    DIOS_ASSERT(label_offsets_[label.id] == -1, "label bound twice");
+    label_offsets_[label.id] = static_cast<int>(code_.size());
+}
+
+void
+ProgramBuilder::jump(Label target)
+{
+    fixups_.emplace_back(code_.size(), target.id);
+    emit(Instr{.op = Opcode::kJump});
+}
+
+void
+ProgramBuilder::branch_lt(int a, int b, Label target)
+{
+    fixups_.emplace_back(code_.size(), target.id);
+    emit(Instr{.op = Opcode::kBranchLt, .a = a, .b = b});
+}
+
+void
+ProgramBuilder::branch_ge(int a, int b, Label target)
+{
+    fixups_.emplace_back(code_.size(), target.id);
+    emit(Instr{.op = Opcode::kBranchGe, .a = a, .b = b});
+}
+
+void
+ProgramBuilder::halt()
+{
+    emit(Instr{.op = Opcode::kHalt});
+}
+
+void
+ProgramBuilder::mov_i(int dst, int imm)
+{
+    emit(Instr{.op = Opcode::kMovI, .dst = dst, .imm = imm});
+}
+
+void
+ProgramBuilder::add_i(int dst, int a, int imm)
+{
+    emit(Instr{.op = Opcode::kAddI, .dst = dst, .a = a, .imm = imm});
+}
+
+void
+ProgramBuilder::iadd(int dst, int a, int b)
+{
+    emit(Instr{.op = Opcode::kIAdd, .dst = dst, .a = a, .b = b});
+}
+
+void
+ProgramBuilder::imul(int dst, int a, int b)
+{
+    emit(Instr{.op = Opcode::kIMul, .dst = dst, .a = a, .b = b});
+}
+
+void
+ProgramBuilder::imul_i(int dst, int a, int imm)
+{
+    emit(Instr{.op = Opcode::kIMulI, .dst = dst, .a = a, .imm = imm});
+}
+
+void
+ProgramBuilder::fload(int dst, int base, int offset)
+{
+    emit(Instr{.op = Opcode::kFLoad, .dst = dst, .a = base, .imm = offset});
+}
+
+void
+ProgramBuilder::fstore(int base, int offset, int src)
+{
+    emit(Instr{.op = Opcode::kFStore, .a = base, .b = src, .imm = offset});
+}
+
+void
+ProgramBuilder::fmov_i(int dst, float value)
+{
+    emit(Instr{.op = Opcode::kFMovI, .dst = dst, .fimm = value});
+}
+
+void
+ProgramBuilder::fmov(int dst, int src)
+{
+    emit(Instr{.op = Opcode::kFMov, .dst = dst, .a = src});
+}
+
+void
+ProgramBuilder::fbinop(Opcode op, int dst, int a, int b)
+{
+    DIOS_ASSERT(is_fbinop(op), "fbinop() with non-binary float opcode");
+    emit(Instr{.op = op, .dst = dst, .a = a, .b = b});
+}
+
+void
+ProgramBuilder::funop(Opcode op, int dst, int a)
+{
+    DIOS_ASSERT(is_funop(op), "funop() with non-unary float opcode");
+    emit(Instr{.op = op, .dst = dst, .a = a});
+}
+
+void
+ProgramBuilder::fmac(int acc, int a, int b)
+{
+    emit(Instr{.op = Opcode::kFMac, .dst = acc, .a = a, .b = b});
+}
+
+void
+ProgramBuilder::vload(int dst, int base, int offset)
+{
+    emit(Instr{.op = Opcode::kVLoad, .dst = dst, .a = base, .imm = offset});
+}
+
+void
+ProgramBuilder::vstore(int base, int offset, int src)
+{
+    emit(Instr{.op = Opcode::kVStore, .a = base, .b = src, .imm = offset});
+}
+
+void
+ProgramBuilder::vsplat(int dst, float value)
+{
+    emit(Instr{.op = Opcode::kVSplat, .dst = dst, .fimm = value});
+}
+
+void
+ProgramBuilder::vsplat_r(int dst, int src)
+{
+    emit(Instr{.op = Opcode::kVSplatR, .dst = dst, .a = src});
+}
+
+void
+ProgramBuilder::vbinop(Opcode op, int dst, int a, int b)
+{
+    DIOS_ASSERT(is_vbinop(op), "vbinop() with non-binary vector opcode");
+    emit(Instr{.op = op, .dst = dst, .a = a, .b = b});
+}
+
+void
+ProgramBuilder::vunop(Opcode op, int dst, int a)
+{
+    DIOS_ASSERT(is_vunop(op), "vunop() with non-unary vector opcode");
+    emit(Instr{.op = op, .dst = dst, .a = a});
+}
+
+void
+ProgramBuilder::vmac(int acc, int a, int b)
+{
+    emit(Instr{.op = Opcode::kVMac, .dst = acc, .a = a, .b = b});
+}
+
+void
+ProgramBuilder::shuf(int dst, int a, const std::vector<int>& lanes)
+{
+    DIOS_CHECK(lanes.size() <= kMaxVectorWidth, "too many shuffle lanes");
+    Instr instr{.op = Opcode::kShuf, .dst = dst, .a = a};
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+        instr.lanes[i] = static_cast<std::int16_t>(lanes[i]);
+    }
+    emit(instr);
+}
+
+void
+ProgramBuilder::sel(int dst, int a, int b, const std::vector<int>& lanes)
+{
+    DIOS_CHECK(lanes.size() <= kMaxVectorWidth, "too many select lanes");
+    Instr instr{.op = Opcode::kSel, .dst = dst, .a = a, .b = b};
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+        instr.lanes[i] = static_cast<std::int16_t>(lanes[i]);
+    }
+    emit(instr);
+}
+
+void
+ProgramBuilder::vinsert(int dst, int lane, int fsrc)
+{
+    emit(Instr{.op = Opcode::kVInsert, .dst = dst, .a = fsrc, .imm = lane});
+}
+
+void
+ProgramBuilder::vextract(int dst, int vsrc, int lane)
+{
+    emit(
+        Instr{.op = Opcode::kVExtract, .dst = dst, .a = vsrc, .imm = lane});
+}
+
+void
+ProgramBuilder::emit(Instr instr)
+{
+    code_.push_back(instr);
+}
+
+Program
+ProgramBuilder::finish()
+{
+    for (const auto& [index, label] : fixups_) {
+        DIOS_ASSERT(label_offsets_[label] >= 0,
+                    "branch to an unbound label");
+        code_[index].imm = label_offsets_[label];
+    }
+    Program p;
+    p.code = std::move(code_);
+    p.num_int_regs = next_int_;
+    p.num_float_regs = next_float_;
+    p.num_vec_regs = next_vec_;
+    // Track register indices used directly (callers may use fixed regs).
+    for (const Instr& i : p.code) {
+        switch (i.op) {
+          case Opcode::kMovI:
+          case Opcode::kAddI:
+          case Opcode::kIAdd:
+          case Opcode::kIMul:
+          case Opcode::kIMulI:
+            p.num_int_regs = std::max(p.num_int_regs, i.dst + 1);
+            break;
+          case Opcode::kFLoad:
+          case Opcode::kFMovI:
+          case Opcode::kFMov:
+          case Opcode::kFAdd:
+          case Opcode::kFSub:
+          case Opcode::kFMul:
+          case Opcode::kFDiv:
+          case Opcode::kFNeg:
+          case Opcode::kFSqrt:
+          case Opcode::kFSgn:
+          case Opcode::kFRecip:
+          case Opcode::kFMac:
+          case Opcode::kVExtract:
+            p.num_float_regs = std::max(p.num_float_regs, i.dst + 1);
+            break;
+          case Opcode::kVLoad:
+          case Opcode::kVSplat:
+          case Opcode::kVSplatR:
+          case Opcode::kVAdd:
+          case Opcode::kVSub:
+          case Opcode::kVMul:
+          case Opcode::kVDiv:
+          case Opcode::kVNeg:
+          case Opcode::kVSqrt:
+          case Opcode::kVSgn:
+          case Opcode::kVRecip:
+          case Opcode::kVMac:
+          case Opcode::kShuf:
+          case Opcode::kSel:
+          case Opcode::kVInsert:
+            p.num_vec_regs = std::max(p.num_vec_regs, i.dst + 1);
+            break;
+          default:
+            break;
+        }
+        p.num_int_regs = std::max(
+            {p.num_int_regs,
+             (i.op == Opcode::kBranchLt || i.op == Opcode::kBranchGe)
+                 ? std::max(i.a, i.b) + 1
+                 : 0,
+             (i.op == Opcode::kFLoad || i.op == Opcode::kFStore ||
+              i.op == Opcode::kVLoad || i.op == Opcode::kVStore)
+                 ? i.a + 1
+                 : 0});
+    }
+    return p;
+}
+
+std::string
+disassemble(const Instr& i, int vector_width)
+{
+    std::ostringstream os;
+    os << opcode_name(i.op);
+    auto lanes = [&] {
+        os << " [";
+        for (int l = 0; l < vector_width; ++l) {
+            os << (l ? " " : "") << i.lanes[static_cast<std::size_t>(l)];
+        }
+        os << ']';
+    };
+    auto addr = [&] {
+        if (i.a >= 0) {
+            os << " (r" << i.a << "+" << i.imm << ")";
+        } else {
+            os << " [" << i.imm << "]";
+        }
+    };
+    switch (i.op) {
+      case Opcode::kMovI:
+        os << " r" << i.dst << ", " << i.imm;
+        break;
+      case Opcode::kAddI:
+      case Opcode::kIMulI:
+        os << " r" << i.dst << ", r" << i.a << ", " << i.imm;
+        break;
+      case Opcode::kIAdd:
+      case Opcode::kIMul:
+        os << " r" << i.dst << ", r" << i.a << ", r" << i.b;
+        break;
+      case Opcode::kFLoad:
+        os << " f" << i.dst << ",";
+        addr();
+        break;
+      case Opcode::kFStore:
+        os << " f" << i.b << " ->";
+        addr();
+        break;
+      case Opcode::kFMovI:
+        os << " f" << i.dst << ", " << i.fimm;
+        break;
+      case Opcode::kFMov:
+        os << " f" << i.dst << ", f" << i.a;
+        break;
+      case Opcode::kFAdd:
+      case Opcode::kFSub:
+      case Opcode::kFMul:
+      case Opcode::kFDiv:
+      case Opcode::kFMac:
+        os << " f" << i.dst << ", f" << i.a << ", f" << i.b;
+        break;
+      case Opcode::kFNeg:
+      case Opcode::kFSqrt:
+      case Opcode::kFSgn:
+      case Opcode::kFRecip:
+        os << " f" << i.dst << ", f" << i.a;
+        break;
+      case Opcode::kVLoad:
+        os << " v" << i.dst << ",";
+        addr();
+        break;
+      case Opcode::kVStore:
+        os << " v" << i.b << " ->";
+        addr();
+        break;
+      case Opcode::kVSplat:
+        os << " v" << i.dst << ", " << i.fimm;
+        break;
+      case Opcode::kVSplatR:
+        os << " v" << i.dst << ", f" << i.a;
+        break;
+      case Opcode::kVAdd:
+      case Opcode::kVSub:
+      case Opcode::kVMul:
+      case Opcode::kVDiv:
+      case Opcode::kVMac:
+        os << " v" << i.dst << ", v" << i.a << ", v" << i.b;
+        break;
+      case Opcode::kVNeg:
+      case Opcode::kVSqrt:
+      case Opcode::kVSgn:
+      case Opcode::kVRecip:
+        os << " v" << i.dst << ", v" << i.a;
+        break;
+      case Opcode::kShuf:
+        os << " v" << i.dst << ", v" << i.a << ",";
+        lanes();
+        break;
+      case Opcode::kSel:
+        os << " v" << i.dst << ", v" << i.a << ", v" << i.b << ",";
+        lanes();
+        break;
+      case Opcode::kVInsert:
+        os << " v" << i.dst << "[" << i.imm << "], f" << i.a;
+        break;
+      case Opcode::kVExtract:
+        os << " f" << i.dst << ", v" << i.a << "[" << i.imm << "]";
+        break;
+      case Opcode::kJump:
+        os << " -> " << i.imm;
+        break;
+      case Opcode::kBranchLt:
+      case Opcode::kBranchGe:
+        os << " r" << i.a << ", r" << i.b << " -> " << i.imm;
+        break;
+      case Opcode::kHalt:
+        break;
+    }
+    return os.str();
+}
+
+std::string
+disassemble(const Program& program, int vector_width)
+{
+    std::ostringstream os;
+    for (std::size_t idx = 0; idx < program.code.size(); ++idx) {
+        os << idx << ":\t" << disassemble(program.code[idx], vector_width)
+           << '\n';
+    }
+    return os.str();
+}
+
+}  // namespace diospyros

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * List scheduling for straight-line machine programs.
+ *
+ * The simulated core is in-order, so instruction order determines how
+ * many cycles dependent chains stall. Vendor toolchains (the paper's
+ * xt-xcc at -O3) schedule aggressively; this pass gives both the
+ * Diospyros backend and the fixed-size baselines the same ability:
+ * a classic critical-path list scheduler over the exact dependence graph
+ * (register RAW/WAR/WAW plus precise memory dependences — straight-line
+ * kernels use absolute addresses, so aliasing is exact).
+ *
+ * Programs with control flow or register-relative memory operands are
+ * returned unchanged (the pass only targets fully unrolled kernels).
+ */
+#pragma once
+
+#include "machine/program.h"
+#include "machine/target.h"
+
+namespace diospyros {
+
+/** Statistics from one scheduling run. */
+struct ScheduleStats {
+    bool applied = false;   ///< false if the program was not straight-line
+    std::size_t moved = 0;  ///< instructions placed at a new position
+};
+
+/**
+ * Reorders `program` to minimize operand stalls under `spec`'s latency
+ * model, preserving all dependences. Returns the (possibly identical)
+ * program; `stats`, if given, reports whether scheduling applied.
+ */
+Program schedule_program(const Program& program, const TargetSpec& spec,
+                         ScheduleStats* stats = nullptr);
+
+}  // namespace diospyros

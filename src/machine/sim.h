@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The cycle-level DSP simulator (the project's xt-run substitute).
+ *
+ * Models an in-order, single-issue core: every instruction retires in
+ * program order and charges the TargetSpec's per-opcode cycle cost, plus a
+ * taken-branch penalty. Memory is ideal unit-delay, matching how the paper
+ * configured xt-run (§5.2). Execution is fully deterministic.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "machine/program.h"
+#include "machine/target.h"
+
+namespace diospyros {
+
+/**
+ * Flat float memory with named array segments, standing in for the DSP's
+ * local data RAM. Kernel arguments are materialized as segments; Get
+ * indices and machine addresses are offsets into this space.
+ */
+class Memory {
+  public:
+    explicit Memory(std::size_t words = 0) : data_(words, 0.0f) {}
+
+    /** Appends a named segment; returns its base address. */
+    int alloc(const std::string& name, std::size_t words);
+
+    /** Appends a named segment initialized from `values`. */
+    int alloc(const std::string& name, const std::vector<float>& values);
+
+    /** Base address of a named segment. */
+    int base(const std::string& name) const;
+
+    /** Copies a segment out. */
+    std::vector<float> read(const std::string& name) const;
+
+    /** Overwrites a segment (size must match). */
+    void write(const std::string& name, const std::vector<float>& values);
+
+    float& at(std::size_t addr);
+    float at(std::size_t addr) const;
+    std::size_t size() const { return data_.size(); }
+
+  private:
+    struct Segment {
+        int base = 0;
+        std::size_t words = 0;
+    };
+
+    std::vector<float> data_;
+    std::unordered_map<std::string, Segment> segments_;
+};
+
+/** Outcome of one simulated run. */
+struct RunResult {
+    /**
+     * Total cycles (the evaluation's figure of merit): in-order
+     * single-issue timing with a register scoreboard — an instruction
+     * issues one cycle after its predecessor at the earliest, and stalls
+     * until every source register's result latency has elapsed. Taken
+     * branches add the target's refill penalty.
+     */
+    std::uint64_t cycles = 0;
+    /** Cycles lost to operand-not-ready stalls (diagnostic). */
+    std::uint64_t stall_cycles = 0;
+    /** Dynamic instruction count. */
+    std::uint64_t instructions = 0;
+    /** Dynamic count per opcode (for op-mix comparisons, §5.4). */
+    std::array<std::uint64_t, kNumOpcodes> op_counts{};
+
+    std::uint64_t
+    count(Opcode op) const
+    {
+        return op_counts[static_cast<int>(op)];
+    }
+};
+
+/** Executes machine programs against a TargetSpec cycle model. */
+class Simulator {
+  public:
+    explicit Simulator(TargetSpec spec) : spec_(std::move(spec)) {}
+
+    const TargetSpec& spec() const { return spec_; }
+
+    /**
+     * Runs `program` to kHalt (or the end of the code). Raises UserError
+     * if execution exceeds `max_instructions` (runaway loop), touches
+     * memory out of bounds, or uses malformed lane indices.
+     */
+    RunResult run(const Program& program, Memory& memory,
+                  std::uint64_t max_instructions = 100'000'000) const;
+
+  private:
+    TargetSpec spec_;
+};
+
+}  // namespace diospyros

@@ -1,0 +1,225 @@
+#include "machine/target.h"
+
+namespace diospyros {
+
+const char*
+opcode_name(Opcode op)
+{
+    switch (op) {
+      case Opcode::kMovI:
+        return "movi";
+      case Opcode::kAddI:
+        return "addi";
+      case Opcode::kIAdd:
+        return "iadd";
+      case Opcode::kIMul:
+        return "imul";
+      case Opcode::kIMulI:
+        return "imuli";
+      case Opcode::kFLoad:
+        return "fload";
+      case Opcode::kFStore:
+        return "fstore";
+      case Opcode::kFMovI:
+        return "fmovi";
+      case Opcode::kFMov:
+        return "fmov";
+      case Opcode::kFAdd:
+        return "fadd";
+      case Opcode::kFSub:
+        return "fsub";
+      case Opcode::kFMul:
+        return "fmul";
+      case Opcode::kFDiv:
+        return "fdiv";
+      case Opcode::kFNeg:
+        return "fneg";
+      case Opcode::kFSqrt:
+        return "fsqrt";
+      case Opcode::kFSgn:
+        return "fsgn";
+      case Opcode::kFRecip:
+        return "frecip";
+      case Opcode::kFMac:
+        return "fmac";
+      case Opcode::kVLoad:
+        return "vload";
+      case Opcode::kVStore:
+        return "vstore";
+      case Opcode::kVSplat:
+        return "vsplat";
+      case Opcode::kVSplatR:
+        return "vsplatr";
+      case Opcode::kVAdd:
+        return "vadd";
+      case Opcode::kVSub:
+        return "vsub";
+      case Opcode::kVMul:
+        return "vmul";
+      case Opcode::kVDiv:
+        return "vdiv";
+      case Opcode::kVNeg:
+        return "vneg";
+      case Opcode::kVSqrt:
+        return "vsqrt";
+      case Opcode::kVSgn:
+        return "vsgn";
+      case Opcode::kVRecip:
+        return "vrecip";
+      case Opcode::kVMac:
+        return "vmac";
+      case Opcode::kShuf:
+        return "shuf";
+      case Opcode::kSel:
+        return "sel";
+      case Opcode::kVInsert:
+        return "vinsert";
+      case Opcode::kVExtract:
+        return "vextract";
+      case Opcode::kJump:
+        return "jump";
+      case Opcode::kBranchLt:
+        return "blt";
+      case Opcode::kBranchGe:
+        return "bge";
+      case Opcode::kHalt:
+        return "halt";
+    }
+    return "???";
+}
+
+FunctionalUnit
+functional_unit(Opcode op)
+{
+    switch (op) {
+      case Opcode::kMovI:
+      case Opcode::kAddI:
+      case Opcode::kIAdd:
+      case Opcode::kIMul:
+      case Opcode::kIMulI:
+        return FunctionalUnit::kInt;
+      case Opcode::kFLoad:
+      case Opcode::kFStore:
+      case Opcode::kVLoad:
+      case Opcode::kVStore:
+        return FunctionalUnit::kMemory;
+      case Opcode::kFMovI:
+      case Opcode::kFMov:
+      case Opcode::kFAdd:
+      case Opcode::kFSub:
+      case Opcode::kFMul:
+      case Opcode::kFDiv:
+      case Opcode::kFNeg:
+      case Opcode::kFSqrt:
+      case Opcode::kFSgn:
+      case Opcode::kFRecip:
+      case Opcode::kFMac:
+        return FunctionalUnit::kScalarFp;
+      case Opcode::kJump:
+      case Opcode::kBranchLt:
+      case Opcode::kBranchGe:
+      case Opcode::kHalt:
+        return FunctionalUnit::kControl;
+      default:
+        return FunctionalUnit::kVector;
+    }
+}
+
+namespace {
+
+/** Fills a result-latency table with the shared baseline values. */
+std::array<int, kNumOpcodes>
+baseline_costs()
+{
+    std::array<int, kNumOpcodes> t{};
+    auto set = [&t](Opcode op, int c) { t[static_cast<int>(op)] = c; };
+    // Integer/address unit: results forward in the same cycle.
+    set(Opcode::kMovI, 1);
+    set(Opcode::kAddI, 1);
+    set(Opcode::kIAdd, 1);
+    set(Opcode::kIMul, 1);
+    set(Opcode::kIMulI, 1);
+    // Ideal unit-delay memory (paper §5.2): one cycle to use the value.
+    set(Opcode::kFLoad, 1);
+    set(Opcode::kFStore, 1);
+    set(Opcode::kVLoad, 1);
+    set(Opcode::kVStore, 1);
+    // Float pipelines: 2-cycle result latency for pipelined ops (an
+    // immediately dependent consumer stalls one cycle), longer for the
+    // iterative divide/sqrt units. Scalar and vector units match — the
+    // vector win comes from lane amortization, not a faster pipe.
+    set(Opcode::kFMovI, 1);
+    set(Opcode::kFMov, 1);
+    set(Opcode::kFAdd, 2);
+    set(Opcode::kFSub, 2);
+    set(Opcode::kFMul, 2);
+    set(Opcode::kFDiv, 8);
+    set(Opcode::kFNeg, 1);
+    set(Opcode::kFSqrt, 10);
+    set(Opcode::kFSgn, 1);
+    set(Opcode::kFRecip, 3);
+    set(Opcode::kFMac, 2);
+    set(Opcode::kVSplat, 1);
+    set(Opcode::kVSplatR, 1);
+    set(Opcode::kVAdd, 2);
+    set(Opcode::kVSub, 2);
+    set(Opcode::kVMul, 2);
+    set(Opcode::kVDiv, 8);
+    set(Opcode::kVNeg, 1);
+    set(Opcode::kVSqrt, 10);
+    set(Opcode::kVSgn, 1);
+    set(Opcode::kVRecip, 3);
+    set(Opcode::kVMac, 2);
+    // Fast, unrestricted in-register data movement (paper §3.4: the
+    // Fusion G3's flexible shuffle makes the abstract cost model a good
+    // proxy).
+    set(Opcode::kShuf, 1);
+    set(Opcode::kSel, 1);
+    set(Opcode::kVInsert, 1);
+    set(Opcode::kVExtract, 1);
+    // Control.
+    set(Opcode::kJump, 1);
+    set(Opcode::kBranchLt, 1);
+    set(Opcode::kBranchGe, 1);
+    set(Opcode::kHalt, 1);
+    return t;
+}
+
+}  // namespace
+
+TargetSpec
+TargetSpec::fusion_g3_like()
+{
+    TargetSpec spec;
+    spec.name = "fusion-g3-like";
+    spec.vector_width = 4;
+    spec.has_reciprocal = false;
+    spec.has_scalar_mac = false;  // MAC lives in the vector unit only
+    spec.cost_table = baseline_costs();
+    spec.taken_branch_penalty = 1;
+    return spec;
+}
+
+TargetSpec
+TargetSpec::narrow_2wide()
+{
+    TargetSpec spec;
+    spec.name = "narrow-2wide";
+    spec.vector_width = 2;
+    spec.has_reciprocal = true;
+    spec.has_scalar_mac = true;
+    spec.cost_table = baseline_costs();
+    spec.taken_branch_penalty = 1;
+    return spec;
+}
+
+TargetSpec
+TargetSpec::fusion_g3_vliw()
+{
+    TargetSpec spec = fusion_g3_like();
+    spec.name = "fusion-g3-vliw";
+    spec.issue_width = 3;
+    return spec;
+}
+
+}  // namespace diospyros

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Target machine description for the simulated DSP.
+ *
+ * The evaluation target stands in for the Tensilica Fusion G3 (paper §5.1):
+ * an in-order core with a 4-wide single-precision SIMD unit, flexible
+ * single-register shuffle (PDX_SHFL_MX32) and two-register select
+ * (PDX_SEL_MX32) instructions, and — matching the paper's xt-run
+ * configuration (§5.2) — an ideal unit-delay memory.
+ *
+ * The TargetSpec is deliberately parametric (vector width, op costs, which
+ * extension ops exist) to mirror the paper's portability story (§6).
+ */
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace diospyros {
+
+/** Maximum SIMD width any TargetSpec may request. */
+constexpr int kMaxVectorWidth = 8;
+
+/** Opcodes of the simulated DSP ISA. */
+enum class Opcode : std::uint8_t {
+    // Integer (address/loop) unit.
+    kMovI,   ///< r[d] = imm
+    kAddI,   ///< r[d] = r[a] + imm
+    kIAdd,   ///< r[d] = r[a] + r[b]
+    kIMul,   ///< r[d] = r[a] * r[b]
+    kIMulI,  ///< r[d] = r[a] * imm
+
+    // Scalar float unit.
+    kFLoad,   ///< f[d] = mem[ea(a, imm)]
+    kFStore,  ///< mem[ea(a, imm)] = f[b]
+    kFMovI,   ///< f[d] = fimm
+    kFMov,    ///< f[d] = f[a]
+    kFAdd,    ///< f[d] = f[a] + f[b]
+    kFSub,
+    kFMul,
+    kFDiv,
+    kFNeg,
+    kFSqrt,
+    kFSgn,
+    kFRecip,  ///< target-extension example (paper §6)
+    kFMac,    ///< f[d] += f[a] * f[b]  (accumulates into dst)
+
+    // Vector unit (lane-wise over vector_width lanes).
+    kVLoad,   ///< v[d] = mem[ea .. ea+W)
+    kVStore,  ///< mem[ea .. ea+W) = v[b]
+    kVSplat,  ///< v[d][i] = fimm
+    kVSplatR, ///< v[d][i] = f[a]  (lane replicate, PDX_REP)
+    kVAdd,
+    kVSub,
+    kVMul,
+    kVDiv,
+    kVNeg,
+    kVSqrt,
+    kVSgn,
+    kVRecip,
+    kVMac,      ///< v[d] += v[a] * v[b]  (accumulates into dst, PDX_MAC)
+    kShuf,      ///< v[d][i] = v[a][lanes[i]]            (PDX_SHFL)
+    kSel,       ///< v[d][i] = concat(v[a], v[b])[lanes[i]] (PDX_SEL)
+    kVInsert,   ///< v[d][imm] = f[a]
+    kVExtract,  ///< f[d] = v[a][imm]
+
+    // Control.
+    kJump,      ///< pc = imm
+    kBranchLt,  ///< if r[a] < r[b]: pc = imm
+    kBranchGe,  ///< if r[a] >= r[b]: pc = imm
+    kHalt,
+};
+
+/** Number of opcodes (for cost tables). */
+constexpr int kNumOpcodes = static_cast<int>(Opcode::kHalt) + 1;
+
+/** Mnemonic for disassembly. */
+const char* opcode_name(Opcode op);
+
+/** Functional unit an opcode occupies (for VLIW slot modelling). */
+enum class FunctionalUnit : std::uint8_t {
+    kInt,       ///< address/loop arithmetic
+    kScalarFp,  ///< scalar float pipe
+    kVector,    ///< SIMD pipe (arithmetic + lane movement)
+    kMemory,    ///< load/store port
+    kControl,   ///< branches
+};
+
+constexpr int kNumFunctionalUnits = 5;
+
+/** Unit an opcode issues to. */
+FunctionalUnit functional_unit(Opcode op);
+
+/** Machine parameters and the cycle cost model. */
+struct TargetSpec {
+    std::string name = "sim-dsp";
+    /** SIMD lanes (floats per vector register). */
+    int vector_width = 4;
+    /** Whether the fast-reciprocal extension exists (paper §6 example). */
+    bool has_reciprocal = false;
+    /**
+     * Whether the *scalar* FPU has a fused multiply-accumulate. The
+     * Fusion G3-like target does not (MAC lives in the vector unit), so
+     * scalar accumulation costs a multiply plus an add — one of the
+     * structural reasons vectorized kernels win.
+     */
+    bool has_scalar_mac = false;
+    /**
+     * Result latency per opcode: an in-order consumer stalls until the
+     * producer's result is ready (simple scoreboard, no forwarding
+     * shortcut beyond the latency itself). Issue rate is one instruction
+     * per cycle.
+     */
+    std::array<int, kNumOpcodes> cost_table{};
+    /** Extra cycles when a branch is taken (pipeline refill). */
+    int taken_branch_penalty = 1;
+    /**
+     * Instructions issued per cycle (VLIW bundle width). Each functional
+     * unit accepts at most one instruction per cycle regardless. 1 =
+     * strictly sequential issue.
+     */
+    int issue_width = 1;
+
+    int
+    cost(Opcode op) const
+    {
+        return cost_table[static_cast<int>(op)];
+    }
+
+    /**
+     * The default evaluation target: 4-wide float SIMD, unit-delay memory,
+     * multi-cycle divide/sqrt, single-cycle shuffles (the Fusion G3's
+     * "fast, unrestricted shuffle", paper §3.4).
+     */
+    static TargetSpec fusion_g3_like();
+
+    /** A narrower 2-wide variant used in tests and portability studies. */
+    static TargetSpec narrow_2wide();
+
+    /**
+     * The default target with its VLIW bundles enabled (3 slots:
+     * int/memory/compute issue in parallel) — the Fusion G3 family is a
+     * VLIW machine; the single-issue default isolates vectorization
+     * effects, this preset measures them under instruction-level
+     * parallelism too (see bench/ablation_vliw).
+     */
+    static TargetSpec fusion_g3_vliw();
+};
+
+}  // namespace diospyros

@@ -1,0 +1,348 @@
+#include "nature/nature.h"
+
+#include <functional>
+
+#include "support/error.h"
+
+namespace diospyros::nature {
+
+namespace {
+
+/** Structured-assembly helper: counted loops with a continue label. */
+class Asm {
+  public:
+    explicit Asm(ProgramBuilder& pb) : pb_(pb) {}
+
+    /** Register preloaded with a constant (cached). */
+    int
+    constant(int value)
+    {
+        for (const auto& [v, r] : constants_) {
+            if (v == value) {
+                return r;
+            }
+        }
+        const int reg = pb_.fresh_int();
+        pb_.mov_i(reg, value);
+        constants_.emplace_back(value, reg);
+        return reg;
+    }
+
+    /**
+     * for (i = lo; i < hi; i += step) body(i, continue_label).
+     * `lo`/`hi` are registers; `hi` is re-read every iteration (generic
+     * library style). Jumping to the continue label skips to i += step.
+     */
+    void
+    for_range(int lo, int hi, int step,
+              const std::function<void(int, ProgramBuilder::Label)>& body)
+    {
+        const int i = pb_.fresh_int();
+        pb_.add_i(i, lo, 0);
+        auto head = pb_.new_label();
+        auto cont = pb_.new_label();
+        auto end = pb_.new_label();
+        pb_.bind(head);
+        pb_.branch_ge(i, hi, end);
+        body(i, cont);
+        pb_.bind(cont);
+        pb_.add_i(i, i, step);
+        pb_.jump(head);
+        pb_.bind(end);
+    }
+
+  private:
+    ProgramBuilder& pb_;
+    std::vector<std::pair<int, int>> constants_;
+};
+
+/**
+ * Generic vectorized matrix multiply, the classic vendor formulation:
+ * each output row is produced in vector-width column blocks by
+ * splat(A[i][k]) * B[k][j..j+W) MACs, with a scalar tail for the
+ * remaining columns.
+ */
+Program
+build_matmul(const scalar::Kernel& kernel,
+             const scalar::KernelLayout& layout, const TargetSpec& target)
+{
+    const int W = target.vector_width;
+    const int a_base = layout.base_of("A");
+    const int b_base = layout.base_of("B");
+    const int c_base = layout.base_of("C");
+
+    ProgramBuilder pb;
+    Asm asm_(pb);
+
+    // Runtime size registers (function arguments of the library routine).
+    const int rn = pb.fresh_int();
+    const int rm = pb.fresh_int();
+    const int rp = pb.fresh_int();
+    pb.mov_i(rn, static_cast<int>(kernel.param("N")));
+    pb.mov_i(rm, static_cast<int>(kernel.param("M")));
+    pb.mov_i(rp, static_cast<int>(kernel.param("P")));
+    const int zero = asm_.constant(0);
+
+    // p_vec_end = largest multiple-of-W start: loop j while j < p - W + 1.
+    const int p_minus = pb.fresh_int();
+    pb.add_i(p_minus, rp, 1 - W);
+
+    asm_.for_range(zero, rn, 1, [&](int i, ProgramBuilder::Label) {
+        const int row_a = pb.fresh_int();
+        pb.imul(row_a, i, rm);
+        const int row_c = pb.fresh_int();
+        pb.imul(row_c, i, rp);
+
+        // Vector column blocks.
+        const int j_end = pb.fresh_int();
+        pb.add_i(j_end, zero, 0);
+        asm_.for_range(
+            zero, p_minus, W, [&](int j, ProgramBuilder::Label) {
+                const int acc = pb.fresh_vec();
+                pb.vsplat(acc, 0.0f);
+                // addr_b walks down column block: starts at j, += p.
+                const int addr_b = pb.fresh_int();
+                pb.add_i(addr_b, j, 0);
+                const int addr_a = pb.fresh_int();
+                pb.add_i(addr_a, row_a, 0);
+                asm_.for_range(
+                    zero, rm, 1, [&](int, ProgramBuilder::Label) {
+                        const int fa = pb.fresh_float();
+                        pb.fload(fa, addr_a, a_base);
+                        const int va = pb.fresh_vec();
+                        pb.vsplat_r(va, fa);
+                        const int vb = pb.fresh_vec();
+                        pb.vload(vb, addr_b, b_base);
+                        pb.vmac(acc, va, vb);
+                        pb.add_i(addr_a, addr_a, 1);
+                        pb.iadd(addr_b, addr_b, rp);
+                    });
+                const int out_addr = pb.fresh_int();
+                pb.iadd(out_addr, row_c, j);
+                pb.vstore(out_addr, c_base, acc);
+                pb.add_i(j_end, j, W);
+            });
+
+        // Scalar tail columns [j_end, p).
+        asm_.for_range(j_end, rp, 1, [&](int j, ProgramBuilder::Label) {
+            const int facc = pb.fresh_float();
+            pb.fmov_i(facc, 0.0f);
+            const int addr_a = pb.fresh_int();
+            pb.add_i(addr_a, row_a, 0);
+            const int addr_b = pb.fresh_int();
+            pb.add_i(addr_b, j, 0);
+            const int prod = pb.fresh_float();
+            asm_.for_range(zero, rm, 1, [&](int, ProgramBuilder::Label) {
+                const int fa = pb.fresh_float();
+                const int fb = pb.fresh_float();
+                pb.fload(fa, addr_a, a_base);
+                pb.fload(fb, addr_b, b_base);
+                pb.fbinop(Opcode::kFMul, prod, fa, fb);
+                pb.fbinop(Opcode::kFAdd, facc, facc, prod);
+                pb.add_i(addr_a, addr_a, 1);
+                pb.iadd(addr_b, addr_b, rp);
+            });
+            const int out_addr = pb.fresh_int();
+            pb.iadd(out_addr, row_c, j);
+            pb.fstore(out_addr, c_base, facc);
+        });
+    });
+    pb.halt();
+    return pb.finish();
+}
+
+/**
+ * Generic vectorized 2D convolution: the fully-overlapped interior is
+ * computed in vector-width output blocks with (unaligned) vector loads
+ * and splat-filter MACs; the boundary ring falls back to guarded scalar
+ * code. This interior/edge split is exactly why the library version
+ * struggles when the data barely exceeds the vector width (§5.4).
+ */
+Program
+build_conv2d(const scalar::Kernel& kernel,
+             const scalar::KernelLayout& layout, const TargetSpec& target)
+{
+    const int W = target.vector_width;
+    const int in_base = layout.base_of("in");
+    const int f_base = layout.base_of("f");
+    const int out_base = layout.base_of("out");
+
+    ProgramBuilder pb;
+    Asm asm_(pb);
+
+    const int ir = pb.fresh_int();
+    const int icn = pb.fresh_int();
+    const int fr = pb.fresh_int();
+    const int fc = pb.fresh_int();
+    const int orows = pb.fresh_int();
+    const int ocols = pb.fresh_int();
+    pb.mov_i(ir, static_cast<int>(kernel.param("iR")));
+    pb.mov_i(icn, static_cast<int>(kernel.param("iC")));
+    pb.mov_i(fr, static_cast<int>(kernel.param("fR")));
+    pb.mov_i(fc, static_cast<int>(kernel.param("fC")));
+    pb.mov_i(orows, static_cast<int>(kernel.param("oR")));
+    pb.mov_i(ocols, static_cast<int>(kernel.param("oC")));
+    const int zero = asm_.constant(0);
+
+    // Interior bounds: rows [fR-1, iR), cols [fC-1, col_end) where
+    // col_end is advanced by each full vector block.
+    const int row_lo = pb.fresh_int();
+    pb.add_i(row_lo, fr, -1);
+    const int col_lo = pb.fresh_int();
+    pb.add_i(col_lo, fc, -1);
+    // Vector block start limit: col < iC - W + 1.
+    const int col_limit = pb.fresh_int();
+    pb.add_i(col_limit, icn, 1 - W);
+    const int col_end = pb.fresh_int();
+    pb.add_i(col_end, col_lo, 0);
+
+    // --- Interior, vectorized. ------------------------------------------
+    asm_.for_range(row_lo, ir, 1, [&](int row, ProgramBuilder::Label) {
+        const int out_row = pb.fresh_int();
+        pb.imul(out_row, row, ocols);
+        asm_.for_range(
+            col_lo, col_limit, W, [&](int col, ProgramBuilder::Label) {
+                const int acc = pb.fresh_vec();
+                pb.vsplat(acc, 0.0f);
+                asm_.for_range(
+                    zero, fr, 1, [&](int frt, ProgramBuilder::Label) {
+                        // irow = row - frt.
+                        const int neg = pb.fresh_int();
+                        pb.imul_i(neg, frt, -1);
+                        const int irow = pb.fresh_int();
+                        pb.iadd(irow, row, neg);
+                        const int in_row = pb.fresh_int();
+                        pb.imul(in_row, irow, icn);
+                        const int f_row = pb.fresh_int();
+                        pb.imul(f_row, frt, fc);
+                        asm_.for_range(
+                            zero, fc, 1,
+                            [&](int fct, ProgramBuilder::Label) {
+                                const int negc = pb.fresh_int();
+                                pb.imul_i(negc, fct, -1);
+                                const int icol = pb.fresh_int();
+                                pb.iadd(icol, col, negc);
+                                const int f_addr = pb.fresh_int();
+                                pb.iadd(f_addr, f_row, fct);
+                                const int fv = pb.fresh_float();
+                                pb.fload(fv, f_addr, f_base);
+                                const int vf = pb.fresh_vec();
+                                pb.vsplat_r(vf, fv);
+                                const int in_addr = pb.fresh_int();
+                                pb.iadd(in_addr, in_row, icol);
+                                const int vin = pb.fresh_vec();
+                                pb.vload(vin, in_addr, in_base);
+                                pb.vmac(acc, vf, vin);
+                            });
+                    });
+                const int out_addr = pb.fresh_int();
+                pb.iadd(out_addr, out_row, col);
+                pb.vstore(out_addr, out_base, acc);
+                const int ce = pb.fresh_int();
+                pb.add_i(ce, col, W);
+                pb.add_i(col_end, ce, 0);
+            });
+    });
+
+    // --- Boundary ring (plus interior column tail), scalar. --------------
+    asm_.for_range(zero, orows, 1, [&](int r, ProgramBuilder::Label) {
+        const int out_row = pb.fresh_int();
+        pb.imul(out_row, r, ocols);
+        asm_.for_range(
+            zero, ocols, 1, [&](int c, ProgramBuilder::Label c_cont) {
+                // Skip outputs the vector pass already produced:
+                // r in [row_lo, iR) && c in [col_lo, col_end).
+                auto not_covered = pb.new_label();
+                pb.branch_lt(r, row_lo, not_covered);
+                pb.branch_ge(r, ir, not_covered);
+                pb.branch_lt(c, col_lo, not_covered);
+                auto covered = pb.new_label();
+                pb.branch_lt(c, col_end, covered);
+                pb.jump(not_covered);
+                pb.bind(covered);
+                pb.jump(c_cont);
+                pb.bind(not_covered);
+
+                const int facc = pb.fresh_float();
+                pb.fmov_i(facc, 0.0f);
+                const int prod = pb.fresh_float();
+                asm_.for_range(
+                    zero, fr, 1, [&](int frt, ProgramBuilder::Label f_cont) {
+                        const int neg = pb.fresh_int();
+                        pb.imul_i(neg, frt, -1);
+                        const int irow = pb.fresh_int();
+                        pb.iadd(irow, r, neg);
+                        pb.branch_lt(irow, zero, f_cont);
+                        pb.branch_ge(irow, ir, f_cont);
+                        const int in_row = pb.fresh_int();
+                        pb.imul(in_row, irow, icn);
+                        const int f_row = pb.fresh_int();
+                        pb.imul(f_row, frt, fc);
+                        asm_.for_range(
+                            zero, fc, 1,
+                            [&](int fct, ProgramBuilder::Label g_cont) {
+                                const int negc = pb.fresh_int();
+                                pb.imul_i(negc, fct, -1);
+                                const int icol = pb.fresh_int();
+                                pb.iadd(icol, c, negc);
+                                pb.branch_lt(icol, zero, g_cont);
+                                pb.branch_ge(icol, icn, g_cont);
+                                const int fa = pb.fresh_int();
+                                pb.iadd(fa, f_row, fct);
+                                const int fv = pb.fresh_float();
+                                pb.fload(fv, fa, f_base);
+                                const int ia = pb.fresh_int();
+                                pb.iadd(ia, in_row, icol);
+                                const int iv = pb.fresh_float();
+                                pb.fload(iv, ia, in_base);
+                                pb.fbinop(Opcode::kFMul, prod, fv, iv);
+                                pb.fbinop(Opcode::kFAdd, facc, facc,
+                                          prod);
+                            });
+                    });
+                const int out_addr = pb.fresh_int();
+                pb.iadd(out_addr, out_row, c);
+                pb.fstore(out_addr, out_base, facc);
+            });
+    });
+    pb.halt();
+    return pb.finish();
+}
+
+}  // namespace
+
+bool
+supports(const scalar::Kernel& kernel)
+{
+    return kernel.name == "matmul" || kernel.name == "conv2d";
+}
+
+Program
+build_program(const scalar::Kernel& kernel,
+              const scalar::KernelLayout& layout, const TargetSpec& target)
+{
+    if (kernel.name == "matmul") {
+        return build_matmul(kernel, layout, target);
+    }
+    if (kernel.name == "conv2d") {
+        return build_conv2d(kernel, layout, target);
+    }
+    throw UserError("the Nature substitute has no routine for kernel " +
+                    kernel.name);
+}
+
+scalar::BaselineRun
+run_nature(const scalar::Kernel& kernel, const scalar::BufferMap& inputs,
+           const TargetSpec& target)
+{
+    const scalar::KernelLayout layout = scalar::KernelLayout::make(kernel);
+    scalar::BaselineRun run;
+    run.program = build_program(kernel, layout, target);
+    Memory memory = layout.make_memory(inputs);
+    Simulator sim(target);
+    run.result = sim.run(run.program, memory);
+    run.outputs = layout.read_outputs(memory);
+    return run;
+}
+
+}  // namespace diospyros::nature

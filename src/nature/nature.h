@@ -1,0 +1,51 @@
+/**
+ * @file
+ * "Nature" — the vendor DSP library substitute (paper §5.2).
+ *
+ * The real evaluation compares against Tensilica's Nature library:
+ * hand-vectorized routines that are *generic over sizes*, so they pay
+ * runtime loop control, interior/edge splitting, and scalar epilogues —
+ * great on large aligned shapes, weak on the small irregular shapes the
+ * paper targets ("its unrolling strategies are not amenable to cases
+ * where the filter size is near but not equal to the vector width",
+ * §5.4).
+ *
+ * This module reimplements that library style directly against the
+ * simulated DSP ISA:
+ *  - matmul: rows processed in vector-width column blocks with
+ *    splat-scalar x row-vector MACs, plus a scalar column tail;
+ *  - conv2d: the fully-overlapped interior computed with unaligned
+ *    vector loads + MACs, the boundary ring with guarded scalar code.
+ *
+ * Like the real library (which "often restricts dimensions to multiples
+ * of 4"), availability is limited: there are no Nature kernels for QProd
+ * or QRDecomp, matching the missing bars in Figure 5.
+ */
+#pragma once
+
+#include <optional>
+
+#include "machine/sim.h"
+#include "scalar/ast.h"
+#include "scalar/interp.h"
+#include "scalar/lower.h"
+
+namespace diospyros::nature {
+
+/** True if the library provides a routine for this kernel. */
+bool supports(const scalar::Kernel& kernel);
+
+/**
+ * Builds the library routine for `kernel` against the standard
+ * KernelLayout. Raises UserError if !supports(kernel).
+ */
+Program build_program(const scalar::Kernel& kernel,
+                      const scalar::KernelLayout& layout,
+                      const TargetSpec& target);
+
+/** Lower + simulate convenience, mirroring scalar::run_baseline. */
+scalar::BaselineRun run_nature(const scalar::Kernel& kernel,
+                               const scalar::BufferMap& inputs,
+                               const TargetSpec& target);
+
+}  // namespace diospyros::nature

@@ -1,0 +1,126 @@
+#include "rules/cost.h"
+
+#include "rules/rules.h"
+
+namespace diospyros {
+
+DiosCostModel::VecKind
+DiosCostModel::classify_vec(const EGraph& graph, const ENode& vec) const
+{
+    // Inspect lane *classes*: a lane counts as a leaf if its class offers
+    // a Get node or a constant. This is class-level information, so the
+    // bottom-up extraction DP stays valid (see extract.h).
+    Symbol array;
+    bool saw_array = false;
+    bool multi_array = false;
+    bool contiguous = true;
+    std::int64_t expect_index = -1;
+    for (const ClassId lane : vec.children) {
+        const ClassId id = graph.find_const(lane);
+        if (class_constant(graph, id).has_value()) {
+            // Constants never break single-array or contiguity; they can
+            // ride along in a shuffled zero/constant register.
+            contiguous = false;
+            continue;
+        }
+        const ENode* get = nullptr;
+        for (const ENode& n : graph.eclass(id).nodes) {
+            if (n.op == Op::kGet) {
+                get = &n;
+                break;
+            }
+        }
+        if (get == nullptr) {
+            return VecKind::kHasScalarComputation;
+        }
+        if (!saw_array) {
+            saw_array = true;
+            array = get->symbol;
+            expect_index = get->index;
+        } else if (get->symbol != array) {
+            multi_array = true;
+        }
+        if (get->symbol == array && get->index != expect_index) {
+            contiguous = false;
+        }
+        ++expect_index;
+    }
+    if (multi_array) {
+        return VecKind::kMultiArraySelect;
+    }
+    // A fully-aligned run starting at a multiple of the width is a plain
+    // vector load.
+    if (saw_array && contiguous) {
+        const ENode* first_get = nullptr;
+        for (const ENode& n :
+             graph.eclass(graph.find_const(vec.children[0])).nodes) {
+            if (n.op == Op::kGet) {
+                first_get = &n;
+                break;
+            }
+        }
+        if (first_get != nullptr && width_ > 0 &&
+            first_get->index % width_ == 0) {
+            return VecKind::kContiguousLoad;
+        }
+    }
+    return VecKind::kSingleArrayShuffle;
+}
+
+double
+DiosCostModel::node_cost(const EGraph& graph, const ENode& node) const
+{
+    switch (node.op) {
+      case Op::kConst:
+      case Op::kSymbol:
+        return params_.literal;
+      case Op::kGet:
+        return params_.get;
+      case Op::kAdd:
+      case Op::kSub:
+      case Op::kMul:
+      case Op::kNeg:
+      case Op::kSgn:
+        return params_.scalar_op;
+      case Op::kDiv:
+        return params_.scalar_div;
+      case Op::kSqrt:
+        return params_.scalar_sqrt;
+      case Op::kRecip:
+        return params_.scalar_recip;
+      case Op::kCall:
+        return params_.call;
+      case Op::kVec:
+        switch (classify_vec(graph, node)) {
+          case VecKind::kContiguousLoad:
+            return params_.vec_contiguous;
+          case VecKind::kSingleArrayShuffle:
+            return params_.vec_single_array;
+          case VecKind::kMultiArraySelect:
+            return params_.vec_multi_array;
+          case VecKind::kHasScalarComputation:
+            return params_.vec_with_exprs;
+        }
+        return params_.vec_with_exprs;
+      case Op::kConcat:
+        return params_.concat;
+      case Op::kVecAdd:
+      case Op::kVecMinus:
+      case Op::kVecMul:
+      case Op::kVecMAC:
+      case Op::kVecNeg:
+      case Op::kVecSgn:
+        return params_.vector_op;
+      case Op::kVecDiv:
+        return params_.vector_div;
+      case Op::kVecSqrt:
+        return params_.vector_sqrt;
+      case Op::kVecRecip:
+        return params_.vector_recip;
+      case Op::kList:
+        return params_.list;
+    }
+    return params_.scalar_op;
+}
+
+}  // namespace diospyros

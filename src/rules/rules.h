@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The Diospyros rewrite-rule families (paper §3.2–§3.3).
+ *
+ * Three kinds of rules:
+ *  - syntactic scalar simplifications and (optionally) full
+ *    associativity/commutativity;
+ *  - the List→Concat/Vec chunking rule that reshapes the lifted spec into
+ *    machine-width vectors with zero padding;
+ *  - custom lane-wise searchers that vectorize even when some lanes are
+ *    empty or need the limited AC forms the paper re-enables selectively:
+ *    binary/unary operator lifting and the VecMAC searcher whose lanes
+ *    match (+ a (* b c)) / (+ (* b c) a) / (* b c) / anything (paired with
+ *    zeros).
+ *
+ * Target extensions (paper §6) hook in through RuleConfig: enabling
+ * `target_has_recip` adds the (/ 1 x) ⇝ (recip x) rule and the matching
+ * vector lift — the "1–2 lines per instruction" story.
+ */
+#pragma once
+
+#include <vector>
+
+#include "egraph/rewrite.h"
+
+namespace diospyros {
+
+/** Knobs controlling which rule families are built. */
+struct RuleConfig {
+    /** Machine vector width (lanes per Vec). */
+    int vector_width = 4;
+    /** Vector-introduction rules; off reproduces the §5.6 ablation. */
+    bool enable_vector_rules = true;
+    /** Scalar simplification rules. */
+    bool enable_scalar_rules = true;
+    /**
+     * Full associativity/commutativity of + and ×. Off by default: the
+     * paper's evaluation runs with AC disabled because AC matching is
+     * NP-complete and explodes the e-graph (§3.3).
+     */
+    bool full_ac = false;
+    /** Whether the target has a fast reciprocal (paper §6 example). */
+    bool target_has_recip = false;
+};
+
+/** Builds the rewrite-rule set for a configuration. */
+std::vector<Rewrite> build_rules(const RuleConfig& config);
+
+/** Constant value of a class if it is known to be one (via the constant
+ *  analysis or an explicit Const node). */
+std::optional<Rational> class_constant(const EGraph& graph, ClassId id);
+
+}  // namespace diospyros

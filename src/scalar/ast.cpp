@@ -1,0 +1,696 @@
+#include "scalar/ast.h"
+
+#include <sstream>
+
+#include "support/error.h"
+
+namespace diospyros::scalar {
+
+// --- IntExpr ---------------------------------------------------------------
+
+IntRef
+IntExpr::constant(std::int64_t v)
+{
+    auto e = std::make_shared<IntExpr>();
+    e->kind = Kind::kConst;
+    e->value = v;
+    return e;
+}
+
+IntRef
+IntExpr::variable(Symbol s)
+{
+    auto e = std::make_shared<IntExpr>();
+    e->kind = Kind::kVar;
+    e->var = s;
+    return e;
+}
+
+IntRef
+IntExpr::binary(Kind k, IntRef x, IntRef y)
+{
+    DIOS_ASSERT(k == Kind::kAdd || k == Kind::kSub || k == Kind::kMul,
+                "not a binary int op");
+    auto e = std::make_shared<IntExpr>();
+    e->kind = k;
+    e->a = std::move(x);
+    e->b = std::move(y);
+    return e;
+}
+
+IntRef
+operator+(IntRef x, IntRef y)
+{
+    return IntExpr::binary(IntExpr::Kind::kAdd, std::move(x), std::move(y));
+}
+
+IntRef
+operator-(IntRef x, IntRef y)
+{
+    return IntExpr::binary(IntExpr::Kind::kSub, std::move(x), std::move(y));
+}
+
+IntRef
+operator*(IntRef x, IntRef y)
+{
+    return IntExpr::binary(IntExpr::Kind::kMul, std::move(x), std::move(y));
+}
+
+IntRef
+operator+(IntRef x, std::int64_t y)
+{
+    return std::move(x) + IntExpr::constant(y);
+}
+
+IntRef
+operator-(IntRef x, std::int64_t y)
+{
+    return std::move(x) - IntExpr::constant(y);
+}
+
+IntRef
+operator*(IntRef x, std::int64_t y)
+{
+    return std::move(x) * IntExpr::constant(y);
+}
+
+IntRef
+operator+(std::int64_t x, IntRef y)
+{
+    return IntExpr::constant(x) + std::move(y);
+}
+
+IntRef
+operator-(std::int64_t x, IntRef y)
+{
+    return IntExpr::constant(x) - std::move(y);
+}
+
+IntRef
+operator*(std::int64_t x, IntRef y)
+{
+    return IntExpr::constant(x) * std::move(y);
+}
+
+// --- Cond --------------------------------------------------------------------
+
+CondRef
+Cond::compare(Kind k, IntRef x, IntRef y)
+{
+    auto c = std::make_shared<Cond>();
+    c->kind = k;
+    c->x = std::move(x);
+    c->y = std::move(y);
+    return c;
+}
+
+CondRef
+Cond::logical_and(CondRef a, CondRef b)
+{
+    auto c = std::make_shared<Cond>();
+    c->kind = Kind::kAnd;
+    c->c1 = std::move(a);
+    c->c2 = std::move(b);
+    return c;
+}
+
+CondRef
+Cond::logical_or(CondRef a, CondRef b)
+{
+    auto c = std::make_shared<Cond>();
+    c->kind = Kind::kOr;
+    c->c1 = std::move(a);
+    c->c2 = std::move(b);
+    return c;
+}
+
+CondRef
+Cond::logical_not(CondRef inner)
+{
+    auto c = std::make_shared<Cond>();
+    c->kind = Kind::kNot;
+    c->c1 = std::move(inner);
+    return c;
+}
+
+CondRef
+operator<(IntRef x, IntRef y)
+{
+    return Cond::compare(Cond::Kind::kLt, std::move(x), std::move(y));
+}
+
+CondRef
+operator<=(IntRef x, IntRef y)
+{
+    return Cond::compare(Cond::Kind::kLe, std::move(x), std::move(y));
+}
+
+CondRef
+operator>(IntRef x, IntRef y)
+{
+    return Cond::compare(Cond::Kind::kGt, std::move(x), std::move(y));
+}
+
+CondRef
+operator>=(IntRef x, IntRef y)
+{
+    return Cond::compare(Cond::Kind::kGe, std::move(x), std::move(y));
+}
+
+CondRef
+operator==(IntRef x, IntRef y)
+{
+    return Cond::compare(Cond::Kind::kEq, std::move(x), std::move(y));
+}
+
+CondRef
+operator!=(IntRef x, IntRef y)
+{
+    return Cond::compare(Cond::Kind::kNe, std::move(x), std::move(y));
+}
+
+CondRef
+operator<(IntRef x, std::int64_t y)
+{
+    return std::move(x) < IntExpr::constant(y);
+}
+
+CondRef
+operator<=(IntRef x, std::int64_t y)
+{
+    return std::move(x) <= IntExpr::constant(y);
+}
+
+CondRef
+operator>(IntRef x, std::int64_t y)
+{
+    return std::move(x) > IntExpr::constant(y);
+}
+
+CondRef
+operator>=(IntRef x, std::int64_t y)
+{
+    return std::move(x) >= IntExpr::constant(y);
+}
+
+CondRef
+operator&&(CondRef a, CondRef b)
+{
+    return Cond::logical_and(std::move(a), std::move(b));
+}
+
+CondRef
+operator||(CondRef a, CondRef b)
+{
+    return Cond::logical_or(std::move(a), std::move(b));
+}
+
+CondRef
+operator!(CondRef a)
+{
+    return Cond::logical_not(std::move(a));
+}
+
+// --- FloatExpr -----------------------------------------------------------------
+
+FloatRef
+FloatExpr::constant(Rational v)
+{
+    auto e = std::make_shared<FloatExpr>();
+    e->kind = Kind::kConst;
+    e->value = v;
+    return e;
+}
+
+FloatRef
+FloatExpr::load(Symbol array, IntRef index)
+{
+    auto e = std::make_shared<FloatExpr>();
+    e->kind = Kind::kLoad;
+    e->array = array;
+    e->index = std::move(index);
+    return e;
+}
+
+FloatRef
+FloatExpr::unary(Kind k, FloatRef a)
+{
+    DIOS_ASSERT(k == Kind::kNeg || k == Kind::kSqrt || k == Kind::kSgn,
+                "not a unary float op");
+    auto e = std::make_shared<FloatExpr>();
+    e->kind = k;
+    e->args = {std::move(a)};
+    return e;
+}
+
+FloatRef
+FloatExpr::binary(Kind k, FloatRef a, FloatRef b)
+{
+    DIOS_ASSERT(k == Kind::kAdd || k == Kind::kSub || k == Kind::kMul ||
+                    k == Kind::kDiv,
+                "not a binary float op");
+    auto e = std::make_shared<FloatExpr>();
+    e->kind = k;
+    e->args = {std::move(a), std::move(b)};
+    return e;
+}
+
+FloatRef
+FloatExpr::call(Symbol fn, std::vector<FloatRef> args)
+{
+    auto e = std::make_shared<FloatExpr>();
+    e->kind = Kind::kCall;
+    e->fn = fn;
+    e->args = std::move(args);
+    return e;
+}
+
+FloatRef
+operator+(FloatRef a, FloatRef b)
+{
+    return FloatExpr::binary(FloatExpr::Kind::kAdd, std::move(a),
+                             std::move(b));
+}
+
+FloatRef
+operator-(FloatRef a, FloatRef b)
+{
+    return FloatExpr::binary(FloatExpr::Kind::kSub, std::move(a),
+                             std::move(b));
+}
+
+FloatRef
+operator*(FloatRef a, FloatRef b)
+{
+    return FloatExpr::binary(FloatExpr::Kind::kMul, std::move(a),
+                             std::move(b));
+}
+
+FloatRef
+operator/(FloatRef a, FloatRef b)
+{
+    return FloatExpr::binary(FloatExpr::Kind::kDiv, std::move(a),
+                             std::move(b));
+}
+
+FloatRef
+operator-(FloatRef a)
+{
+    return FloatExpr::unary(FloatExpr::Kind::kNeg, std::move(a));
+}
+
+FloatRef
+f_sqrt(FloatRef a)
+{
+    return FloatExpr::unary(FloatExpr::Kind::kSqrt, std::move(a));
+}
+
+FloatRef
+f_sgn(FloatRef a)
+{
+    return FloatExpr::unary(FloatExpr::Kind::kSgn, std::move(a));
+}
+
+FloatRef
+f_const(std::int64_t v)
+{
+    return FloatExpr::constant(Rational(v));
+}
+
+FloatRef
+f_const(Rational v)
+{
+    return FloatExpr::constant(v);
+}
+
+// --- Stmt -------------------------------------------------------------------
+
+StmtRef
+Stmt::store(Symbol array, IntRef index, FloatRef value)
+{
+    auto s = std::make_shared<Stmt>();
+    s->kind = Kind::kStore;
+    s->array = array;
+    s->index = std::move(index);
+    s->value = std::move(value);
+    return s;
+}
+
+StmtRef
+Stmt::for_loop(Symbol var, IntRef lo, IntRef hi, std::vector<StmtRef> body)
+{
+    auto s = std::make_shared<Stmt>();
+    s->kind = Kind::kFor;
+    s->loop_var = var;
+    s->lo = std::move(lo);
+    s->hi = std::move(hi);
+    s->body = std::move(body);
+    return s;
+}
+
+StmtRef
+Stmt::if_then(CondRef cond, std::vector<StmtRef> then_body,
+              std::vector<StmtRef> else_body)
+{
+    auto s = std::make_shared<Stmt>();
+    s->kind = Kind::kIf;
+    s->cond = std::move(cond);
+    s->body = std::move(then_body);
+    s->else_body = std::move(else_body);
+    return s;
+}
+
+StmtRef
+Stmt::block(std::vector<StmtRef> children)
+{
+    auto s = std::make_shared<Stmt>();
+    s->kind = Kind::kBlock;
+    s->body = std::move(children);
+    return s;
+}
+
+// --- Kernel ---------------------------------------------------------------
+
+std::int64_t
+Kernel::param(const std::string& name) const
+{
+    const Symbol sym{name};
+    for (const auto& [s, v] : params) {
+        if (s == sym) {
+            return v;
+        }
+    }
+    throw UserError("kernel " + this->name + " has no parameter " + name);
+}
+
+const ArrayDecl&
+Kernel::array(const std::string& name) const
+{
+    const Symbol sym{name};
+    for (const ArrayDecl& d : arrays) {
+        if (d.name == sym) {
+            return d;
+        }
+    }
+    throw UserError("kernel " + this->name + " has no array " + name);
+}
+
+std::vector<ArrayDecl>
+Kernel::arrays_with_role(ArrayRole role) const
+{
+    std::vector<ArrayDecl> out;
+    for (const ArrayDecl& d : arrays) {
+        if (d.role == role) {
+            out.push_back(d);
+        }
+    }
+    return out;
+}
+
+// --- KernelBuilder -----------------------------------------------------------
+
+KernelBuilder::KernelBuilder(std::string name)
+{
+    kernel_.name = std::move(name);
+}
+
+IntRef
+KernelBuilder::param(const std::string& name, std::int64_t value)
+{
+    const Symbol sym{name};
+    for (const auto& [s, v] : kernel_.params) {
+        (void)v;
+        DIOS_CHECK(s != sym, "duplicate kernel parameter: " + name);
+    }
+    kernel_.params.emplace_back(sym, value);
+    return IntExpr::variable(sym);
+}
+
+IntRef
+KernelBuilder::declare(const std::string& name, IntRef size, ArrayRole role)
+{
+    const Symbol sym{name};
+    for (const ArrayDecl& d : kernel_.arrays) {
+        DIOS_CHECK(d.name != sym, "duplicate kernel array: " + name);
+    }
+    kernel_.arrays.push_back(ArrayDecl{sym, std::move(size), role});
+    return IntExpr::variable(sym);
+}
+
+IntRef
+KernelBuilder::input(const std::string& name, IntRef size)
+{
+    return declare(name, std::move(size), ArrayRole::kInput);
+}
+
+IntRef
+KernelBuilder::output(const std::string& name, IntRef size)
+{
+    return declare(name, std::move(size), ArrayRole::kOutput);
+}
+
+IntRef
+KernelBuilder::scratch(const std::string& name, IntRef size)
+{
+    return declare(name, std::move(size), ArrayRole::kScratch);
+}
+
+IntRef
+KernelBuilder::var(const std::string& name)
+{
+    return IntExpr::variable(Symbol(name));
+}
+
+FloatRef
+KernelBuilder::load(const std::string& array, IntRef index)
+{
+    return FloatExpr::load(Symbol(array), std::move(index));
+}
+
+void
+KernelBuilder::append(StmtRef stmt)
+{
+    kernel_.body.push_back(std::move(stmt));
+}
+
+Kernel
+KernelBuilder::build()
+{
+    return std::move(kernel_);
+}
+
+StmtRef
+st_store(const std::string& array, IntRef index, FloatRef value)
+{
+    return Stmt::store(Symbol(array), std::move(index), std::move(value));
+}
+
+StmtRef
+st_accumulate(const std::string& array, IntRef index, FloatRef addend)
+{
+    const Symbol sym{array};
+    FloatRef current = FloatExpr::load(sym, index);
+    return Stmt::store(sym, index, std::move(current) + std::move(addend));
+}
+
+StmtRef
+st_for(const std::string& var, IntRef lo, IntRef hi,
+       std::vector<StmtRef> body)
+{
+    return Stmt::for_loop(Symbol(var), std::move(lo), std::move(hi),
+                          std::move(body));
+}
+
+StmtRef
+st_if(CondRef cond, std::vector<StmtRef> then_body,
+      std::vector<StmtRef> else_body)
+{
+    return Stmt::if_then(std::move(cond), std::move(then_body),
+                         std::move(else_body));
+}
+
+// --- Pretty printer -----------------------------------------------------------
+
+namespace {
+
+void
+write_int(const IntExpr& e, std::ostringstream& os)
+{
+    switch (e.kind) {
+      case IntExpr::Kind::kConst:
+        os << e.value;
+        return;
+      case IntExpr::Kind::kVar:
+        os << e.var.str();
+        return;
+      default: {
+        const char* op = e.kind == IntExpr::Kind::kAdd   ? " + "
+                         : e.kind == IntExpr::Kind::kSub ? " - "
+                                                         : " * ";
+        os << '(';
+        write_int(*e.a, os);
+        os << op;
+        write_int(*e.b, os);
+        os << ')';
+        return;
+      }
+    }
+}
+
+void
+write_cond(const Cond& c, std::ostringstream& os)
+{
+    switch (c.kind) {
+      case Cond::Kind::kAnd:
+        os << '(';
+        write_cond(*c.c1, os);
+        os << " && ";
+        write_cond(*c.c2, os);
+        os << ')';
+        return;
+      case Cond::Kind::kOr:
+        os << '(';
+        write_cond(*c.c1, os);
+        os << " || ";
+        write_cond(*c.c2, os);
+        os << ')';
+        return;
+      case Cond::Kind::kNot:
+        os << "!(";
+        write_cond(*c.c1, os);
+        os << ')';
+        return;
+      default: {
+        const char* op = c.kind == Cond::Kind::kLt   ? " < "
+                         : c.kind == Cond::Kind::kLe ? " <= "
+                         : c.kind == Cond::Kind::kGt ? " > "
+                         : c.kind == Cond::Kind::kGe ? " >= "
+                         : c.kind == Cond::Kind::kEq ? " == "
+                                                     : " != ";
+        write_int(*c.x, os);
+        os << op;
+        write_int(*c.y, os);
+        return;
+      }
+    }
+}
+
+void
+write_float(const FloatExpr& e, std::ostringstream& os)
+{
+    switch (e.kind) {
+      case FloatExpr::Kind::kConst:
+        os << e.value.to_string();
+        return;
+      case FloatExpr::Kind::kLoad:
+        os << e.array.str() << '[';
+        write_int(*e.index, os);
+        os << ']';
+        return;
+      case FloatExpr::Kind::kNeg:
+        os << "-(";
+        write_float(*e.args[0], os);
+        os << ')';
+        return;
+      case FloatExpr::Kind::kSqrt:
+      case FloatExpr::Kind::kSgn:
+        os << (e.kind == FloatExpr::Kind::kSqrt ? "sqrtf(" : "sgn(");
+        write_float(*e.args[0], os);
+        os << ')';
+        return;
+      case FloatExpr::Kind::kCall:
+        os << e.fn.str() << '(';
+        for (std::size_t i = 0; i < e.args.size(); ++i) {
+            if (i) {
+                os << ", ";
+            }
+            write_float(*e.args[i], os);
+        }
+        os << ')';
+        return;
+      default: {
+        const char* op = e.kind == FloatExpr::Kind::kAdd   ? " + "
+                         : e.kind == FloatExpr::Kind::kSub ? " - "
+                         : e.kind == FloatExpr::Kind::kMul ? " * "
+                                                           : " / ";
+        os << '(';
+        write_float(*e.args[0], os);
+        os << op;
+        write_float(*e.args[1], os);
+        os << ')';
+        return;
+      }
+    }
+}
+
+void
+write_stmt(const Stmt& s, std::ostringstream& os, int indent)
+{
+    const std::string pad(static_cast<std::size_t>(indent), ' ');
+    switch (s.kind) {
+      case Stmt::Kind::kStore:
+        os << pad << s.array.str() << '[';
+        write_int(*s.index, os);
+        os << "] = ";
+        write_float(*s.value, os);
+        os << ";\n";
+        return;
+      case Stmt::Kind::kFor:
+        os << pad << "for (" << s.loop_var.str() << " = ";
+        write_int(*s.lo, os);
+        os << "; " << s.loop_var.str() << " < ";
+        write_int(*s.hi, os);
+        os << "; " << s.loop_var.str() << "++) {\n";
+        for (const StmtRef& c : s.body) {
+            write_stmt(*c, os, indent + 2);
+        }
+        os << pad << "}\n";
+        return;
+      case Stmt::Kind::kIf:
+        os << pad << "if (";
+        write_cond(*s.cond, os);
+        os << ") {\n";
+        for (const StmtRef& c : s.body) {
+            write_stmt(*c, os, indent + 2);
+        }
+        if (!s.else_body.empty()) {
+            os << pad << "} else {\n";
+            for (const StmtRef& c : s.else_body) {
+                write_stmt(*c, os, indent + 2);
+            }
+        }
+        os << pad << "}\n";
+        return;
+      case Stmt::Kind::kBlock:
+        for (const StmtRef& c : s.body) {
+            write_stmt(*c, os, indent);
+        }
+        return;
+    }
+}
+
+}  // namespace
+
+std::string
+to_pseudo_c(const Kernel& kernel)
+{
+    std::ostringstream os;
+    os << "// kernel " << kernel.name << '\n';
+    for (const auto& [sym, value] : kernel.params) {
+        os << "#define " << sym.str() << ' ' << value << '\n';
+    }
+    for (const ArrayDecl& d : kernel.arrays) {
+        const char* role = d.role == ArrayRole::kInput    ? "in"
+                           : d.role == ArrayRole::kOutput ? "out"
+                                                          : "tmp";
+        os << "float " << d.name.str() << "[";
+        write_int(*d.size, os);
+        os << "]; // " << role << '\n';
+    }
+    for (const StmtRef& s : kernel.body) {
+        write_stmt(*s, os, 0);
+    }
+    return os.str();
+}
+
+}  // namespace diospyros::scalar

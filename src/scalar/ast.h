@@ -1,0 +1,254 @@
+/**
+ * @file
+ * The scalar imperative input language (paper §3.1).
+ *
+ * Kernels are written once in this AST and consumed three ways:
+ *  - symbolically evaluated (src/scalar/symbolic.h) to lift the List spec
+ *    that equality saturation optimizes — the paper's Rosette step;
+ *  - interpreted concretely (src/scalar/interp.h) as the golden reference;
+ *  - lowered to DSP machine code (src/scalar/lower.h) in "naive
+ *    parametric" and "naive fixed-size" modes, reproducing the paper's two
+ *    loop-nest baselines.
+ *
+ * Control flow must be independent of float data: conditions and indices
+ * are integer expressions over loop variables and compile-time parameters,
+ * which is exactly the restriction the paper places on its input language.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/symbol.h"
+#include "support/rational.h"
+
+namespace diospyros::scalar {
+
+// ---------------------------------------------------------------------------
+// Integer (index) expressions
+// ---------------------------------------------------------------------------
+
+struct IntExpr;
+using IntRef = std::shared_ptr<const IntExpr>;
+
+/** Integer index expression: constants, variables, affine arithmetic. */
+struct IntExpr {
+    enum class Kind { kConst, kVar, kAdd, kSub, kMul };
+
+    Kind kind = Kind::kConst;
+    std::int64_t value = 0;  ///< kConst
+    Symbol var;              ///< kVar (loop variable or kernel parameter)
+    IntRef a, b;
+
+    static IntRef constant(std::int64_t v);
+    static IntRef variable(Symbol s);
+    static IntRef binary(Kind k, IntRef x, IntRef y);
+};
+
+IntRef operator+(IntRef x, IntRef y);
+IntRef operator-(IntRef x, IntRef y);
+IntRef operator*(IntRef x, IntRef y);
+IntRef operator+(IntRef x, std::int64_t y);
+IntRef operator-(IntRef x, std::int64_t y);
+IntRef operator*(IntRef x, std::int64_t y);
+IntRef operator+(std::int64_t x, IntRef y);
+IntRef operator-(std::int64_t x, IntRef y);
+IntRef operator*(std::int64_t x, IntRef y);
+
+// ---------------------------------------------------------------------------
+// Conditions
+// ---------------------------------------------------------------------------
+
+struct Cond;
+using CondRef = std::shared_ptr<const Cond>;
+
+/** Boolean condition over integer expressions. */
+struct Cond {
+    enum class Kind { kLt, kLe, kGt, kGe, kEq, kNe, kAnd, kOr, kNot };
+
+    Kind kind = Kind::kLt;
+    IntRef x, y;      ///< comparison operands
+    CondRef c1, c2;   ///< logical operands
+
+    static CondRef compare(Kind k, IntRef x, IntRef y);
+    static CondRef logical_and(CondRef a, CondRef b);
+    static CondRef logical_or(CondRef a, CondRef b);
+    static CondRef logical_not(CondRef c);
+};
+
+CondRef operator<(IntRef x, IntRef y);
+CondRef operator<=(IntRef x, IntRef y);
+CondRef operator>(IntRef x, IntRef y);
+CondRef operator>=(IntRef x, IntRef y);
+CondRef operator==(IntRef x, IntRef y);
+CondRef operator!=(IntRef x, IntRef y);
+CondRef operator<(IntRef x, std::int64_t y);
+CondRef operator<=(IntRef x, std::int64_t y);
+CondRef operator>(IntRef x, std::int64_t y);
+CondRef operator>=(IntRef x, std::int64_t y);
+CondRef operator&&(CondRef a, CondRef b);
+CondRef operator||(CondRef a, CondRef b);
+CondRef operator!(CondRef a);
+
+// ---------------------------------------------------------------------------
+// Float expressions
+// ---------------------------------------------------------------------------
+
+struct FloatExpr;
+using FloatRef = std::shared_ptr<const FloatExpr>;
+
+/** Scalar float expression. */
+struct FloatExpr {
+    enum class Kind {
+        kConst,  ///< exact rational literal
+        kLoad,   ///< array[index]
+        kAdd,
+        kSub,
+        kMul,
+        kDiv,
+        kNeg,
+        kSqrt,
+        kSgn,
+        kCall,  ///< user-defined scalar function
+    };
+
+    Kind kind = Kind::kConst;
+    Rational value;              ///< kConst
+    Symbol array;                ///< kLoad
+    IntRef index;                ///< kLoad
+    Symbol fn;                   ///< kCall
+    std::vector<FloatRef> args;  ///< kCall and operator operands
+
+    static FloatRef constant(Rational v);
+    static FloatRef load(Symbol array, IntRef index);
+    static FloatRef unary(Kind k, FloatRef a);
+    static FloatRef binary(Kind k, FloatRef a, FloatRef b);
+    static FloatRef call(Symbol fn, std::vector<FloatRef> args);
+};
+
+FloatRef operator+(FloatRef a, FloatRef b);
+FloatRef operator-(FloatRef a, FloatRef b);
+FloatRef operator*(FloatRef a, FloatRef b);
+FloatRef operator/(FloatRef a, FloatRef b);
+FloatRef operator-(FloatRef a);
+FloatRef f_sqrt(FloatRef a);
+FloatRef f_sgn(FloatRef a);
+FloatRef f_const(std::int64_t v);
+FloatRef f_const(Rational v);
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+struct Stmt;
+using StmtRef = std::shared_ptr<const Stmt>;
+
+/** Imperative statement. */
+struct Stmt {
+    enum class Kind { kStore, kFor, kIf, kBlock };
+
+    Kind kind = Kind::kBlock;
+    // kStore
+    Symbol array;
+    IntRef index;
+    FloatRef value;
+    // kFor
+    Symbol loop_var;
+    IntRef lo, hi;  ///< iterates loop_var over [lo, hi)
+    // kIf
+    CondRef cond;
+    // kFor body / kIf branches / kBlock children
+    std::vector<StmtRef> body;       ///< for-body, if-then, block children
+    std::vector<StmtRef> else_body;  ///< if-else (may be empty)
+
+    static StmtRef store(Symbol array, IntRef index, FloatRef value);
+    static StmtRef for_loop(Symbol var, IntRef lo, IntRef hi,
+                            std::vector<StmtRef> body);
+    static StmtRef if_then(CondRef cond, std::vector<StmtRef> then_body,
+                           std::vector<StmtRef> else_body = {});
+    static StmtRef block(std::vector<StmtRef> children);
+};
+
+// ---------------------------------------------------------------------------
+// Kernels
+// ---------------------------------------------------------------------------
+
+/** Role of an array in a kernel signature. */
+enum class ArrayRole { kInput, kOutput, kScratch };
+
+/** One array in a kernel's signature. */
+struct ArrayDecl {
+    Symbol name;
+    /** Flattened length; may reference kernel parameters. */
+    IntRef size;
+    ArrayRole role = ArrayRole::kInput;
+};
+
+/**
+ * A complete kernel: parameter bindings (compile-time sizes, per the
+ * paper's fixed-size kernel model), array signature, and body.
+ */
+struct Kernel {
+    std::string name;
+    /** Parameter name -> concrete value (e.g. rows = 3). */
+    std::vector<std::pair<Symbol, std::int64_t>> params;
+    std::vector<ArrayDecl> arrays;
+    std::vector<StmtRef> body;
+
+    /** Concrete value of a parameter. */
+    std::int64_t param(const std::string& name) const;
+
+    /** Declaration of a named array. */
+    const ArrayDecl& array(const std::string& name) const;
+
+    /** Declarations with the given role, in signature order. */
+    std::vector<ArrayDecl> arrays_with_role(ArrayRole role) const;
+};
+
+/**
+ * Fluent helper for assembling kernels. Not required — Kernel can be
+ * built directly — but keeps kernel definitions readable.
+ */
+class KernelBuilder {
+  public:
+    explicit KernelBuilder(std::string name);
+
+    /** Declares a compile-time integer parameter with its bound value. */
+    IntRef param(const std::string& name, std::int64_t value);
+
+    IntRef input(const std::string& name, IntRef size);
+    IntRef output(const std::string& name, IntRef size);
+    IntRef scratch(const std::string& name, IntRef size);
+
+    /** Loop variable reference for use inside loop bodies. */
+    static IntRef var(const std::string& name);
+
+    /** array[index] as an expression. */
+    static FloatRef load(const std::string& array, IntRef index);
+
+    /** Appends a top-level statement. */
+    void append(StmtRef stmt);
+
+    Kernel build();
+
+  private:
+    IntRef declare(const std::string& name, IntRef size, ArrayRole role);
+
+    Kernel kernel_;
+};
+
+/** Shorthand statement constructors used by kernel definitions. */
+StmtRef st_store(const std::string& array, IntRef index, FloatRef value);
+StmtRef st_accumulate(const std::string& array, IntRef index,
+                      FloatRef addend);
+StmtRef st_for(const std::string& var, IntRef lo, IntRef hi,
+               std::vector<StmtRef> body);
+StmtRef st_if(CondRef cond, std::vector<StmtRef> then_body,
+              std::vector<StmtRef> else_body = {});
+
+/** Renders a kernel as pseudo-C for documentation and debugging. */
+std::string to_pseudo_c(const Kernel& kernel);
+
+}  // namespace diospyros::scalar

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Lowering scalar kernels to DSP machine code: the paper's two loop-nest
+ * baselines (§5.2).
+ *
+ *  - kNaiveParametric — "Naive": sizes live in registers, loops and index
+ *    arithmetic execute at run time, every array access goes to memory.
+ *    Models compiling the kernel with variable dimensions.
+ *  - kNaiveFixed — "Naive (fixed size)": models `#define`d sizes compiled
+ *    at -O3: loops fully unrolled, addresses constant-folded, if-branches
+ *    resolved statically, store-to-load forwarding promotes accumulators
+ *    into registers, and a *bounded-window* CSE stands in for what a
+ *    vendor compiler achieves under real register pressure. (Global,
+ *    unbounded CSE is deliberately reserved for the Diospyros backend's
+ *    LVN pass — that gap is the §5.6 ablation's subject.)
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "machine/program.h"
+#include "machine/sim.h"
+#include "scalar/ast.h"
+#include "scalar/interp.h"
+
+namespace diospyros::scalar {
+
+/** How to lower a kernel to machine code. */
+enum class LowerMode {
+    kNaiveParametric,
+    kNaiveFixed,
+};
+
+/** Knobs modelling the compiling toolchain and target capabilities. */
+struct LowerParams {
+    /** Target has a scalar fused MAC (see TargetSpec::has_scalar_mac). */
+    bool scalar_mac = false;
+    /** Fixed-size mode: registers available for promoted array cells. */
+    std::size_t forward_capacity = 16;
+    /** Fixed-size mode: value-numbering window size. */
+    std::size_t cse_capacity = 12;
+    /**
+     * Cycles of call/abstraction overhead charged at entry — used by the
+     * Eigen-substitute "generic library" configuration (src/linalg/).
+     */
+    int entry_overhead = 0;
+
+    static LowerParams
+    for_target(const TargetSpec& spec)
+    {
+        LowerParams p;
+        p.scalar_mac = spec.has_scalar_mac;
+        return p;
+    }
+};
+
+/** Placement of kernel arrays in simulator memory. */
+class KernelLayout {
+  public:
+    struct Entry {
+        std::string name;
+        int base = 0;
+        std::int64_t length = 0;
+        ArrayRole role = ArrayRole::kInput;
+    };
+
+    /** Lays out all kernel arrays contiguously in declaration order. */
+    static KernelLayout make(const Kernel& kernel);
+
+    /** Base address of a named array. */
+    int base_of(const std::string& name) const;
+
+    const std::vector<Entry>& entries() const { return entries_; }
+    std::int64_t total_words() const { return total_; }
+
+    /**
+     * Builds a simulator Memory with all segments allocated and inputs
+     * initialized from `inputs`.
+     */
+    Memory make_memory(const BufferMap& inputs) const;
+
+    /** Reads all output arrays back out of a simulator Memory. */
+    BufferMap read_outputs(const Memory& memory) const;
+
+  private:
+    std::vector<Entry> entries_;
+    std::int64_t total_ = 0;
+};
+
+/**
+ * Compiles `kernel` to a machine program under the given mode and layout.
+ * User-defined Call expressions are not supported by the baseline
+ * lowering (the paper's baselines do not use them either).
+ */
+Program lower_kernel(const Kernel& kernel, const KernelLayout& layout,
+                     LowerMode mode, const LowerParams& params = {});
+
+/**
+ * Convenience: lower, simulate on `spec`, and return (outputs, cycles).
+ */
+struct BaselineRun {
+    BufferMap outputs;
+    RunResult result;
+    Program program;
+};
+
+BaselineRun run_baseline(const Kernel& kernel, const BufferMap& inputs,
+                         LowerMode mode, const TargetSpec& spec,
+                         const LowerParams* params = nullptr);
+
+}  // namespace diospyros::scalar

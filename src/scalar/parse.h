@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Textual frontend for the scalar input language: kernels written as
+ * s-expressions, so users can drive the compiler without writing C++
+ * (the original Diospyros accepts Racket sources the same way).
+ *
+ * Grammar:
+ *
+ *   kernel  := (kernel <name> decl* stmt*)
+ *   decl    := (param <name> <int>)
+ *            | (input <name> <iexpr>) | (output <name> <iexpr>)
+ *            | (scratch <name> <iexpr>)
+ *   stmt    := (store <array> <iexpr> <fexpr>)
+ *            | (accumulate <array> <iexpr> <fexpr>)   ; arr[i] += e
+ *            | (for <var> <iexpr> <iexpr> stmt*)       ; [lo, hi)
+ *            | (if <cond> stmt*)
+ *            | (if-else <cond> (then stmt*) (else stmt*))
+ *   iexpr   := <int> | <name> | (+|-|* iexpr iexpr ...)
+ *   cond    := (<|<=|>|>=|==|!= iexpr iexpr)
+ *            | (and cond cond ...) | (or cond cond ...) | (not cond)
+ *   fexpr   := <int> | <int>/<int> | (load <array> <iexpr>)
+ *            | (+|-|*|/ fexpr fexpr ...) | (neg|sqrt|sgn fexpr)
+ *            | (call <fn> fexpr*)
+ *
+ * Binary arithmetic operators accept more than two operands and fold
+ * left. Raises UserError with a description on malformed input.
+ */
+#pragma once
+
+#include <string>
+
+#include "scalar/ast.h"
+
+namespace diospyros::scalar {
+
+/** Parses a kernel from s-expression text. */
+Kernel parse_kernel(const std::string& text);
+
+/** Reads and parses a kernel source file. */
+Kernel parse_kernel_file(const std::string& path);
+
+}  // namespace diospyros::scalar

@@ -1,0 +1,288 @@
+#include "scalar/symbolic.h"
+
+#include <unordered_map>
+
+#include "scalar/interp.h"
+#include "support/error.h"
+
+namespace diospyros::scalar {
+
+namespace {
+
+/** Constant value of a term if it is a literal. */
+const Rational*
+as_const(const TermRef& t)
+{
+    return t->op() == Op::kConst ? &t->value() : nullptr;
+}
+
+}  // namespace
+
+TermRef
+s_add(TermRef a, TermRef b)
+{
+    const Rational* ca = as_const(a);
+    const Rational* cb = as_const(b);
+    if (ca && cb) {
+        try {
+            return Term::constant(*ca + *cb);
+        } catch (const RationalOverflow&) {
+        }
+    }
+    if (ca && ca->is_zero()) {
+        return b;
+    }
+    if (cb && cb->is_zero()) {
+        return a;
+    }
+    return t_add(std::move(a), std::move(b));
+}
+
+TermRef
+s_sub(TermRef a, TermRef b)
+{
+    const Rational* ca = as_const(a);
+    const Rational* cb = as_const(b);
+    if (ca && cb) {
+        try {
+            return Term::constant(*ca - *cb);
+        } catch (const RationalOverflow&) {
+        }
+    }
+    if (cb && cb->is_zero()) {
+        return a;
+    }
+    if (ca && ca->is_zero()) {
+        return s_neg(std::move(b));
+    }
+    return t_sub(std::move(a), std::move(b));
+}
+
+TermRef
+s_mul(TermRef a, TermRef b)
+{
+    const Rational* ca = as_const(a);
+    const Rational* cb = as_const(b);
+    if (ca && cb) {
+        try {
+            return Term::constant(*ca * *cb);
+        } catch (const RationalOverflow&) {
+        }
+    }
+    if ((ca && ca->is_zero()) || (cb && cb->is_zero())) {
+        return Term::constant(Rational(0));
+    }
+    if (ca && ca->is_one()) {
+        return b;
+    }
+    if (cb && cb->is_one()) {
+        return a;
+    }
+    return t_mul(std::move(a), std::move(b));
+}
+
+TermRef
+s_div(TermRef a, TermRef b)
+{
+    const Rational* ca = as_const(a);
+    const Rational* cb = as_const(b);
+    if (ca && cb && !cb->is_zero()) {
+        try {
+            return Term::constant(*ca / *cb);
+        } catch (const RationalOverflow&) {
+        }
+    }
+    if (cb && cb->is_one()) {
+        return a;
+    }
+    return t_div(std::move(a), std::move(b));
+}
+
+TermRef
+s_neg(TermRef a)
+{
+    if (const Rational* c = as_const(a)) {
+        try {
+            return Term::constant(-*c);
+        } catch (const RationalOverflow&) {
+        }
+    }
+    // neg(neg(x)) = x
+    if (a->op() == Op::kNeg) {
+        return a->child(0);
+    }
+    return t_neg(std::move(a));
+}
+
+TermRef
+s_sqrt(TermRef a)
+{
+    if (const Rational* c = as_const(a)) {
+        if (c->is_zero() || c->is_one()) {
+            return a;
+        }
+    }
+    return t_sqrt(std::move(a));
+}
+
+TermRef
+s_sgn(TermRef a)
+{
+    if (const Rational* c = as_const(a)) {
+        const int s = c->is_zero() ? 0 : (c->num() < 0 ? -1 : 1);
+        return Term::constant(Rational(s));
+    }
+    return t_sgn(std::move(a));
+}
+
+namespace {
+
+class SymbolicEvaluator {
+  public:
+    explicit SymbolicEvaluator(const Kernel& kernel) : kernel_(kernel)
+    {
+        for (const auto& [sym, value] : kernel.params) {
+            env_.emplace(sym, value);
+        }
+        for (const ArrayDecl& decl : kernel.arrays) {
+            const std::int64_t n = array_length(kernel, decl);
+            std::vector<TermRef> cells;
+            cells.reserve(static_cast<std::size_t>(n));
+            if (decl.role == ArrayRole::kInput) {
+                for (std::int64_t i = 0; i < n; ++i) {
+                    cells.push_back(Term::get(decl.name, i));
+                }
+            } else {
+                const TermRef zero = Term::constant(Rational(0));
+                cells.assign(static_cast<std::size_t>(n), zero);
+            }
+            buffers_.emplace(decl.name, std::move(cells));
+        }
+    }
+
+    LiftedSpec
+    run()
+    {
+        for (const StmtRef& s : kernel_.body) {
+            exec(*s);
+        }
+        LiftedSpec out;
+        std::vector<TermRef> elements;
+        for (const ArrayDecl& decl : kernel_.arrays) {
+            const std::int64_t n = array_length(kernel_, decl);
+            if (decl.role == ArrayRole::kInput) {
+                out.inputs.emplace_back(decl.name.str(), n);
+            } else if (decl.role == ArrayRole::kOutput) {
+                out.outputs.emplace_back(decl.name.str(), n);
+                const auto& cells = buffers_.at(decl.name);
+                elements.insert(elements.end(), cells.begin(),
+                                cells.end());
+            }
+        }
+        DIOS_CHECK(!elements.empty(),
+                   "kernel " + kernel_.name + " declares no outputs");
+        out.total_outputs = static_cast<std::int64_t>(elements.size());
+        out.spec = t_list(std::move(elements));
+        return out;
+    }
+
+  private:
+    TermRef&
+    cell(Symbol array, const IntExpr& index)
+    {
+        auto it = buffers_.find(array);
+        DIOS_CHECK(it != buffers_.end(),
+                   "kernel reads undeclared array: " + array.str());
+        const std::int64_t i = eval_int(index, env_);
+        DIOS_CHECK(
+            i >= 0 && i < static_cast<std::int64_t>(it->second.size()),
+            "index out of bounds on array " + array.str());
+        return it->second[static_cast<std::size_t>(i)];
+    }
+
+    TermRef
+    eval(const FloatExpr& e)
+    {
+        switch (e.kind) {
+          case FloatExpr::Kind::kConst:
+            return Term::constant(e.value);
+          case FloatExpr::Kind::kLoad:
+            return cell(e.array, *e.index);
+          case FloatExpr::Kind::kAdd:
+            return s_add(eval(*e.args[0]), eval(*e.args[1]));
+          case FloatExpr::Kind::kSub:
+            return s_sub(eval(*e.args[0]), eval(*e.args[1]));
+          case FloatExpr::Kind::kMul:
+            return s_mul(eval(*e.args[0]), eval(*e.args[1]));
+          case FloatExpr::Kind::kDiv:
+            return s_div(eval(*e.args[0]), eval(*e.args[1]));
+          case FloatExpr::Kind::kNeg:
+            return s_neg(eval(*e.args[0]));
+          case FloatExpr::Kind::kSqrt:
+            return s_sqrt(eval(*e.args[0]));
+          case FloatExpr::Kind::kSgn:
+            return s_sgn(eval(*e.args[0]));
+          case FloatExpr::Kind::kCall: {
+            std::vector<TermRef> args;
+            args.reserve(e.args.size());
+            for (const FloatRef& a : e.args) {
+                args.push_back(eval(*a));
+            }
+            return Term::call(e.fn, std::move(args));
+          }
+        }
+        DIOS_ASSERT(false, "unhandled FloatExpr kind");
+    }
+
+    void
+    exec(const Stmt& s)
+    {
+        switch (s.kind) {
+          case Stmt::Kind::kStore: {
+            TermRef v = eval(*s.value);
+            cell(s.array, *s.index) = std::move(v);
+            return;
+          }
+          case Stmt::Kind::kFor: {
+            const std::int64_t lo = eval_int(*s.lo, env_);
+            const std::int64_t hi = eval_int(*s.hi, env_);
+            for (std::int64_t i = lo; i < hi; ++i) {
+                env_[s.loop_var] = i;
+                for (const StmtRef& c : s.body) {
+                    exec(*c);
+                }
+            }
+            env_.erase(s.loop_var);
+            return;
+          }
+          case Stmt::Kind::kIf: {
+            const auto& branch =
+                eval_cond(*s.cond, env_) ? s.body : s.else_body;
+            for (const StmtRef& c : branch) {
+                exec(*c);
+            }
+            return;
+          }
+          case Stmt::Kind::kBlock:
+            for (const StmtRef& c : s.body) {
+                exec(*c);
+            }
+            return;
+        }
+    }
+
+    const Kernel& kernel_;
+    std::unordered_map<Symbol, std::int64_t> env_;
+    std::unordered_map<Symbol, std::vector<TermRef>> buffers_;
+};
+
+}  // namespace
+
+LiftedSpec
+lift(const Kernel& kernel)
+{
+    SymbolicEvaluator eval(kernel);
+    return eval.run();
+}
+
+}  // namespace diospyros::scalar

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Symbolic evaluation: lifting imperative kernels into the vector DSL
+ * (paper §3.1, the Rosette step of the original implementation).
+ *
+ * Because the input language restricts control flow to be independent of
+ * float data, symbolic evaluation degenerates to tracing: loops and
+ * conditions execute concretely while float arrays hold *terms*. The trace
+ * fully unrolls the kernel and yields one scalar expression per output
+ * element, collected into a single `List` term.
+ *
+ * Simplifying smart constructors (constant folding, x+0, x*0, x*1)
+ * run during tracing — this mirrors the partial evaluation Rosette does
+ * for free and is the effect the paper's §5.6 ablation attributes to
+ * "symbolic evaluation alone".
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/term.h"
+#include "scalar/ast.h"
+
+namespace diospyros::scalar {
+
+/** The result of lifting a kernel. */
+struct LiftedSpec {
+    /** `(List e0 e1 ...)` — one scalar term per output element. */
+    TermRef spec;
+    /** Output arrays in order, with flattened lengths. */
+    std::vector<std::pair<std::string, std::int64_t>> outputs;
+    /** Input arrays in order, with flattened lengths. */
+    std::vector<std::pair<std::string, std::int64_t>> inputs;
+    /** Total number of output elements (== spec List width). */
+    std::int64_t total_outputs = 0;
+};
+
+/**
+ * Lifts a kernel to its specification. Input array elements become
+ * `(Get <array> <index>)` leaves; output/scratch cells start as constant
+ * zero; user-defined functions become uninterpreted `Call` terms.
+ */
+LiftedSpec lift(const Kernel& kernel);
+
+/** Simplifying term constructors shared with the rule engine and tests. */
+TermRef s_add(TermRef a, TermRef b);
+TermRef s_sub(TermRef a, TermRef b);
+TermRef s_mul(TermRef a, TermRef b);
+TermRef s_div(TermRef a, TermRef b);
+TermRef s_neg(TermRef a);
+TermRef s_sqrt(TermRef a);
+TermRef s_sgn(TermRef a);
+
+}  // namespace diospyros::scalar

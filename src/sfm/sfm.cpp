@@ -1,0 +1,281 @@
+#include "sfm/sfm.h"
+
+#include "kernels/kernels.h"
+#include "linalg/baseline.h"
+#include "support/error.h"
+
+namespace diospyros::sfm {
+
+using linalg::Mat3;
+using linalg::Mat34;
+using linalg::Vec3;
+using scalar::f_const;
+using scalar::f_sgn;
+using scalar::IntExpr;
+using scalar::KernelBuilder;
+using scalar::st_store;
+
+namespace {
+
+scalar::IntRef
+ic(std::int64_t v)
+{
+    return IntExpr::constant(v);
+}
+
+float
+det3(const Mat3& m)
+{
+    return m(0, 0) * (m(1, 1) * m(2, 2) - m(1, 2) * m(2, 1)) -
+           m(0, 1) * (m(1, 0) * m(2, 2) - m(1, 2) * m(2, 0)) +
+           m(0, 2) * (m(1, 0) * m(2, 1) - m(1, 1) * m(2, 0));
+}
+
+std::vector<float>
+flatten(const Mat3& m)
+{
+    return {m.data().begin(), m.data().end()};
+}
+
+Mat3
+unflatten(const std::vector<float>& v)
+{
+    DIOS_ASSERT(v.size() == 9, "expected a 3x3 buffer");
+    Mat3 m;
+    for (int r = 0; r < 3; ++r) {
+        for (int c = 0; c < 3; ++c) {
+            m(r, c) = v[static_cast<std::size_t>(r * 3 + c)];
+        }
+    }
+    return m;
+}
+
+}  // namespace
+
+scalar::Kernel
+make_signfix_kernel()
+{
+    // Given the raw RQ factors (Kp upper triangular, Rp orthogonal),
+    // flip signs so the calibration diagonal is positive and normalize
+    // to K(2,2) = 1:
+    //   d[i] = sign(Kp[i][i]) (0 -> +1), s = Kp[2][2]*d[2],
+    //   K = Kp * diag(d) / s, R = diag(d) * Rp.
+    KernelBuilder kb("signfix");
+    kb.input("Kp", ic(9));
+    kb.input("Rp", ic(9));
+    kb.output("K", ic(9));
+    kb.output("R", ic(9));
+    kb.output("s", ic(1));
+    kb.scratch("d", ic(3));
+    kb.scratch("inv", ic(1));
+
+    auto kp = [](int i) { return KernelBuilder::load("Kp", ic(i)); };
+    auto rp = [](int i) { return KernelBuilder::load("Rp", ic(i)); };
+    auto d = [](int i) { return KernelBuilder::load("d", ic(i)); };
+
+    for (int i = 0; i < 3; ++i) {
+        // Branch-free sign with sgn(0) mapped to +1:
+        // sgn(sgn(x) + 1/2) is -1 for x<0 and +1 for x>=0.
+        kb.append(st_store("d", ic(i),
+                           f_sgn(f_sgn(kp(4 * i)) + f_const(Rational(1, 2)))));
+    }
+    kb.append(st_store("s", ic(0), kp(8) * d(2)));
+    kb.append(st_store("inv", ic(0),
+                       f_const(1) / KernelBuilder::load("s", ic(0))));
+    for (int r = 0; r < 3; ++r) {
+        for (int c = 0; c < 3; ++c) {
+            kb.append(st_store(
+                "K", ic(r * 3 + c),
+                kp(r * 3 + c) * d(c) * KernelBuilder::load("inv", ic(0))));
+            kb.append(
+                st_store("R", ic(r * 3 + c), rp(r * 3 + c) * d(r)));
+        }
+    }
+    return kb.build();
+}
+
+scalar::Kernel
+make_center_kernel()
+{
+    // Camera center c = -R^T K^{-1} p4 / s, with K normalized upper
+    // triangular (K22 == 1 after signfix) and s the normalization scale.
+    KernelBuilder kb("center");
+    kb.input("K", ic(9));
+    kb.input("R", ic(9));
+    kb.input("p4", ic(3));
+    kb.input("s", ic(1));
+    kb.output("c", ic(3));
+    kb.scratch("y", ic(3));
+
+    auto K = [](int i) { return KernelBuilder::load("K", ic(i)); };
+    auto R = [](int i) { return KernelBuilder::load("R", ic(i)); };
+    auto p4 = [](int i) { return KernelBuilder::load("p4", ic(i)); };
+    auto y = [](int i) { return KernelBuilder::load("y", ic(i)); };
+    auto s = []() { return KernelBuilder::load("s", ic(0)); };
+
+    // Back substitution through the upper-triangular K.
+    kb.append(st_store("y", ic(2), p4(2) / K(8)));
+    kb.append(
+        st_store("y", ic(1), (p4(1) - K(5) * y(2)) / K(4)));
+    kb.append(st_store(
+        "y", ic(0), (p4(0) - K(1) * y(1) - K(2) * y(2)) / K(0)));
+    for (int i = 0; i < 3; ++i) {
+        kb.append(st_store("y", ic(i), y(i) / s()));
+    }
+    // c = -(R^T y).
+    for (int i = 0; i < 3; ++i) {
+        kb.append(st_store("c", ic(i),
+                           f_const(0) - (R(i) * y(0) + R(3 + i) * y(1) +
+                                         R(6 + i) * y(2))));
+    }
+    return kb.build();
+}
+
+scalar::Kernel
+make_polar_kernel(int iterations)
+{
+    // Newton polar iteration: X <- (X + X^-T) / 2, with
+    // X^-T = cof(X) / det(X) (the cofactor matrix over the determinant).
+    // Fixed iteration count keeps control flow data-independent.
+    KernelBuilder kb("polar");
+    kb.param("iters", iterations);
+    kb.input("M", ic(9));
+    kb.output("Rot", ic(9));
+    kb.scratch("Cf", ic(9));
+    kb.scratch("dt", ic(1));
+
+    auto X = [](int i) { return KernelBuilder::load("Rot", ic(i)); };
+    auto Cf = [](int i) { return KernelBuilder::load("Cf", ic(i)); };
+
+    const scalar::IntRef i = KernelBuilder::var("i");
+    kb.append(scalar::st_for("i", ic(0), ic(9),
+                             {st_store("Rot", i,
+                                       KernelBuilder::load("M", i))}));
+
+    std::vector<scalar::StmtRef> body;
+    // Cofactor matrix (signs folded in).
+    const int cof[9][4] = {
+        {4, 8, 5, 7}, {5, 6, 3, 8}, {3, 7, 4, 6},
+        {2, 7, 1, 8}, {0, 8, 2, 6}, {1, 6, 0, 7},
+        {1, 5, 2, 4}, {2, 3, 0, 5}, {0, 4, 1, 3},
+    };
+    for (int e = 0; e < 9; ++e) {
+        body.push_back(st_store("Cf", ic(e),
+                                X(cof[e][0]) * X(cof[e][1]) -
+                                    X(cof[e][2]) * X(cof[e][3])));
+    }
+    // det along the first row, then a single reciprocal.
+    body.push_back(st_store(
+        "dt", ic(0),
+        f_const(1) / (X(0) * Cf(0) + X(1) * Cf(1) + X(2) * Cf(2))));
+    for (int e = 0; e < 9; ++e) {
+        body.push_back(st_store(
+            "Rot", ic(e),
+            (X(e) + Cf(e) * KernelBuilder::load("dt", ic(0))) *
+                f_const(Rational(1, 2))));
+    }
+    kb.append(scalar::st_for("it", ic(0),
+                             KernelBuilder::var("iters"), std::move(body)));
+    return kb.build();
+}
+
+ProjectionPipeline::ProjectionPipeline(
+    QrImpl qr_impl, const TargetSpec& target,
+    const CompilerOptions& qr_compile_options)
+    : qr_impl_(qr_impl),
+      target_(target),
+      qr_kernel_(kernels::make_qrdecomp(3)),
+      polar_kernel_(make_polar_kernel()),
+      signfix_kernel_(make_signfix_kernel()),
+      center_kernel_(make_center_kernel())
+{
+    if (qr_impl_ == QrImpl::kDiospyros) {
+        CompilerOptions options = qr_compile_options;
+        options.target = target;
+        compiled_qr_ = std::make_unique<CompiledKernel>(
+            compile_kernel(qr_kernel_, options));
+    }
+}
+
+ProjectionPipeline::ProjectionPipeline(QrImpl qr_impl,
+                                       const TargetSpec& target)
+    : ProjectionPipeline(qr_impl, target, CompilerOptions{})
+{
+}
+
+AppResult
+ProjectionPipeline::run(const Mat34& projection) const
+{
+    AppResult out;
+
+    // Host: split P into M | p4, flipping the global sign so the
+    // rotation comes out with determinant +1.
+    Mat3 m;
+    Vec3 p4;
+    for (int r = 0; r < 3; ++r) {
+        for (int c = 0; c < 3; ++c) {
+            m(r, c) = projection(r, c);
+        }
+        p4(r, 0) = projection(r, 3);
+    }
+    if (det3(m) < 0.0f) {
+        m = m * -1.0f;
+        p4 = p4 * -1.0f;
+    }
+
+    // Stage 0: project M onto the nearest rotation (Theia's SVD-based
+    // orientation initialization; see make_polar_kernel).
+    {
+        const auto polar = linalg::run_eigen_like(
+            polar_kernel_, {{"M", flatten(m)}}, target_);
+        out.cycles.polar = polar.result.cycles;
+        out.initial_rotation = unflatten(polar.outputs.at("Rot"));
+    }
+
+    // Stage 1 (hot): QR of flipud(M)^T on the DSP.
+    const Mat3 qr_input = m.flipped_rows().transposed();
+    scalar::BufferMap qr_out;
+    if (qr_impl_ == QrImpl::kDiospyros) {
+        const auto run = compiled_qr_->run({{"A", flatten(qr_input)}},
+                                           target_);
+        out.cycles.qr = run.result.cycles;
+        qr_out = run.outputs;
+    } else {
+        const auto run = linalg::run_eigen_like(
+            qr_kernel_, {{"A", flatten(qr_input)}}, target_);
+        out.cycles.qr = run.result.cycles;
+        qr_out = run.outputs;
+    }
+    const Mat3 q1 = unflatten(qr_out.at("Q"));
+    const Mat3 r1 = unflatten(qr_out.at("R"));
+
+    // Host: RQ factors from the QR factors (pure index remapping).
+    const Mat3 kp = r1.transposed().flipped_rows().flipped_cols();
+    const Mat3 rp = q1.transposed().flipped_rows();
+
+    // Stage 2: sign fixup + normalization.
+    const auto signfix = linalg::run_eigen_like(
+        signfix_kernel_, {{"Kp", flatten(kp)}, {"Rp", flatten(rp)}},
+        target_);
+    out.cycles.signfix = signfix.result.cycles;
+    out.decomposition.calibration = unflatten(signfix.outputs.at("K"));
+    out.decomposition.rotation = unflatten(signfix.outputs.at("R"));
+    const float scale = signfix.outputs.at("s")[0];
+
+    // Stage 3: camera center.
+    const auto center = linalg::run_eigen_like(
+        center_kernel_,
+        {{"K", flatten(out.decomposition.calibration)},
+         {"R", flatten(out.decomposition.rotation)},
+         {"p4", {p4(0, 0), p4(1, 0), p4(2, 0)}},
+         {"s", {scale}}},
+        target_);
+    out.cycles.center = center.result.cycles;
+    for (int i = 0; i < 3; ++i) {
+        out.decomposition.center(i, 0) =
+            center.outputs.at("c")[static_cast<std::size_t>(i)];
+    }
+    return out;
+}
+
+}  // namespace diospyros::sfm

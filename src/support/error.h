@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Error-handling primitives shared across the library.
+ *
+ * Two failure categories, mirroring the gem5 panic/fatal split:
+ *  - DIOS_CHECK / raise_user_error: the *user's* fault (bad kernel spec,
+ *    invalid options). Throws diospyros::UserError.
+ *  - DIOS_ASSERT: an internal invariant violation (a bug in this library).
+ *    Throws diospyros::InternalError with file/line context.
+ */
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace diospyros {
+
+/** Raised when caller-provided input is invalid. */
+class UserError : public std::runtime_error {
+  public:
+    explicit UserError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/** Raised when an internal invariant is violated (a library bug). */
+class InternalError : public std::logic_error {
+  public:
+    explicit InternalError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void
+raise_internal(const char* file, int line, const std::string& msg)
+{
+    std::ostringstream os;
+    os << "internal error at " << file << ":" << line << ": " << msg;
+    throw InternalError(os.str());
+}
+
+[[noreturn]] inline void
+raise_user(const std::string& msg)
+{
+    throw UserError(msg);
+}
+
+}  // namespace detail
+
+}  // namespace diospyros
+
+/** Assert an internal invariant; throws InternalError when violated. */
+#define DIOS_ASSERT(cond, msg)                                              \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::diospyros::detail::raise_internal(__FILE__, __LINE__,         \
+                                                std::string(msg));          \
+        }                                                                   \
+    } while (0)
+
+/** Validate user-supplied input; throws UserError when violated. */
+#define DIOS_CHECK(cond, msg)                                               \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::diospyros::detail::raise_user(std::string(msg));              \
+        }                                                                   \
+    } while (0)

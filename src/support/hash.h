@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Hash-combination helpers used by hash-consed IR nodes and e-nodes.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace diospyros {
+
+/**
+ * Mix a new value into an existing hash seed (boost::hash_combine style,
+ * with a 64-bit golden-ratio constant).
+ */
+template <typename T>
+inline void
+hash_combine(std::size_t& seed, const T& value)
+{
+    std::hash<T> hasher;
+    seed ^= hasher(value) + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+}
+
+/** Hash a range of hashable elements into a single seed. */
+template <typename It>
+inline std::size_t
+hash_range(It first, It last, std::size_t seed = 0)
+{
+    for (; first != last; ++first) {
+        hash_combine(seed, *first);
+    }
+    return seed;
+}
+
+}  // namespace diospyros

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for tests and workload
+ * generators. A thin xoshiro256**-based generator so results are stable
+ * across platforms and standard-library versions (std::mt19937 streams are
+ * portable too, but distributions are not).
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace diospyros {
+
+/** Deterministic, seedable RNG with convenience helpers. */
+class Rng {
+  public:
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL)
+    {
+        // SplitMix64 seeding to fill state from a single word.
+        std::uint64_t x = seed;
+        for (auto& word : state_) {
+            x += 0x9E3779B97F4A7C15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+            z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next_u64()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [lo, hi] (inclusive). Requires lo <= hi. */
+    std::int64_t
+    uniform_int(std::int64_t lo, std::int64_t hi)
+    {
+        const std::uint64_t span =
+            static_cast<std::uint64_t>(hi - lo) + 1ULL;
+        return lo + static_cast<std::int64_t>(next_u64() % span);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform01()
+    {
+        return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform01();
+    }
+
+    /** Uniform float in [lo, hi); convenient for kernel inputs. */
+    float
+    uniform_float(float lo, float hi)
+    {
+        return static_cast<float>(uniform(lo, hi));
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4] = {};
+};
+
+}  // namespace diospyros

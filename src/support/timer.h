@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Wall-clock timing used for saturation timeouts and compile-time reports.
+ */
+#pragma once
+
+#include <chrono>
+
+namespace diospyros {
+
+/** Simple monotonic stopwatch. */
+class Timer {
+  public:
+    Timer() : start_(Clock::now()) {}
+
+    /** Restart the stopwatch. */
+    void reset() { start_ = Clock::now(); }
+
+    /** Elapsed time in seconds since construction or the last reset(). */
+    double
+    elapsed_seconds() const
+    {
+        const auto delta = Clock::now() - start_;
+        return std::chrono::duration<double>(delta).count();
+    }
+
+    /** Elapsed time in milliseconds. */
+    double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+}  // namespace diospyros

@@ -1,0 +1,510 @@
+#include "validation/validate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <unordered_map>
+
+#include "ir/eval.h"
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace diospyros {
+
+const char*
+verdict_name(Verdict v)
+{
+    switch (v) {
+      case Verdict::kEquivalent:
+        return "equivalent";
+      case Verdict::kNotEquivalent:
+        return "NOT-equivalent";
+      case Verdict::kUnknown:
+        return "unknown";
+    }
+    return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Devectorization
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class Devectorizer {
+  public:
+    const std::vector<TermRef>&
+    flatten(const TermRef& t)
+    {
+        auto it = memo_.find(t.get());
+        if (it != memo_.end()) {
+            return it->second;
+        }
+        std::vector<TermRef> out = compute(t);
+        return memo_.emplace(t.get(), std::move(out)).first->second;
+    }
+
+  private:
+    std::vector<TermRef>
+    compute(const TermRef& t)
+    {
+        if (t->is_scalar()) {
+            return {t};
+        }
+        switch (t->op()) {
+          case Op::kList:
+          case Op::kConcat: {
+            std::vector<TermRef> out;
+            for (const TermRef& c : t->children()) {
+                const auto& v = flatten(c);
+                out.insert(out.end(), v.begin(), v.end());
+            }
+            return out;
+          }
+          case Op::kVec: {
+            std::vector<TermRef> out;
+            for (const TermRef& c : t->children()) {
+                DIOS_CHECK(c->is_scalar(), "Vec lane is not scalar");
+                out.push_back(c);
+            }
+            return out;
+          }
+          case Op::kVecAdd:
+          case Op::kVecMinus:
+          case Op::kVecMul:
+          case Op::kVecDiv: {
+            const auto a = flatten(t->child(0));
+            const auto b = flatten(t->child(1));
+            DIOS_CHECK(a.size() == b.size(),
+                       "lane mismatch during devectorization");
+            const Op sop = t->op() == Op::kVecAdd     ? Op::kAdd
+                           : t->op() == Op::kVecMinus ? Op::kSub
+                           : t->op() == Op::kVecMul   ? Op::kMul
+                                                      : Op::kDiv;
+            std::vector<TermRef> out;
+            out.reserve(a.size());
+            for (std::size_t i = 0; i < a.size(); ++i) {
+                out.push_back(Term::make(sop, {a[i], b[i]}));
+            }
+            return out;
+          }
+          case Op::kVecMAC: {
+            const auto acc = flatten(t->child(0));
+            const auto x = flatten(t->child(1));
+            const auto y = flatten(t->child(2));
+            DIOS_CHECK(acc.size() == x.size() && x.size() == y.size(),
+                       "lane mismatch during devectorization");
+            std::vector<TermRef> out;
+            out.reserve(acc.size());
+            for (std::size_t i = 0; i < acc.size(); ++i) {
+                out.push_back(t_add(acc[i], t_mul(x[i], y[i])));
+            }
+            return out;
+          }
+          case Op::kVecNeg:
+          case Op::kVecSqrt:
+          case Op::kVecSgn:
+          case Op::kVecRecip: {
+            const auto a = flatten(t->child(0));
+            const Op sop = t->op() == Op::kVecNeg    ? Op::kNeg
+                           : t->op() == Op::kVecSqrt ? Op::kSqrt
+                           : t->op() == Op::kVecSgn  ? Op::kSgn
+                                                     : Op::kRecip;
+            std::vector<TermRef> out;
+            out.reserve(a.size());
+            for (const TermRef& lane : a) {
+                out.push_back(Term::make(sop, {lane}));
+            }
+            return out;
+          }
+          default:
+            throw UserError("cannot devectorize operator " +
+                            std::string(op_name(t->op())));
+        }
+    }
+
+    std::unordered_map<const Term*, std::vector<TermRef>> memo_;
+};
+
+}  // namespace
+
+std::vector<TermRef>
+devectorize(const TermRef& term)
+{
+    Devectorizer d;
+    return d.flatten(term);
+}
+
+// ---------------------------------------------------------------------------
+// Canonical polynomials
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/** Raised when canonicalization exceeds its resource caps. */
+class ValidationOverflow : public std::runtime_error {
+  public:
+    ValidationOverflow() : std::runtime_error("validation overflow") {}
+};
+
+/** A monomial: sorted atom ids with multiplicity. */
+using Monomial = std::vector<int>;
+/** A polynomial: monomial -> coefficient, zero coefficients erased. */
+using Poly = std::map<Monomial, Rational>;
+
+/**
+ * Shared canonicalization context. One instance must canonicalize both
+ * sides of an equivalence query so atom ids are assigned consistently.
+ */
+class Canonicalizer {
+  public:
+    explicit Canonicalizer(const ValidationLimits& limits)
+        : limits_(limits)
+    {
+    }
+
+    const Poly&
+    canonical(const TermRef& t)
+    {
+        auto it = memo_.find(t.get());
+        if (it != memo_.end()) {
+            return it->second;
+        }
+        Poly p = compute(t);
+        return memo_.emplace(t.get(), std::move(p)).first->second;
+    }
+
+  private:
+    Poly
+    constant(Rational c)
+    {
+        Poly p;
+        if (!c.is_zero()) {
+            p.emplace(Monomial{}, c);
+        }
+        return p;
+    }
+
+    Poly
+    atom_poly(const std::string& key)
+    {
+        auto [it, inserted] =
+            atom_ids_.try_emplace(key, static_cast<int>(atom_ids_.size()));
+        (void)inserted;
+        Poly p;
+        p.emplace(Monomial{it->second}, Rational(1));
+        return p;
+    }
+
+    static void
+    add_into(Poly& dst, const Monomial& m, const Rational& c)
+    {
+        auto it = dst.find(m);
+        if (it == dst.end()) {
+            if (!c.is_zero()) {
+                dst.emplace(m, c);
+            }
+            return;
+        }
+        it->second += c;
+        if (it->second.is_zero()) {
+            dst.erase(it);
+        }
+    }
+
+    Poly
+    add(const Poly& a, const Poly& b)
+    {
+        Poly out = a;
+        for (const auto& [m, c] : b) {
+            add_into(out, m, c);
+        }
+        check_size(out);
+        return out;
+    }
+
+    Poly
+    scale(const Poly& a, const Rational& k)
+    {
+        Poly out;
+        if (k.is_zero()) {
+            return out;
+        }
+        for (const auto& [m, c] : a) {
+            out.emplace(m, c * k);
+        }
+        return out;
+    }
+
+    Poly
+    mul(const Poly& a, const Poly& b)
+    {
+        Poly out;
+        for (const auto& [ma, ca] : a) {
+            for (const auto& [mb, cb] : b) {
+                Monomial m;
+                m.reserve(ma.size() + mb.size());
+                std::merge(ma.begin(), ma.end(), mb.begin(), mb.end(),
+                           std::back_inserter(m));
+                add_into(out, m, ca * cb);
+                if (out.size() > limits_.max_monomials) {
+                    throw ValidationOverflow();
+                }
+            }
+        }
+        return out;
+    }
+
+    void
+    check_size(const Poly& p) const
+    {
+        if (p.size() > limits_.max_monomials) {
+            throw ValidationOverflow();
+        }
+    }
+
+    /** Deterministic text key of a polynomial (for nested atoms). */
+    std::string
+    poly_key(const Poly& p) const
+    {
+        std::ostringstream os;
+        for (const auto& [m, c] : p) {
+            os << c.to_string() << ':';
+            for (const int a : m) {
+                os << a << ',';
+            }
+            os << ';';
+        }
+        return os.str();
+    }
+
+    /** Square root of a rational if it is an exact perfect square. */
+    static std::optional<Rational>
+    exact_sqrt(const Rational& r)
+    {
+        if (r < Rational(0)) {
+            return std::nullopt;
+        }
+        auto isqrt = [](std::int64_t v) -> std::optional<std::int64_t> {
+            const auto root = static_cast<std::int64_t>(
+                std::llround(std::sqrt(static_cast<double>(v))));
+            for (std::int64_t cand = std::max<std::int64_t>(0, root - 2);
+                 cand <= root + 2; ++cand) {
+                if (cand * cand == v) {
+                    return cand;
+                }
+            }
+            return std::nullopt;
+        };
+        const auto n = isqrt(r.num());
+        const auto d = isqrt(r.den());
+        if (n && d) {
+            return Rational(*n, *d);
+        }
+        return std::nullopt;
+    }
+
+    Poly
+    compute(const TermRef& t)
+    {
+        switch (t->op()) {
+          case Op::kConst:
+            return constant(t->value());
+          case Op::kSymbol:
+            return atom_poly("S:" + t->symbol().str());
+          case Op::kGet:
+            return atom_poly("G:" + t->symbol().str() + ":" +
+                             std::to_string(t->index()));
+          case Op::kAdd:
+            return add(canonical(t->child(0)), canonical(t->child(1)));
+          case Op::kSub:
+            return add(canonical(t->child(0)),
+                       scale(canonical(t->child(1)), Rational(-1)));
+          case Op::kNeg:
+            return scale(canonical(t->child(0)), Rational(-1));
+          case Op::kMul:
+            return mul(canonical(t->child(0)), canonical(t->child(1)));
+          case Op::kDiv:
+          case Op::kRecip: {
+            const Poly& den = canonical(
+                t->op() == Op::kDiv ? t->child(1) : t->child(0));
+            const Poly num_poly =
+                t->op() == Op::kDiv
+                    ? canonical(t->child(0))
+                    : constant(Rational(1));
+            // Constant denominator: exact division.
+            if (den.empty()) {
+                // Division by (exactly) zero: undefined over the reals;
+                // represent opaquely so both sides at least agree.
+                return mul(num_poly, atom_poly("R:zero"));
+            }
+            if (den.size() == 1 && den.begin()->first.empty()) {
+                return scale(num_poly, Rational(1) / den.begin()->second);
+            }
+            return mul(num_poly, atom_poly("R:" + poly_key(den)));
+          }
+          case Op::kSqrt: {
+            const Poly& arg = canonical(t->child(0));
+            if (arg.empty()) {
+                return constant(Rational(0));
+            }
+            if (arg.size() == 1 && arg.begin()->first.empty()) {
+                if (const auto root = exact_sqrt(arg.begin()->second)) {
+                    return constant(*root);
+                }
+            }
+            return atom_poly("Q:" + poly_key(arg));
+          }
+          case Op::kSgn: {
+            const Poly& arg = canonical(t->child(0));
+            if (arg.empty()) {
+                return constant(Rational(0));
+            }
+            if (arg.size() == 1 && arg.begin()->first.empty()) {
+                return constant(
+                    Rational(arg.begin()->second < Rational(0) ? -1 : 1));
+            }
+            return atom_poly("N:" + poly_key(arg));
+          }
+          case Op::kCall: {
+            std::string key = "C:" + t->symbol().str();
+            for (const TermRef& c : t->children()) {
+                key += "|" + poly_key(canonical(c));
+            }
+            return atom_poly(key);
+          }
+          default:
+            throw UserError("cannot canonicalize vector operator " +
+                            std::string(op_name(t->op())) +
+                            "; devectorize first");
+        }
+    }
+
+    ValidationLimits limits_;
+    std::unordered_map<std::string, int> atom_ids_;
+    std::unordered_map<const Term*, Poly> memo_;
+};
+
+}  // namespace
+
+Verdict
+scalar_equivalent(const TermRef& a, const TermRef& b,
+                  const ValidationLimits& limits)
+{
+    try {
+        Canonicalizer canon(limits);
+        return canon.canonical(a) == canon.canonical(b)
+                   ? Verdict::kEquivalent
+                   : Verdict::kNotEquivalent;
+    } catch (const RationalOverflow&) {
+        return Verdict::kUnknown;
+    } catch (const ValidationOverflow&) {
+        return Verdict::kUnknown;
+    }
+}
+
+Verdict
+validate_translation(const TermRef& spec, const TermRef& optimized,
+                     const ValidationLimits& limits)
+{
+    const std::vector<TermRef> lhs = devectorize(spec);
+    const std::vector<TermRef> rhs = devectorize(optimized);
+    if (rhs.size() < lhs.size()) {
+        return Verdict::kNotEquivalent;
+    }
+    try {
+        Canonicalizer canon(limits);
+        const TermRef zero = Term::constant(Rational(0));
+        for (std::size_t i = 0; i < rhs.size(); ++i) {
+            const TermRef& expected = i < lhs.size() ? lhs[i] : zero;
+            if (!(canon.canonical(expected) == canon.canonical(rhs[i]))) {
+                return Verdict::kNotEquivalent;
+            }
+        }
+        return Verdict::kEquivalent;
+    } catch (const RationalOverflow&) {
+        return Verdict::kUnknown;
+    } catch (const ValidationOverflow&) {
+        return Verdict::kUnknown;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Randomized differential testing
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/** Collects, per input array, the maximum Get index. */
+void
+collect_arrays(const TermRef& t,
+               std::unordered_map<Symbol, std::int64_t>& max_index,
+               std::unordered_map<const Term*, bool>& seen)
+{
+    if (seen.count(t.get())) {
+        return;
+    }
+    seen.emplace(t.get(), true);
+    if (t->op() == Op::kGet) {
+        auto [it, inserted] = max_index.try_emplace(t->symbol(), t->index());
+        if (!inserted) {
+            it->second = std::max(it->second, t->index());
+        }
+    }
+    for (const TermRef& c : t->children()) {
+        collect_arrays(c, max_index, seen);
+    }
+}
+
+bool
+values_close(double a, double b, double tol)
+{
+    if (std::isnan(a) && std::isnan(b)) {
+        return true;
+    }
+    const double scale = std::max({1.0, std::abs(a), std::abs(b)});
+    return std::abs(a - b) <= tol * scale;
+}
+
+}  // namespace
+
+bool
+random_equivalent(const TermRef& spec, const TermRef& optimized, int trials,
+                  std::uint64_t seed, double tolerance)
+{
+    std::unordered_map<Symbol, std::int64_t> max_index;
+    std::unordered_map<const Term*, bool> seen;
+    collect_arrays(spec, max_index, seen);
+    collect_arrays(optimized, max_index, seen);
+
+    Rng rng(seed);
+    for (int trial = 0; trial < trials; ++trial) {
+        EvalEnv env;
+        for (const auto& [array, max_i] : max_index) {
+            std::vector<double> data(static_cast<std::size_t>(max_i) + 1);
+            for (double& v : data) {
+                // Stay away from zero so / and accumulated cancellations
+                // behave; mixed signs keep sgn/neg paths honest.
+                const double magnitude = rng.uniform(0.5, 3.0);
+                v = rng.uniform_int(0, 1) ? magnitude : -magnitude;
+            }
+            env.bind_array(array.str(), std::move(data));
+        }
+        const std::vector<double> lhs = evaluate(spec, env);
+        std::vector<double> rhs = evaluate(optimized, env);
+        if (rhs.size() < lhs.size()) {
+            return false;
+        }
+        for (std::size_t i = 0; i < rhs.size(); ++i) {
+            const double expected = i < lhs.size() ? lhs[i] : 0.0;
+            if (!values_close(expected, rhs[i], tolerance)) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+}  // namespace diospyros

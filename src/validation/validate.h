@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Translation validation (paper §3.4).
+ *
+ * The original Diospyros discharges spec ≡ optimized with Rosette/SMT over
+ * *real* arithmetic. This module decides the same theory fragment exactly,
+ * without a solver: both programs are devectorized to per-output scalar
+ * terms and canonicalized as multivariate polynomials over exact rationals
+ * (atoms = Get/Symbol leaves plus opaque wrappers for div, sqrt, sgn,
+ * recip, and user calls, keyed by the canonical form of their arguments).
+ * Two terms are equivalent over the reals modulo AC of +/× and
+ * distribution — exactly the equalities Diospyros's rewrite rules can
+ * introduce — iff their canonical polynomials are equal.
+ *
+ * If exact canonicalization overflows (rational coefficients or monomial
+ * counts), the result is kUnknown and callers fall back to the randomized
+ * differential tester below — the verdict is never silently wrong.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/term.h"
+
+namespace diospyros {
+
+/** Outcome of translation validation. */
+enum class Verdict {
+    kEquivalent,
+    kNotEquivalent,
+    kUnknown,  ///< exact canonicalization exceeded resource caps
+};
+
+const char* verdict_name(Verdict v);
+
+/**
+ * Flattens a vector-DSL term into one scalar term per output element
+ * (Vec/Concat/List structure dissolved, lane-wise operators distributed).
+ */
+std::vector<TermRef> devectorize(const TermRef& term);
+
+/** Resource caps for exact canonicalization. */
+struct ValidationLimits {
+    /** Maximum monomials in any intermediate polynomial. */
+    std::size_t max_monomials = 100'000;
+};
+
+/**
+ * Exact equivalence of two programs in the vector DSL. Both are
+ * devectorized; `optimized` may be longer than `spec` (zero padding): the
+ * extra positions must canonicalize to zero.
+ */
+Verdict validate_translation(const TermRef& spec, const TermRef& optimized,
+                             const ValidationLimits& limits = {});
+
+/** Exact equivalence of two scalar terms. */
+Verdict scalar_equivalent(const TermRef& a, const TermRef& b,
+                          const ValidationLimits& limits = {});
+
+/**
+ * Randomized differential testing: evaluates both programs on `trials`
+ * random environments (inputs drawn from ±[0.5, 3] so division stays
+ * away from zero and sqrt arguments that appear in practice stay
+ * positive) and compares with relative tolerance. Returns false on the
+ * first mismatch.
+ */
+bool random_equivalent(const TermRef& spec, const TermRef& optimized,
+                       int trials = 16, std::uint64_t seed = 1,
+                       double tolerance = 1e-4);
+
+}  // namespace diospyros

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Pretty-printing vector IR as C++ with Tensilica-style PDX_* intrinsics
+ * (the artifact the real Diospyros hands to the vendor toolchain, §4).
+ *
+ * The simulated DSP executes the emit.h path; this printer produces the
+ * human-facing kernel source so users can inspect — or port — what the
+ * compiler found.
+ */
+#pragma once
+
+#include <string>
+
+#include "vir/vir.h"
+
+namespace diospyros::vir {
+
+/** Renders a compiled kernel as C++-with-intrinsics source text. */
+std::string to_c_intrinsics(const VProgram& program,
+                            const std::string& kernel_name);
+
+}  // namespace diospyros::vir

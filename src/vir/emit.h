@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Instruction selection: vector IR -> simulated DSP machine code
+ * (paper §4, "Instruction selection"; §5.1 for the shuffle/select
+ * lowering).
+ *
+ * Values map 1:1 onto virtual machine registers, except that accumulator
+ * patterns reuse registers in place when the operand is at its last use —
+ * VecMAC lowers to a single `vmac` rather than copy+mac, matching how the
+ * vendor toolchain allocates PDX_MAC accumulators.
+ *
+ * Literal lane vectors are materialized through a constant pool appended
+ * to the kernel's memory image.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "machine/program.h"
+#include "machine/sim.h"
+#include "machine/target.h"
+#include "scalar/ast.h"
+#include "scalar/interp.h"
+#include "vir/vir.h"
+
+namespace diospyros::vir {
+
+/**
+ * Memory placement for a compiled kernel: every array padded to a
+ * multiple of the vector width (so aligned block loads/stores stay in
+ * bounds), plus the constant pool.
+ */
+class CompiledLayout {
+  public:
+    struct Entry {
+        std::string name;
+        int base = 0;
+        std::int64_t real_len = 0;
+        std::int64_t padded_len = 0;
+        scalar::ArrayRole role = scalar::ArrayRole::kInput;
+    };
+
+    /** Pads and places all kernel arrays. */
+    static CompiledLayout make(const scalar::Kernel& kernel, int width);
+
+    int base_of(const std::string& name) const;
+    const std::vector<Entry>& entries() const { return entries_; }
+
+    /** Appends `values` to the constant pool; returns its address. */
+    int add_pool_constant(const std::vector<float>& values);
+
+    /**
+     * Builds a simulator Memory: arrays (inputs initialized, zero-padded)
+     * followed by the constant pool.
+     */
+    Memory make_memory(const scalar::BufferMap& inputs) const;
+
+    /** Reads the real (unpadded) output arrays back. */
+    scalar::BufferMap read_outputs(const Memory& memory) const;
+
+  private:
+    std::vector<Entry> entries_;
+    int pool_base_ = 0;
+    std::vector<float> pool_;
+};
+
+/**
+ * Emits machine code for a vector-IR program against a concrete target
+ * (scalar-MAC availability and vector width come from `target`). The
+ * layout's constant pool is extended as literal vectors are placed, so
+ * emit before calling make_memory().
+ */
+Program emit_machine(const VProgram& program, CompiledLayout& layout,
+                     const TargetSpec& target);
+
+}  // namespace diospyros::vir

@@ -1,0 +1,527 @@
+#include "vir/lower_term.h"
+
+#include <map>
+#include <unordered_map>
+
+#include "support/error.h"
+
+namespace diospyros::vir {
+
+namespace {
+
+/** Where one Vec lane's value comes from. */
+struct LaneSource {
+    enum class Kind { kGet, kConstant, kScalarExpr } kind;
+    // kGet
+    Symbol array;
+    std::int64_t index = 0;
+    // kConstant
+    double value = 0.0;
+    // kScalarExpr
+    const Term* expr = nullptr;
+};
+
+class TermLowering {
+  public:
+    TermLowering(int width, const std::vector<OutputSlot>& outputs,
+                 bool fuse_scalar_mac)
+        : width_(width), outputs_(outputs),
+          fuse_scalar_mac_(fuse_scalar_mac)
+    {
+        prog_.vector_width = width;
+    }
+
+    VProgram
+    run(const TermRef& root)
+    {
+        lower_outputs(root);
+        return std::move(prog_);
+    }
+
+  private:
+    // --- Scalar expressions -----------------------------------------------
+
+    int
+    scalar_value(const Term* t)
+    {
+        auto it = scalar_memo_.find(t);
+        if (it != scalar_memo_.end()) {
+            return it->second;
+        }
+        const int id = compute_scalar(t);
+        scalar_memo_.emplace(t, id);
+        return id;
+    }
+
+    int
+    compute_scalar(const Term* t)
+    {
+        switch (t->op()) {
+          case Op::kConst: {
+            const int dst = prog_.fresh_scalar();
+            push({.op = VOp::kSConst,
+                  .dst = dst,
+                  .values = {t->value().to_double()}});
+            return dst;
+          }
+          case Op::kGet: {
+            const int dst = prog_.fresh_scalar();
+            VInstr i{.op = VOp::kSLoad, .dst = dst};
+            i.array = t->symbol();
+            i.offset = t->index();
+            push(std::move(i));
+            return dst;
+          }
+          case Op::kAdd: {
+            // Scalar MAC fusion: a + b*c in either operand order (only
+            // when the target actually has a scalar MAC; otherwise keep
+            // the mul visible so LVN can share it).
+            const Term* lhs = t->child(0).get();
+            const Term* rhs = t->child(1).get();
+            if (rhs->op() != Op::kMul && lhs->op() == Op::kMul) {
+                std::swap(lhs, rhs);
+            }
+            if (fuse_scalar_mac_ && rhs->op() == Op::kMul) {
+                const int a = scalar_value(lhs);
+                const int b = scalar_value(rhs->child(0).get());
+                const int c = scalar_value(rhs->child(1).get());
+                const int dst = prog_.fresh_scalar();
+                push({.op = VOp::kSMac, .dst = dst, .a = a, .b = b, .c = c});
+                return dst;
+            }
+            [[fallthrough]];
+          }
+          case Op::kSub:
+          case Op::kMul:
+          case Op::kDiv: {
+            const int a = scalar_value(t->child(0).get());
+            const int b = scalar_value(t->child(1).get());
+            const int dst = prog_.fresh_scalar();
+            push({.op = VOp::kSBinary,
+                  .alu = t->op(),
+                  .dst = dst,
+                  .a = a,
+                  .b = b});
+            return dst;
+          }
+          case Op::kNeg:
+          case Op::kSqrt:
+          case Op::kSgn:
+          case Op::kRecip: {
+            const int a = scalar_value(t->child(0).get());
+            const int dst = prog_.fresh_scalar();
+            push({.op = VOp::kSUnary, .alu = t->op(), .dst = dst, .a = a});
+            return dst;
+          }
+          case Op::kCall: {
+            std::vector<int> args;
+            args.reserve(t->arity());
+            for (const TermRef& c : t->children()) {
+                args.push_back(scalar_value(c.get()));
+            }
+            const int dst = prog_.fresh_scalar();
+            VInstr i{.op = VOp::kSCall, .dst = dst};
+            i.args = std::move(args);
+            i.fn = t->symbol();
+            push(std::move(i));
+            return dst;
+          }
+          case Op::kSymbol:
+            throw UserError("free scalar variable in extracted program: " +
+                            t->symbol().str());
+          default:
+            throw UserError(
+                std::string("vector operator in scalar position: ") +
+                op_name(t->op()));
+        }
+    }
+
+    // --- Vector expressions --------------------------------------------------
+
+    int
+    vector_value(const Term* t)
+    {
+        auto it = vector_memo_.find(t);
+        if (it != vector_memo_.end()) {
+            return it->second;
+        }
+        const int id = compute_vector(t);
+        vector_memo_.emplace(t, id);
+        return id;
+    }
+
+    int
+    compute_vector(const Term* t)
+    {
+        switch (t->op()) {
+          case Op::kVec:
+            return materialize_vec(t);
+          case Op::kVecAdd:
+          case Op::kVecMinus:
+          case Op::kVecMul:
+          case Op::kVecDiv: {
+            static const std::unordered_map<Op, Op> kScalarOf = {
+                {Op::kVecAdd, Op::kAdd},
+                {Op::kVecMinus, Op::kSub},
+                {Op::kVecMul, Op::kMul},
+                {Op::kVecDiv, Op::kDiv},
+            };
+            const int a = vector_value(t->child(0).get());
+            const int b = vector_value(t->child(1).get());
+            const int dst = prog_.fresh_vector();
+            push({.op = VOp::kVBinary,
+                  .alu = kScalarOf.at(t->op()),
+                  .dst = dst,
+                  .a = a,
+                  .b = b});
+            return dst;
+          }
+          case Op::kVecMAC: {
+            const int acc = vector_value(t->child(0).get());
+            const int x = vector_value(t->child(1).get());
+            const int y = vector_value(t->child(2).get());
+            const int dst = prog_.fresh_vector();
+            push({.op = VOp::kVMac, .dst = dst, .a = acc, .b = x, .c = y});
+            return dst;
+          }
+          case Op::kVecNeg:
+          case Op::kVecSgn:
+          case Op::kVecSqrt:
+          case Op::kVecRecip: {
+            static const std::unordered_map<Op, Op> kScalarOf = {
+                {Op::kVecNeg, Op::kNeg},
+                {Op::kVecSgn, Op::kSgn},
+                {Op::kVecSqrt, Op::kSqrt},
+                {Op::kVecRecip, Op::kRecip},
+            };
+            const int a = vector_value(t->child(0).get());
+            const int dst = prog_.fresh_vector();
+            push({.op = VOp::kVUnary,
+                  .alu = kScalarOf.at(t->op()),
+                  .dst = dst,
+                  .a = a});
+            return dst;
+          }
+          default:
+            throw UserError(
+                std::string("unsupported operator in vector position: ") +
+                op_name(t->op()));
+        }
+    }
+
+    /** Classifies one Vec lane. */
+    static LaneSource
+    classify_lane(const Term* lane)
+    {
+        switch (lane->op()) {
+          case Op::kConst:
+            return LaneSource{.kind = LaneSource::Kind::kConstant,
+                              .value = lane->value().to_double()};
+          case Op::kGet:
+            return LaneSource{.kind = LaneSource::Kind::kGet,
+                              .array = lane->symbol(),
+                              .index = lane->index()};
+          default:
+            return LaneSource{.kind = LaneSource::Kind::kScalarExpr,
+                              .expr = lane};
+        }
+    }
+
+    /** Aligned block load, memoized per (array, block). */
+    int
+    block_load(Symbol array, std::int64_t block_base)
+    {
+        const auto key = std::make_pair(array, block_base);
+        auto it = block_loads_.find(key);
+        if (it != block_loads_.end()) {
+            return it->second;
+        }
+        const int dst = prog_.fresh_vector();
+        VInstr i{.op = VOp::kVLoadA, .dst = dst};
+        i.array = array;
+        i.offset = block_base;
+        push(std::move(i));
+        block_loads_.emplace(key, dst);
+        return dst;
+    }
+
+    /** Implements the gather plan for a Vec term. */
+    int
+    materialize_vec(const Term* t)
+    {
+        DIOS_CHECK(static_cast<int>(t->arity()) == width_,
+                   "Vec width does not match the target vector width");
+        std::vector<LaneSource> lanes;
+        lanes.reserve(t->arity());
+        for (const TermRef& c : t->children()) {
+            lanes.push_back(classify_lane(c.get()));
+        }
+
+        // Fast path: a contiguous aligned run from one array.
+        {
+            bool contiguous = lanes[0].kind == LaneSource::Kind::kGet &&
+                              lanes[0].index % width_ == 0;
+            for (int l = 1; contiguous && l < width_; ++l) {
+                const auto& s = lanes[static_cast<std::size_t>(l)];
+                contiguous = s.kind == LaneSource::Kind::kGet &&
+                             s.array == lanes[0].array &&
+                             s.index == lanes[0].index + l;
+            }
+            if (contiguous) {
+                return block_load(lanes[0].array, lanes[0].index);
+            }
+        }
+
+        // Gather plan: (source vector, lane-within-source) per lane.
+        struct Placement {
+            int source = -1;
+            int lane = 0;
+        };
+        std::vector<Placement> place(static_cast<std::size_t>(width_));
+        std::vector<int> sources;  // distinct vector ids, fold order
+        auto source_slot = [&sources](int vec_id) {
+            for (std::size_t s = 0; s < sources.size(); ++s) {
+                if (sources[s] == vec_id) {
+                    return static_cast<int>(s);
+                }
+            }
+            sources.push_back(vec_id);
+            return static_cast<int>(sources.size() - 1);
+        };
+
+        // Constants share one literal vector, already in final positions.
+        bool any_const = false;
+        std::vector<double> const_lanes(static_cast<std::size_t>(width_),
+                                        0.0);
+        for (int l = 0; l < width_; ++l) {
+            if (lanes[static_cast<std::size_t>(l)].kind ==
+                LaneSource::Kind::kConstant) {
+                any_const = true;
+                const_lanes[static_cast<std::size_t>(l)] =
+                    lanes[static_cast<std::size_t>(l)].value;
+            }
+        }
+        int const_vec = -1;
+        if (any_const) {
+            const_vec = prog_.fresh_vector();
+            VInstr i{.op = VOp::kVConst, .dst = const_vec};
+            i.values = const_lanes;
+            push(std::move(i));
+        }
+
+        for (int l = 0; l < width_; ++l) {
+            const auto& s = lanes[static_cast<std::size_t>(l)];
+            switch (s.kind) {
+              case LaneSource::Kind::kGet: {
+                const std::int64_t block = (s.index / width_) * width_;
+                const int vec = block_load(s.array, block);
+                place[static_cast<std::size_t>(l)] =
+                    Placement{source_slot(vec),
+                              static_cast<int>(s.index - block)};
+                break;
+              }
+              case LaneSource::Kind::kConstant:
+                place[static_cast<std::size_t>(l)] =
+                    Placement{source_slot(const_vec), l};
+                break;
+              case LaneSource::Kind::kScalarExpr:
+                // Inserted after vector assembly.
+                break;
+            }
+        }
+
+        int cur = -1;
+        if (sources.empty()) {
+            // Every lane is scalar computation: start from zeros.
+            cur = prog_.fresh_vector();
+            VInstr i{.op = VOp::kVConst, .dst = cur};
+            i.values.assign(static_cast<std::size_t>(width_), 0.0);
+            push(std::move(i));
+        } else if (sources.size() == 1) {
+            // One source: identity passthrough or a single shuffle.
+            bool identity = true;
+            for (int l = 0; l < width_; ++l) {
+                const auto& p = place[static_cast<std::size_t>(l)];
+                if (p.source == 0 && p.lane != l) {
+                    identity = false;
+                }
+            }
+            bool covers_all = true;
+            for (int l = 0; l < width_; ++l) {
+                covers_all &= place[static_cast<std::size_t>(l)].source == 0;
+            }
+            if (identity && covers_all) {
+                cur = sources[0];
+            } else {
+                std::vector<int> table(static_cast<std::size_t>(width_), 0);
+                for (int l = 0; l < width_; ++l) {
+                    const auto& p = place[static_cast<std::size_t>(l)];
+                    table[static_cast<std::size_t>(l)] =
+                        p.source == 0 ? p.lane : 0;
+                }
+                cur = prog_.fresh_vector();
+                VInstr i{.op = VOp::kShuffle, .dst = cur, .a = sources[0]};
+                i.lanes = std::move(table);
+                push(std::move(i));
+            }
+        } else {
+            // Nested two-register selects (paper §5.1): the first select
+            // places sources 0 and 1 into final lane positions; each
+            // further select folds one more source in.
+            std::vector<int> table(static_cast<std::size_t>(width_), 0);
+            for (int l = 0; l < width_; ++l) {
+                const auto& p = place[static_cast<std::size_t>(l)];
+                if (p.source == 0) {
+                    table[static_cast<std::size_t>(l)] = p.lane;
+                } else if (p.source == 1) {
+                    table[static_cast<std::size_t>(l)] = width_ + p.lane;
+                }
+            }
+            cur = prog_.fresh_vector();
+            {
+                VInstr i{.op = VOp::kSelect,
+                         .dst = cur,
+                         .a = sources[0],
+                         .b = sources[1]};
+                i.lanes = table;
+                push(std::move(i));
+            }
+            for (std::size_t s = 2; s < sources.size(); ++s) {
+                std::vector<int> fold(static_cast<std::size_t>(width_));
+                for (int l = 0; l < width_; ++l) {
+                    const auto& p = place[static_cast<std::size_t>(l)];
+                    fold[static_cast<std::size_t>(l)] =
+                        (p.source == static_cast<int>(s))
+                            ? width_ + p.lane
+                            : l;
+                }
+                const int next = prog_.fresh_vector();
+                VInstr i{.op = VOp::kSelect,
+                         .dst = next,
+                         .a = cur,
+                         .b = sources[s]};
+                i.lanes = std::move(fold);
+                push(std::move(i));
+                cur = next;
+            }
+        }
+
+        // Insert leftover scalar-computation lanes.
+        for (int l = 0; l < width_; ++l) {
+            const auto& s = lanes[static_cast<std::size_t>(l)];
+            if (s.kind != LaneSource::Kind::kScalarExpr) {
+                continue;
+            }
+            const int sval = scalar_value(s.expr);
+            const int next = prog_.fresh_vector();
+            VInstr i{.op = VOp::kInsert, .dst = next, .a = cur, .b = sval};
+            i.lane = l;
+            push(std::move(i));
+            cur = next;
+        }
+        return cur;
+    }
+
+    // --- Output mapping -------------------------------------------------------
+
+    /** (array name, local offset) for a flattened padded position. */
+    std::pair<std::string, std::int64_t>
+    locate(std::int64_t pos) const
+    {
+        std::int64_t base = 0;
+        for (const OutputSlot& slot : outputs_) {
+            if (pos < base + slot.padded_len) {
+                return {slot.name, pos - base};
+            }
+            base += slot.padded_len;
+        }
+        throw UserError("output position out of range");
+    }
+
+    /** Flattens List / Concat structure into storeable elements. */
+    void
+    collect_elements(const TermRef& t, std::vector<TermRef>& out)
+    {
+        if (t->op() == Op::kList || t->op() == Op::kConcat) {
+            for (const TermRef& c : t->children()) {
+                collect_elements(c, out);
+            }
+            return;
+        }
+        out.push_back(t);
+    }
+
+    void
+    lower_outputs(const TermRef& root)
+    {
+        std::int64_t total_padded = 0;
+        for (const OutputSlot& slot : outputs_) {
+            DIOS_CHECK(slot.padded_len % width_ == 0,
+                       "output slot not padded to the vector width");
+            total_padded += slot.padded_len;
+        }
+
+        std::vector<TermRef> elements;
+        collect_elements(root, elements);
+
+        std::int64_t pos = 0;
+        for (const TermRef& e : elements) {
+            if (e->is_scalar()) {
+                // Skip constant-zero scalar stores: output memory starts
+                // zeroed, and padding elements are all zero.
+                if (!e->is_zero()) {
+                    const auto [array, offset] = locate(pos);
+                    const int sval = scalar_value(e.get());
+                    VInstr i{.op = VOp::kSStore, .a = sval};
+                    i.array = Symbol(array);
+                    i.offset = offset;
+                    push(std::move(i));
+                }
+                pos += 1;
+                continue;
+            }
+            const Shape shape = check_shape(e);
+            DIOS_CHECK(shape.kind == Shape::Kind::kVector &&
+                           shape.width == width_,
+                       "top-level vector element has unexpected width");
+            const auto [array, offset] = locate(pos);
+            DIOS_CHECK(offset % width_ == 0,
+                       "vector store is not aligned to the output slot");
+            const int vec = vector_value(e.get());
+            VInstr i{.op = VOp::kVStore, .a = vec};
+            i.array = Symbol(array);
+            i.offset = offset;
+            push(std::move(i));
+            pos += width_;
+        }
+        DIOS_CHECK(pos == total_padded,
+                   "extracted program width does not match output layout");
+    }
+
+    void
+    push(VInstr instr)
+    {
+        prog_.instrs.push_back(std::move(instr));
+    }
+
+    int width_;
+    const std::vector<OutputSlot>& outputs_;
+    bool fuse_scalar_mac_;
+    VProgram prog_;
+    std::unordered_map<const Term*, int> scalar_memo_;
+    std::unordered_map<const Term*, int> vector_memo_;
+    std::map<std::pair<Symbol, std::int64_t>, int> block_loads_;
+};
+
+}  // namespace
+
+VProgram
+lower_term(const TermRef& root, int width,
+           const std::vector<OutputSlot>& outputs, bool fuse_scalar_mac)
+{
+    DIOS_ASSERT(root != nullptr, "lower_term() on null term");
+    TermLowering lowering(width, outputs, fuse_scalar_mac);
+    return lowering.run(root);
+}
+
+}  // namespace diospyros::vir

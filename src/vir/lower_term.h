@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Lowering extracted vector-DSL programs to the backend vector IR
+ * (paper §4).
+ *
+ * The key job is translating `Vec` terms — whose lanes may name arbitrary
+ * memory locations, constants, or leftover scalar expressions — into
+ * concrete data movement:
+ *   - a contiguous aligned run of one array becomes a single vector load;
+ *   - other single/multi-array gathers load the touched aligned blocks and
+ *     combine them with one shuffle or a chain of two-register selects
+ *     (nested selects, exactly how the Tensilica backend lowers >2-register
+ *     gathers, §5.1);
+ *   - constant lanes ride in literal vectors;
+ *   - scalar-computation lanes are computed scalar-side and inserted.
+ *
+ * Output positions are assigned against a *padded* output layout: each
+ * output array is padded to a multiple of the vector width so vector
+ * stores never straddle arrays (the compiler driver pads the spec to
+ * match; see compiler/driver.h).
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/term.h"
+#include "vir/vir.h"
+
+namespace diospyros::vir {
+
+/** One output array in flattened, padded output space. */
+struct OutputSlot {
+    std::string name;
+    std::int64_t real_len = 0;
+    std::int64_t padded_len = 0;  ///< rounded up to the vector width
+};
+
+/**
+ * Lowers an extracted program to vector IR.
+ *
+ * @param root     extracted term: a List (scalar or mixed) or Concat/Vec
+ *                 tree whose flattened width equals the total padded
+ *                 output length
+ * @param width    machine vector width
+ * @param outputs  output arrays in spec order
+ */
+VProgram lower_term(const TermRef& root, int width,
+                    const std::vector<OutputSlot>& outputs,
+                    bool fuse_scalar_mac = true);
+
+}  // namespace diospyros::vir

@@ -1,0 +1,237 @@
+#include "vir/lvn.h"
+
+#include <functional>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "support/error.h"
+
+namespace diospyros::vir {
+
+namespace {
+
+/** Canonical textual key for a value-producing instruction. */
+std::string
+value_key(const VInstr& i)
+{
+    std::ostringstream os;
+    os << static_cast<int>(i.op) << '|' << static_cast<int>(i.alu) << '|'
+       << i.a << ',' << i.b << ',' << i.c << '|';
+    for (const int arg : i.args) {
+        os << arg << ';';
+    }
+    os << '|' << (i.fn.valid() ? i.fn.str() : "") << '|'
+       << (i.array.valid() ? i.array.str() : "") << '|' << i.offset << '|'
+       << i.lane << '|';
+    for (const int l : i.lanes) {
+        os << l << ';';
+    }
+    os << '|';
+    for (const double v : i.values) {
+        os << v << ';';
+    }
+    return os.str();
+}
+
+/** Applies a value renaming to an instruction's operands. */
+void
+rename_operands(VInstr& i, const std::unordered_map<int, int>& s_rename,
+                const std::unordered_map<int, int>& v_rename)
+{
+    auto fix = [](int& operand, const std::unordered_map<int, int>& map) {
+        if (operand < 0) {
+            return;
+        }
+        auto it = map.find(operand);
+        if (it != map.end()) {
+            operand = it->second;
+        }
+    };
+    switch (i.op) {
+      case VOp::kSBinary:
+      case VOp::kSMac:
+        fix(i.a, s_rename);
+        fix(i.b, s_rename);
+        fix(i.c, s_rename);
+        break;
+      case VOp::kSUnary:
+        fix(i.a, s_rename);
+        break;
+      case VOp::kSCall:
+        for (int& arg : i.args) {
+            fix(arg, s_rename);
+        }
+        break;
+      case VOp::kSExtract:
+        fix(i.a, v_rename);
+        break;
+      case VOp::kShuffle:
+      case VOp::kVUnary:
+        fix(i.a, v_rename);
+        break;
+      case VOp::kSelect:
+      case VOp::kVBinary:
+        fix(i.a, v_rename);
+        fix(i.b, v_rename);
+        break;
+      case VOp::kVMac:
+        fix(i.a, v_rename);
+        fix(i.b, v_rename);
+        fix(i.c, v_rename);
+        break;
+      case VOp::kInsert:
+        fix(i.a, v_rename);
+        fix(i.b, s_rename);
+        break;
+      case VOp::kVStore:
+        fix(i.a, v_rename);
+        break;
+      case VOp::kSStore:
+        fix(i.a, s_rename);
+        break;
+      case VOp::kSConst:
+      case VOp::kSLoad:
+      case VOp::kVLoadA:
+      case VOp::kVConst:
+        break;
+    }
+}
+
+/** Collects the operand value ids (scalars and vectors) of an instr. */
+void
+for_each_use(const VInstr& i, const std::function<void(int, bool)>& fn)
+{
+    // fn(value_id, is_vector)
+    switch (i.op) {
+      case VOp::kSBinary:
+        fn(i.a, false);
+        fn(i.b, false);
+        break;
+      case VOp::kSMac:
+        fn(i.a, false);
+        fn(i.b, false);
+        fn(i.c, false);
+        break;
+      case VOp::kSUnary:
+        fn(i.a, false);
+        break;
+      case VOp::kSCall:
+        for (const int arg : i.args) {
+            fn(arg, false);
+        }
+        break;
+      case VOp::kSExtract:
+        fn(i.a, true);
+        break;
+      case VOp::kShuffle:
+      case VOp::kVUnary:
+        fn(i.a, true);
+        break;
+      case VOp::kSelect:
+      case VOp::kVBinary:
+        fn(i.a, true);
+        fn(i.b, true);
+        break;
+      case VOp::kVMac:
+        fn(i.a, true);
+        fn(i.b, true);
+        fn(i.c, true);
+        break;
+      case VOp::kInsert:
+        fn(i.a, true);
+        fn(i.b, false);
+        break;
+      case VOp::kVStore:
+        fn(i.a, true);
+        break;
+      case VOp::kSStore:
+        fn(i.a, false);
+        break;
+      case VOp::kSConst:
+      case VOp::kSLoad:
+      case VOp::kVLoadA:
+      case VOp::kVConst:
+        break;
+    }
+}
+
+bool
+is_store(const VInstr& i)
+{
+    return i.op == VOp::kVStore || i.op == VOp::kSStore;
+}
+
+}  // namespace
+
+LvnStats
+run_lvn(VProgram& program)
+{
+    LvnStats stats;
+    stats.input_instrs = program.instrs.size();
+
+    // Pass 1: forward value numbering.
+    std::unordered_map<std::string, int> table;
+    std::unordered_map<int, int> s_rename, v_rename;
+    std::vector<VInstr> numbered;
+    numbered.reserve(program.instrs.size());
+    for (VInstr i : program.instrs) {
+        rename_operands(i, s_rename, v_rename);
+        if (is_store(i)) {
+            numbered.push_back(std::move(i));
+            continue;
+        }
+        const std::string key = value_key(i);
+        auto [it, inserted] = table.try_emplace(key, i.dst);
+        if (!inserted) {
+            auto& rename =
+                vop_writes_vector(i.op) ? v_rename : s_rename;
+            rename[i.dst] = it->second;
+            ++stats.value_numbered;
+            continue;
+        }
+        numbered.push_back(std::move(i));
+    }
+
+    // Pass 2: backward liveness; stores are roots.
+    std::vector<bool> live_s(
+        static_cast<std::size_t>(program.num_scalar_values), false);
+    std::vector<bool> live_v(
+        static_cast<std::size_t>(program.num_vector_values), false);
+    auto mark = [&](int id, bool is_vec) {
+        if (id < 0) {
+            return;
+        }
+        auto& live = is_vec ? live_v : live_s;
+        live[static_cast<std::size_t>(id)] = true;
+    };
+    std::vector<bool> keep(numbered.size(), false);
+    for (std::size_t idx = numbered.size(); idx-- > 0;) {
+        const VInstr& i = numbered[idx];
+        const bool needed =
+            is_store(i) ||
+            (i.dst >= 0 &&
+             (vop_writes_vector(i.op)
+                  ? live_v[static_cast<std::size_t>(i.dst)]
+                  : live_s[static_cast<std::size_t>(i.dst)]));
+        if (!needed) {
+            ++stats.dead_removed;
+            continue;
+        }
+        keep[idx] = true;
+        for_each_use(i, mark);
+    }
+
+    std::vector<VInstr> out;
+    out.reserve(numbered.size());
+    for (std::size_t idx = 0; idx < numbered.size(); ++idx) {
+        if (keep[idx]) {
+            out.push_back(std::move(numbered[idx]));
+        }
+    }
+    program.instrs = std::move(out);
+    stats.output_instrs = program.instrs.size();
+    return stats;
+}
+
+}  // namespace diospyros::vir

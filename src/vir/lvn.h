@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Local value numbering + dead-code elimination over the vector IR
+ * (paper §4, "IR-level optimization").
+ *
+ * Full loop unrolling makes extracted programs massively redundant; the
+ * paper reports LVN shrinking the quaternion-product kernel from >100k
+ * lines of C++ to under 500. Here LVN also provides the *global* CSE that
+ * the §5.6 ablation credits for the scalar-only Diospyros win over the
+ * fixed-size baseline (whose CSE window is bounded; see scalar/lower.h).
+ */
+#pragma once
+
+#include "vir/vir.h"
+
+namespace diospyros::vir {
+
+/** What the pass removed. */
+struct LvnStats {
+    std::size_t input_instrs = 0;
+    std::size_t value_numbered = 0;  ///< replaced by an earlier instruction
+    std::size_t dead_removed = 0;    ///< unused value producers removed
+    std::size_t output_instrs = 0;
+};
+
+/**
+ * Rewrites `program` in place: numbering removes redundant value
+ * producers; a backward liveness pass then deletes unused ones. Stores
+ * are never removed. Idempotent.
+ */
+LvnStats run_lvn(VProgram& program);
+
+}  // namespace diospyros::vir

@@ -1,0 +1,126 @@
+#include "vir/vir.h"
+
+#include <sstream>
+
+namespace diospyros::vir {
+
+bool
+vop_writes_vector(VOp op)
+{
+    switch (op) {
+      case VOp::kVLoadA:
+      case VOp::kVConst:
+      case VOp::kShuffle:
+      case VOp::kSelect:
+      case VOp::kInsert:
+      case VOp::kVBinary:
+      case VOp::kVUnary:
+      case VOp::kVMac:
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::string
+to_string(const VInstr& i)
+{
+    std::ostringstream os;
+    auto lanes = [&os, &i] {
+        os << '[';
+        for (std::size_t l = 0; l < i.lanes.size(); ++l) {
+            os << (l ? " " : "") << i.lanes[l];
+        }
+        os << ']';
+    };
+    switch (i.op) {
+      case VOp::kSConst:
+        os << "s" << i.dst << " = " << i.values[0];
+        break;
+      case VOp::kSLoad:
+        os << "s" << i.dst << " = " << i.array.str() << "[" << i.offset
+           << "]";
+        break;
+      case VOp::kSBinary:
+        os << "s" << i.dst << " = s" << i.a << ' ' << op_name(i.alu)
+           << " s" << i.b;
+        break;
+      case VOp::kSUnary:
+        os << "s" << i.dst << " = " << op_name(i.alu) << "(s" << i.a
+           << ")";
+        break;
+      case VOp::kSMac:
+        os << "s" << i.dst << " = s" << i.a << " + s" << i.b << "*s"
+           << i.c;
+        break;
+      case VOp::kSCall: {
+        os << "s" << i.dst << " = " << i.fn.str() << "(";
+        for (std::size_t k = 0; k < i.args.size(); ++k) {
+            os << (k ? ", " : "") << "s" << i.args[k];
+        }
+        os << ")";
+        break;
+      }
+      case VOp::kSExtract:
+        os << "s" << i.dst << " = v" << i.a << "[" << i.lane << "]";
+        break;
+      case VOp::kVLoadA:
+        os << "v" << i.dst << " = vload " << i.array.str() << "["
+           << i.offset << "..]";
+        break;
+      case VOp::kVConst: {
+        os << "v" << i.dst << " = vconst {";
+        for (std::size_t k = 0; k < i.values.size(); ++k) {
+            os << (k ? " " : "") << i.values[k];
+        }
+        os << "}";
+        break;
+      }
+      case VOp::kShuffle:
+        os << "v" << i.dst << " = shuffle v" << i.a << " ";
+        lanes();
+        break;
+      case VOp::kSelect:
+        os << "v" << i.dst << " = select v" << i.a << ", v" << i.b << " ";
+        lanes();
+        break;
+      case VOp::kInsert:
+        os << "v" << i.dst << " = insert v" << i.a << "[" << i.lane
+           << "] <- s" << i.b;
+        break;
+      case VOp::kVBinary:
+        os << "v" << i.dst << " = v" << i.a << ' ' << op_name(i.alu)
+           << " v" << i.b;
+        break;
+      case VOp::kVUnary:
+        os << "v" << i.dst << " = " << op_name(i.alu) << "(v" << i.a
+           << ")";
+        break;
+      case VOp::kVMac:
+        os << "v" << i.dst << " = v" << i.a << " + v" << i.b << "*v"
+           << i.c;
+        break;
+      case VOp::kVStore:
+        os << "vstore " << i.array.str() << "[" << i.offset
+           << "..] = v" << i.a;
+        break;
+      case VOp::kSStore:
+        os << i.array.str() << "[" << i.offset << "] = s" << i.a;
+        break;
+    }
+    return os.str();
+}
+
+std::string
+VProgram::to_string() const
+{
+    std::ostringstream os;
+    os << "; vector IR, width " << vector_width << ", "
+       << instrs.size() << " instructions\n";
+    for (const VInstr& i : instrs) {
+        os << "  " << vir::to_string(i) << '\n';
+    }
+    return os.str();
+}
+
+}  // namespace diospyros::vir

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The backend's machine-independent vector IR (paper §4).
+ *
+ * A VProgram is straight-line SSA code over scalar and vector value ids:
+ * loads, stores, arbitrary shuffles/selects (the `vec-shuffle` of the
+ * paper), lane inserts, arithmetic, and fused multiply-accumulate. It
+ * abstracts the concrete DSP: instruction selection to the simulated
+ * machine ISA (or to C intrinsics text) happens in emit.h / cprint.h.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/symbol.h"
+#include "ir/term.h"
+
+namespace diospyros::vir {
+
+/** Opcode of a vector-IR instruction. */
+enum class VOp : std::uint8_t {
+    // Scalar value producers.
+    kSConst,   ///< s[dst] = constant
+    kSLoad,    ///< s[dst] = array[offset]
+    kSBinary,  ///< s[dst] = s[a] (op) s[b]     op in {+,-,*,/}
+    kSUnary,   ///< s[dst] = op(s[a])            op in {neg,sqrt,sgn,recip}
+    kSMac,     ///< s[dst] = s[a] + s[b]*s[c]
+    kSCall,    ///< s[dst] = fn(s[args...])
+    kSExtract, ///< s[dst] = v[a][lane]
+
+    // Vector value producers.
+    kVLoadA,   ///< v[dst] = array[offset .. offset+W)   (aligned block)
+    kVConst,   ///< v[dst] = literal lane constants
+    kShuffle,  ///< v[dst][i] = v[a][lanes[i]]
+    kSelect,   ///< v[dst][i] = concat(v[a], v[b])[lanes[i]]
+    kInsert,   ///< v[dst] = v[a] with lane `lane` replaced by s[b]
+    kVBinary,  ///< v[dst] = v[a] (op) v[b]
+    kVUnary,   ///< v[dst] = op(v[a])
+    kVMac,     ///< v[dst] = v[a] + v[b]*v[c]
+
+    // Memory effects.
+    kVStore,  ///< array[offset .. offset+W) = v[a]
+    kSStore,  ///< array[offset] = s[a]
+};
+
+/** One vector-IR instruction. */
+struct VInstr {
+    VOp op = VOp::kSConst;
+    /** Scalar DSL operator for kSBinary/kSUnary/kVBinary/kVUnary. */
+    Op alu = Op::kAdd;
+    /** Destination value id (-1 for stores). */
+    int dst = -1;
+    /** Operand value ids. */
+    int a = -1, b = -1, c = -1;
+    /** Extra operands for kSCall. */
+    std::vector<int> args;
+    /** Called function for kSCall. */
+    Symbol fn;
+    /** Memory operand. */
+    Symbol array;
+    std::int64_t offset = 0;
+    /** Lane immediate for kInsert / kSExtract. */
+    int lane = 0;
+    /** Shuffle/select lane table. */
+    std::vector<int> lanes;
+    /** Literal lane values for kVConst / value for kSConst. */
+    std::vector<double> values;
+};
+
+/** Whether this opcode writes a vector (vs scalar) value. */
+bool vop_writes_vector(VOp op);
+
+/** A straight-line vector-IR program. */
+struct VProgram {
+    int vector_width = 4;
+    /** One past the largest scalar / vector value id. */
+    int num_scalar_values = 0;
+    int num_vector_values = 0;
+    std::vector<VInstr> instrs;
+
+    int
+    fresh_scalar()
+    {
+        return num_scalar_values++;
+    }
+    int
+    fresh_vector()
+    {
+        return num_vector_values++;
+    }
+
+    /** Renders the program as readable IR text. */
+    std::string to_string() const;
+};
+
+/** Renders one instruction as IR text. */
+std::string to_string(const VInstr& instr);
+
+}  // namespace diospyros::vir

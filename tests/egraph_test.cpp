@@ -1,0 +1,473 @@
+// Unit and property tests for the e-graph engine: union-find, hashcons,
+// congruence closure, pattern matching, rewriting, saturation, and
+// extraction.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "egraph/egraph.h"
+#include "egraph/extract.h"
+#include "egraph/pattern.h"
+#include "egraph/rewrite.h"
+#include "egraph/runner.h"
+#include "ir/eval.h"
+#include "support/rng.h"
+
+namespace diospyros {
+namespace {
+
+TEST(UnionFind, BasicMerging)
+{
+    UnionFind uf;
+    const ClassId a = uf.make_set();
+    const ClassId b = uf.make_set();
+    const ClassId c = uf.make_set();
+    EXPECT_FALSE(uf.same(a, b));
+    EXPECT_EQ(uf.merge(a, b), a);  // first argument becomes root
+    EXPECT_TRUE(uf.same(a, b));
+    EXPECT_FALSE(uf.same(a, c));
+    uf.merge(b, c);
+    EXPECT_TRUE(uf.same(a, c));
+    EXPECT_EQ(uf.find(c), a);
+}
+
+TEST(UnionFind, RandomizedAgainstNaive)
+{
+    // Property: union-find agrees with a brute-force labeling under a
+    // random sequence of merges.
+    Rng rng(123);
+    constexpr int kN = 100;
+    UnionFind uf;
+    std::vector<int> label(kN);
+    for (int i = 0; i < kN; ++i) {
+        uf.make_set();
+        label[i] = i;
+    }
+    for (int step = 0; step < 200; ++step) {
+        const int a = static_cast<int>(rng.uniform_int(0, kN - 1));
+        const int b = static_cast<int>(rng.uniform_int(0, kN - 1));
+        uf.merge(static_cast<ClassId>(a), static_cast<ClassId>(b));
+        const int keep = label[a], kill = label[b];
+        for (int& l : label) {
+            if (l == kill) {
+                l = keep;
+            }
+        }
+        for (int i = 0; i < kN; ++i) {
+            for (int j = 0; j < kN; ++j) {
+                EXPECT_EQ(label[i] == label[j],
+                          uf.same(static_cast<ClassId>(i),
+                                  static_cast<ClassId>(j)));
+            }
+        }
+    }
+}
+
+TEST(EGraph, HashconsDeduplicates)
+{
+    EGraph g;
+    const ClassId a1 = g.add_term(Term::parse("(+ (Get a 0) (Get a 1))"));
+    const ClassId a2 = g.add_term(Term::parse("(+ (Get a 0) (Get a 1))"));
+    EXPECT_EQ(a1, a2);
+    // get a0, get a1, the add: 3 classes (+1 for nothing else).
+    EXPECT_EQ(g.num_classes(), 3u);
+}
+
+TEST(EGraph, MergePropagatesCongruence)
+{
+    // f(a) and f(b) must collapse once a = b.
+    EGraph g(false);
+    const ClassId a = g.add_term(Term::parse("(Get x 0)"));
+    const ClassId b = g.add_term(Term::parse("(Get x 1)"));
+    const ClassId fa = g.add_op(Op::kSqrt, {a});
+    const ClassId fb = g.add_op(Op::kSqrt, {b});
+    EXPECT_NE(g.find(fa), g.find(fb));
+    g.merge(a, b);
+    g.rebuild();
+    EXPECT_EQ(g.find(fa), g.find(fb));
+    g.check_invariants();
+}
+
+TEST(EGraph, CongruenceCascades)
+{
+    // g(f(a)) = g(f(b)) after a = b, two levels up.
+    EGraph g(false);
+    const ClassId a = g.add_term(Term::parse("(Get x 0)"));
+    const ClassId b = g.add_term(Term::parse("(Get x 1)"));
+    const ClassId fa = g.add_op(Op::kSqrt, {a});
+    const ClassId fb = g.add_op(Op::kSqrt, {b});
+    const ClassId gfa = g.add_op(Op::kNeg, {fa});
+    const ClassId gfb = g.add_op(Op::kNeg, {fb});
+    g.merge(a, b);
+    g.rebuild();
+    EXPECT_EQ(g.find(gfa), g.find(gfb));
+    g.check_invariants();
+}
+
+TEST(EGraph, ConstantFoldingDerivesValues)
+{
+    EGraph g;
+    const ClassId id = g.add_term(Term::parse("(+ 2 (* 3 4))"));
+    g.rebuild();
+    ASSERT_TRUE(g.constant_of(id).has_value());
+    EXPECT_EQ(*g.constant_of(id), Rational(14));
+}
+
+TEST(EGraph, ConstantFoldingUnifiesEqualConstants)
+{
+    EGraph g;
+    const ClassId a = g.add_term(Term::parse("(+ 1 1)"));
+    const ClassId b = g.add_term(Term::parse("(* 1 2)"));
+    g.rebuild();
+    EXPECT_EQ(g.find(a), g.find(b));
+    g.check_invariants();
+}
+
+TEST(EGraph, ConstantFoldingSkipsDivByZero)
+{
+    EGraph g;
+    const ClassId id = g.add_term(Term::parse("(/ 1 0)"));
+    g.rebuild();
+    EXPECT_FALSE(g.constant_of(id).has_value());
+}
+
+TEST(EGraph, RandomizedInvariantsUnderMergesAndAdds)
+{
+    // Property: after arbitrary interleavings of adds and merges plus a
+    // rebuild, all invariants hold.
+    Rng rng(7);
+    for (int trial = 0; trial < 20; ++trial) {
+        EGraph g;
+        std::vector<ClassId> ids;
+        for (int i = 0; i < 8; ++i) {
+            ids.push_back(g.add_get(Symbol("a"), i));
+        }
+        for (int step = 0; step < 60; ++step) {
+            const int action = static_cast<int>(rng.uniform_int(0, 2));
+            if (action == 0 && ids.size() >= 2) {
+                const auto x = static_cast<std::size_t>(
+                    rng.uniform_int(0, static_cast<int>(ids.size()) - 1));
+                const auto y = static_cast<std::size_t>(
+                    rng.uniform_int(0, static_cast<int>(ids.size()) - 1));
+                g.merge(ids[x], ids[y]);
+            } else {
+                const auto x = static_cast<std::size_t>(
+                    rng.uniform_int(0, static_cast<int>(ids.size()) - 1));
+                const auto y = static_cast<std::size_t>(
+                    rng.uniform_int(0, static_cast<int>(ids.size()) - 1));
+                const Op op = (action == 1) ? Op::kAdd : Op::kMul;
+                ids.push_back(g.add_op(op, {ids[x], ids[y]}));
+            }
+        }
+        g.rebuild();
+        g.check_invariants();
+    }
+}
+
+TEST(Pattern, ParsesVariablesAndLiterals)
+{
+    const Pattern p = Pattern::parse("(+ ?a (* ?b 0))");
+    EXPECT_EQ(p.variables().size(), 2u);
+    EXPECT_EQ(p.to_string(), "(+ ?a (* ?b 0))");
+}
+
+TEST(Pattern, MatchesSimpleExpression)
+{
+    EGraph g;
+    const ClassId id =
+        g.add_term(Term::parse("(+ (Get a 0) (* (Get b 0) (Get c 0)))"));
+    g.rebuild();
+    const Pattern p = Pattern::parse("(+ ?x (* ?y ?z))");
+    const auto matches = p.match_class(g, id);
+    ASSERT_EQ(matches.size(), 1u);
+    EXPECT_EQ(matches[0].bindings().size(), 3u);
+}
+
+TEST(Pattern, NonlinearPatternsRequireConsistency)
+{
+    EGraph g;
+    const ClassId same = g.add_term(Term::parse("(+ (Get a 0) (Get a 0))"));
+    const ClassId diff = g.add_term(Term::parse("(+ (Get a 0) (Get a 1))"));
+    g.rebuild();
+    const Pattern p = Pattern::parse("(+ ?x ?x)");
+    EXPECT_EQ(p.match_class(g, same).size(), 1u);
+    EXPECT_TRUE(p.match_class(g, diff).empty());
+}
+
+TEST(Pattern, MatchesAcrossEquivalentNodes)
+{
+    // After merging, matching sees through the equivalence.
+    EGraph g;
+    const ClassId x = g.add_term(Term::parse("(Get a 0)"));
+    const ClassId y = g.add_term(Term::parse("(* (Get b 0) (Get c 0))"));
+    const ClassId sum = g.add_op(Op::kAdd, {x, y});
+    g.merge(x, y);  // pretend a rule proved them equal
+    g.rebuild();
+    const Pattern p = Pattern::parse("(+ (* ?p ?q) (* ?r ?s))");
+    EXPECT_EQ(p.match_class(g, g.find(sum)).size(), 1u);
+}
+
+TEST(Rewrite, RejectsUnboundRhsVariables)
+{
+    EXPECT_THROW(Rewrite::make("bad", "(+ ?a ?b)", "(+ ?a ?c)"), UserError);
+}
+
+TEST(Rewrite, AppliesCommutativity)
+{
+    EGraph g;
+    const ClassId ab = g.add_term(Term::parse("(+ (Get a 0) (Get b 0))"));
+    const ClassId ba = g.add_term(Term::parse("(+ (Get b 0) (Get a 0))"));
+    g.rebuild();
+    EXPECT_NE(g.find(ab), g.find(ba));
+
+    const Rewrite comm = Rewrite::make("comm", "(+ ?a ?b)", "(+ ?b ?a)");
+    Runner runner;
+    const RunnerReport report = runner.run(g, {comm});
+    EXPECT_EQ(report.stop_reason, StopReason::kSaturated);
+    EXPECT_EQ(g.find(ab), g.find(ba));
+    g.check_invariants();
+}
+
+TEST(Runner, SaturatesMacFusion)
+{
+    // The paper's fused multiply-accumulate example (Figure 4).
+    EGraph g;
+    const ClassId root = g.add_term(Term::parse(
+        "(VecAdd (Vec (Get v1 0) (Get v1 1)) (VecMul (Vec (Get v2 0) (Get "
+        "v2 1)) (Vec (Get v3 0) (Get v3 1))))"));
+    g.rebuild();
+    const Rewrite mac = Rewrite::make("mac", "(VecAdd ?a (VecMul ?b ?c))",
+                                      "(VecMAC ?a ?b ?c)");
+    Runner runner;
+    runner.run(g, {mac});
+
+    // The root class must now contain a VecMAC node.
+    bool found = false;
+    for (const ENode& n : g.eclass(g.find(root)).nodes) {
+        found |= n.op == Op::kVecMAC;
+    }
+    EXPECT_TRUE(found);
+}
+
+namespace {
+
+/** A left-leaning 8-leaf sum; AC rules explode its e-graph for a while. */
+TermRef
+wide_sum()
+{
+    TermRef t = t_get("a", 0);
+    for (int i = 1; i < 8; ++i) {
+        t = t_add(t, t_get("a", i));
+    }
+    return t;
+}
+
+std::vector<Rewrite>
+ac_rules()
+{
+    std::vector<Rewrite> rules;
+    rules.push_back(Rewrite::make("comm", "(+ ?a ?b)", "(+ ?b ?a)"));
+    rules.push_back(
+        Rewrite::make("assoc", "(+ (+ ?a ?b) ?c)", "(+ ?a (+ ?b ?c))"));
+    return rules;
+}
+
+}  // namespace
+
+TEST(Runner, RespectsIterLimit)
+{
+    // AC over an 8-leaf sum keeps creating classes for several rounds
+    // (this is the paper §3.3 AC blow-up); a 2-iteration limit must stop
+    // it mid-way.
+    EGraph g(false);
+    g.add_term(wide_sum());
+    g.rebuild();
+    Runner runner(RunnerLimits{.node_limit = 100'000'000,
+                               .iter_limit = 2,
+                               .time_limit_seconds = 60.0});
+    const RunnerReport report = runner.run(g, ac_rules());
+    EXPECT_EQ(report.stop_reason, StopReason::kIterLimit);
+    EXPECT_EQ(report.iterations.size(), 2u);
+}
+
+TEST(Runner, RespectsNodeLimit)
+{
+    EGraph g(false);
+    g.add_term(wide_sum());
+    g.rebuild();
+    Runner runner(RunnerLimits{.node_limit = 100,
+                               .iter_limit = 1000,
+                               .time_limit_seconds = 60.0});
+    const RunnerReport report = runner.run(g, ac_rules());
+    EXPECT_EQ(report.stop_reason, StopReason::kNodeLimit);
+    // Overshoot within one iteration is expected (limits are checked per
+    // batch), but the runner must have stopped promptly afterwards.
+    EXPECT_LT(report.iterations.size(), 1000u);
+}
+
+TEST(Runner, MatchLimitCapsWorkPerRule)
+{
+    // With a per-rule match cap, each iteration applies at most that many
+    // matches — the graph grows, but strictly slower than uncapped.
+    EGraph g1(false), g2(false);
+    g1.add_term(wide_sum());
+    g2.add_term(wide_sum());
+    g1.rebuild();
+    g2.rebuild();
+    RunnerLimits capped{.node_limit = 1'000'000,
+                        .iter_limit = 3,
+                        .time_limit_seconds = 30.0,
+                        .match_limit_per_rule = 2};
+    RunnerLimits uncapped{.node_limit = 1'000'000,
+                          .iter_limit = 3,
+                          .time_limit_seconds = 30.0};
+    Runner(capped).run(g1, ac_rules());
+    Runner(uncapped).run(g2, ac_rules());
+    EXPECT_LT(g1.num_nodes(), g2.num_nodes());
+}
+
+TEST(Runner, BackoffBansExplosiveRules)
+{
+    // With a backoff threshold, an AC rule that floods the graph gets
+    // banned for growing windows; the run still makes progress but grows
+    // far slower, and the runner never falsely reports saturation while
+    // rules are banned.
+    EGraph g1(false), g2(false);
+    g1.add_term(wide_sum());
+    g2.add_term(wide_sum());
+    g1.rebuild();
+    g2.rebuild();
+    RunnerLimits backoff{.node_limit = 1'000'000,
+                         .iter_limit = 4,
+                         .time_limit_seconds = 30.0,
+                         .match_limit_per_rule = 0,
+                         .backoff_threshold = 4};
+    RunnerLimits plain{.node_limit = 1'000'000,
+                       .iter_limit = 4,
+                       .time_limit_seconds = 30.0};
+    const RunnerReport rb = Runner(backoff).run(g1, ac_rules());
+    Runner(plain).run(g2, ac_rules());
+    EXPECT_LT(g1.num_nodes(), g2.num_nodes());
+    // Some iteration must have recorded a ban.
+    std::size_t banned = 0;
+    for (const IterationStats& it : rb.iterations) {
+        banned += it.banned_rules;
+    }
+    EXPECT_GT(banned, 0u);
+    EXPECT_NE(rb.stop_reason, StopReason::kSaturated);
+}
+
+TEST(Extract, PrefersCheaperEquivalent)
+{
+    EGraph g;
+    const ClassId id = g.add_term(
+        Term::parse("(+ (* (Get a 0) 2) (* (Get a 0) 0))"));
+    g.rebuild();
+    std::vector<Rewrite> rules;
+    rules.push_back(Rewrite::make("mul0", "(* ?x 0)", "0"));
+    rules.push_back(Rewrite::make("add0", "(+ ?x 0)", "?x"));
+    Runner().run(g, rules);
+
+    const TreeSizeCost cost;
+    const Extractor ex(g, cost);
+    const Extraction best = ex.extract(g.find(id));
+    EXPECT_EQ(Term::to_string(best.term), "(* (Get a 0) 2)");
+    EXPECT_DOUBLE_EQ(best.cost, 3.0);
+}
+
+TEST(Extract, HandlesCyclicClasses)
+{
+    // x = x + 0 introduces a cycle through the class; extraction must
+    // still terminate and pick the finite leaf.
+    EGraph g;
+    const ClassId id = g.add_term(Term::parse("(+ (Get a 0) 0)"));
+    g.rebuild();
+    Runner().run(g, {Rewrite::make("add0", "(+ ?x 0)", "?x")});
+    const TreeSizeCost cost;
+    const Extractor ex(g, cost);
+    const Extraction best = ex.extract(g.find(id));
+    EXPECT_EQ(Term::to_string(best.term), "(Get a 0)");
+}
+
+TEST(Extract, ExtractionIsSemanticallyEquivalent)
+{
+    // Property: for a random expression and sound rules, the extracted
+    // term evaluates identically to the original.
+    Rng rng(99);
+    EvalEnv env;
+    env.bind_array("a", {1.5, -2.0, 3.25, 0.5});
+    std::vector<Rewrite> rules;
+    rules.push_back(Rewrite::make("comm-add", "(+ ?a ?b)", "(+ ?b ?a)"));
+    rules.push_back(Rewrite::make("comm-mul", "(* ?a ?b)", "(* ?b ?a)"));
+    rules.push_back(Rewrite::make("add0", "(+ ?x 0)", "?x"));
+    rules.push_back(Rewrite::make("mul1", "(* ?x 1)", "?x"));
+
+    for (int trial = 0; trial < 10; ++trial) {
+        // Random small term over Get a i, constants 0/1, +, *.
+        std::vector<TermRef> pool;
+        for (int i = 0; i < 4; ++i) {
+            pool.push_back(t_get("a", i));
+        }
+        pool.push_back(t_const(0));
+        pool.push_back(t_const(1));
+        for (int step = 0; step < 10; ++step) {
+            const auto x = static_cast<std::size_t>(rng.uniform_int(
+                0, static_cast<int>(pool.size()) - 1));
+            const auto y = static_cast<std::size_t>(rng.uniform_int(
+                0, static_cast<int>(pool.size()) - 1));
+            pool.push_back(rng.uniform_int(0, 1) ? t_add(pool[x], pool[y])
+                                                 : t_mul(pool[x], pool[y]));
+        }
+        const TermRef original = pool.back();
+        EGraph g;
+        const ClassId root = g.add_term(original);
+        g.rebuild();
+        Runner(RunnerLimits{.node_limit = 20'000,
+                            .iter_limit = 8,
+                            .time_limit_seconds = 5.0})
+            .run(g, rules);
+        const TreeSizeCost cost;
+        const Extractor ex(g, cost);
+        const Extraction best = ex.extract(g.find(root));
+        EXPECT_DOUBLE_EQ(evaluate_scalar(best.term, env),
+                         evaluate_scalar(original, env));
+        EXPECT_LE(Term::tree_size(best.term), Term::tree_size(original));
+    }
+}
+
+TEST(EGraph, DotExportIsWellFormed)
+{
+    EGraph g;
+    const ClassId root =
+        g.add_term(Term::parse("(+ (Get a 0) (* (Get a 1) 2))"));
+    g.rebuild();
+    (void)root;
+    const std::string dot = g.to_dot();
+    EXPECT_EQ(dot.rfind("digraph egraph {", 0), 0u);
+    EXPECT_NE(dot.find("subgraph cluster_"), std::string::npos);
+    EXPECT_NE(dot.find("(Get a 0)") != std::string::npos ||
+                  dot.find("Get a 0") != std::string::npos,
+              false);
+    EXPECT_NE(dot.find("->"), std::string::npos);
+    // Balanced braces.
+    EXPECT_EQ(std::count(dot.begin(), dot.end(), '{'),
+              std::count(dot.begin(), dot.end(), '}'));
+}
+
+TEST(EGraph, AddTermHandlesLargeSharedDags)
+{
+    // A deep shared DAG must insert in linear time/nodes.
+    TermRef t = t_add(t_get("a", 0), t_get("a", 1));
+    for (int i = 0; i < 200; ++i) {
+        t = t_add(t, t);
+    }
+    EGraph g;
+    g.add_term(t);
+    g.rebuild();
+    EXPECT_EQ(g.num_classes(), 203u);
+    g.check_invariants();
+}
+
+}  // namespace
+}  // namespace diospyros

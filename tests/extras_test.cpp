@@ -1,0 +1,198 @@
+// Tests for the extra kernel library: reference semantics against
+// hand-computed values / mathematical properties, plus full compilation
+// with validation and baseline comparisons for each kernel.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "compiler/driver.h"
+#include "kernels/extras.h"
+#include "scalar/lower.h"
+#include "support/rng.h"
+
+namespace diospyros::kernels {
+namespace {
+
+using scalar::BufferMap;
+
+CompilerOptions
+options()
+{
+    CompilerOptions opt;
+    opt.validate = true;
+    opt.random_check = true;
+    opt.limits = RunnerLimits{.node_limit = 300'000,
+                              .iter_limit = 12,
+                              .time_limit_seconds = 20.0};
+    return opt;
+}
+
+/** Compiles, runs, and checks against the reference; returns cycles. */
+std::uint64_t
+compile_and_check(const scalar::Kernel& kernel, const BufferMap& inputs,
+                  float tol = 1e-3f)
+{
+    const CompiledKernel compiled = compile_kernel(kernel, options());
+    EXPECT_NE(compiled.report.validation, Verdict::kNotEquivalent)
+        << kernel.name;
+    EXPECT_TRUE(compiled.report.random_check_passed) << kernel.name;
+    const auto run = compiled.run(inputs, TargetSpec::fusion_g3_like());
+    const BufferMap want = scalar::run_reference(kernel, inputs);
+    for (const auto& [name, w] : want) {
+        const auto& g = run.outputs.at(name);
+        EXPECT_EQ(g.size(), w.size());
+        for (std::size_t i = 0; i < w.size(); ++i) {
+            const float scale =
+                std::max({1.0f, std::abs(w[i]), std::abs(g[i])});
+            EXPECT_LE(std::abs(g[i] - w[i]), tol * scale)
+                << kernel.name << " " << name << "[" << i << "]";
+        }
+    }
+    return run.result.cycles;
+}
+
+TEST(Fir, MatchesHandComputed)
+{
+    const scalar::Kernel k = make_fir(6, 3);
+    const BufferMap out = scalar::run_reference(
+        k, {{"x", {1, 2, 3, 4, 5, 6}}, {"h", {1, 0, -1}}});
+    // y[i] = x[i] - x[i+2].
+    EXPECT_EQ(out.at("y"), (std::vector<float>{-2, -2, -2, -2}));
+}
+
+TEST(Fir, CompilesAndVectorizes)
+{
+    const scalar::Kernel k = make_fir(11, 4);
+    BufferMap inputs = {{"x", std::vector<float>(11)},
+                        {"h", {0.25f, 0.25f, 0.25f, 0.25f}}};
+    Rng rng(1);
+    for (float& v : inputs.at("x")) {
+        v = rng.uniform_float(-1, 1);
+    }
+    const std::uint64_t dios = compile_and_check(k, inputs);
+    const auto fixed = scalar::run_baseline(
+        k, inputs, scalar::LowerMode::kNaiveFixed,
+        TargetSpec::fusion_g3_like());
+    EXPECT_LT(dios, fixed.result.cycles);
+}
+
+TEST(Normalize, ProducesUnitVector)
+{
+    const scalar::Kernel k = make_normalize(4);
+    const BufferMap inputs = {{"x", {3, 0, 4, 0}}};
+    const BufferMap out = scalar::run_reference(k, inputs);
+    EXPECT_NEAR(out.at("y")[0], 0.6f, 1e-6f);
+    EXPECT_NEAR(out.at("y")[2], 0.8f, 1e-6f);
+    compile_and_check(k, inputs);
+}
+
+TEST(Inverse2x2, InverseTimesInputIsIdentity)
+{
+    const scalar::Kernel k = make_inverse2x2();
+    Rng rng(4);
+    for (int trial = 0; trial < 10; ++trial) {
+        BufferMap inputs = {{"A", std::vector<float>(4)}};
+        auto& a = inputs.at("A");
+        for (float& v : a) {
+            v = rng.uniform_float(-2, 2);
+        }
+        a[0] += 3.0f;  // keep well-conditioned
+        a[3] += 3.0f;
+        const BufferMap out = scalar::run_reference(k, inputs);
+        const auto& b = out.at("B");
+        // A * B == I.
+        EXPECT_NEAR(a[0] * b[0] + a[1] * b[2], 1.0f, 1e-5f);
+        EXPECT_NEAR(a[0] * b[1] + a[1] * b[3], 0.0f, 1e-5f);
+        EXPECT_NEAR(a[2] * b[0] + a[3] * b[2], 0.0f, 1e-5f);
+        EXPECT_NEAR(a[2] * b[1] + a[3] * b[3], 1.0f, 1e-5f);
+    }
+    compile_and_check(k, {{"A", {4, 1, 2, 3}}});
+}
+
+TEST(Affine3, MatchesHandComputed)
+{
+    const scalar::Kernel k = make_affine3(2);
+    // A = 2*I, b = (1, 1, 1): y = 2x + 1.
+    const BufferMap out = scalar::run_reference(
+        k, {{"A", {2, 0, 0, 0, 2, 0, 0, 0, 2}},
+            {"b", {1, 1, 1}},
+            {"x", {1, 2, 3, -1, 0, 4}}});
+    EXPECT_EQ(out.at("y"), (std::vector<float>{3, 5, 7, -1, 1, 9}));
+}
+
+TEST(Affine3, CompilesAndBeatsFixedBaseline)
+{
+    const scalar::Kernel k = make_affine3(4);
+    Rng rng(9);
+    BufferMap inputs = {{"A", std::vector<float>(9)},
+                        {"b", std::vector<float>(3)},
+                        {"x", std::vector<float>(12)}};
+    for (auto* buf : {&inputs.at("A"), &inputs.at("b"), &inputs.at("x")}) {
+        for (float& v : *buf) {
+            v = rng.uniform_float(-2, 2);
+        }
+    }
+    const std::uint64_t dios = compile_and_check(k, inputs);
+    const auto fixed = scalar::run_baseline(
+        k, inputs, scalar::LowerMode::kNaiveFixed,
+        TargetSpec::fusion_g3_like());
+    EXPECT_LT(dios, fixed.result.cycles);
+}
+
+TEST(PairwiseDist2, MatchesDirectComputation)
+{
+    const scalar::Kernel k = make_pairwise_dist2(2, 3);
+    const std::vector<float> p = {0, 0, 0, 1, 1, 1};
+    const std::vector<float> q = {1, 0, 0, 0, 2, 0, 1, 1, 1};
+    const BufferMap out =
+        scalar::run_reference(k, {{"P", p}, {"Q", q}});
+    const auto& d = out.at("D");
+    ASSERT_EQ(d.size(), 6u);
+    EXPECT_FLOAT_EQ(d[0], 1.0f);   // (0,0,0) vs (1,0,0)
+    EXPECT_FLOAT_EQ(d[1], 4.0f);   // vs (0,2,0)
+    EXPECT_FLOAT_EQ(d[2], 3.0f);   // vs (1,1,1)
+    EXPECT_FLOAT_EQ(d[5], 0.0f);   // (1,1,1) vs (1,1,1)
+    compile_and_check(k, {{"P", p}, {"Q", q}});
+}
+
+TEST(Extras, AllKernelsCompileAcrossWidths)
+{
+    Rng rng(77);
+    for (const int width : {2, 4}) {
+        CompilerOptions opt = options();
+        opt.target.vector_width = width;
+        for (const scalar::Kernel& k :
+             {make_fir(8, 3), make_normalize(6), make_inverse2x2(),
+              make_affine3(2), make_pairwise_dist2(2, 2)}) {
+            BufferMap inputs;
+            for (const auto& decl :
+                 k.arrays_with_role(scalar::ArrayRole::kInput)) {
+                std::vector<float> data(static_cast<std::size_t>(
+                    scalar::array_length(k, decl)));
+                for (float& v : data) {
+                    v = rng.uniform_float(0.5f, 2.0f);
+                }
+                inputs.emplace(decl.name.str(), std::move(data));
+            }
+            const CompiledKernel compiled = compile_kernel(k, opt);
+            EXPECT_NE(compiled.report.validation,
+                      Verdict::kNotEquivalent)
+                << k.name << " width " << width;
+            const auto run = compiled.run(inputs, opt.target);
+            const BufferMap want = scalar::run_reference(k, inputs);
+            for (const auto& [name, w] : want) {
+                const auto& g = run.outputs.at(name);
+                for (std::size_t i = 0; i < w.size(); ++i) {
+                    const float scale = std::max(
+                        {1.0f, std::abs(w[i]), std::abs(g[i])});
+                    ASSERT_LE(std::abs(g[i] - w[i]), 1e-3f * scale)
+                        << k.name << " width " << width;
+                }
+            }
+        }
+    }
+}
+
+}  // namespace
+}  // namespace diospyros::kernels

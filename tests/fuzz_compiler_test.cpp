@@ -1,0 +1,213 @@
+// Compiler fuzzing: generates random—but valid—kernels in the input
+// language (nested loops, boundary guards, affine indices, accumulation,
+// unary ops), compiles each through the full pipeline, and requires
+//   (a) translation validation to not report a miscompile,
+//   (b) the simulated output to match the reference interpreter,
+//   (c) scalar-only and full configurations to agree with each other.
+//
+// The generator is seeded and deterministic, so any failure is
+// reproducible from the test name + trial index.
+
+#include <gtest/gtest.h>
+
+#include "compiler/driver.h"
+#include "scalar/lower.h"
+#include "support/rng.h"
+
+namespace diospyros {
+namespace {
+
+using scalar::FloatExpr;
+using scalar::FloatRef;
+using scalar::IntExpr;
+using scalar::IntRef;
+using scalar::Kernel;
+using scalar::KernelBuilder;
+using scalar::Stmt;
+using scalar::StmtRef;
+
+/** Random-kernel generator over a restricted, always-valid grammar. */
+class KernelFuzzer {
+  public:
+    explicit KernelFuzzer(std::uint64_t seed) : rng_(seed) {}
+
+    Kernel
+    generate(int index)
+    {
+        KernelBuilder kb("fuzz" + std::to_string(index));
+        in_len_ = rng_.uniform_int(4, 12);
+        out_len_ = rng_.uniform_int(2, 10);
+        kb.param("n", out_len_);
+        kb.input("a", IntExpr::constant(in_len_));
+        kb.input("b", IntExpr::constant(in_len_));
+        kb.output("o", IntExpr::constant(out_len_));
+
+        const int stmts = static_cast<int>(rng_.uniform_int(1, 3));
+        for (int s = 0; s < stmts; ++s) {
+            kb.append(random_loop(0));
+        }
+        return kb.build();
+    }
+
+    /** Random inputs sized for the generated kernel. */
+    scalar::BufferMap
+    inputs(std::uint64_t seed) const
+    {
+        Rng rng(seed);
+        scalar::BufferMap out;
+        for (const char* name : {"a", "b"}) {
+            std::vector<float> data(static_cast<std::size_t>(in_len_));
+            for (float& v : data) {
+                // Positive and away from zero: the generator may emit
+                // sqrt and divide.
+                v = rng.uniform_float(0.5f, 2.5f);
+            }
+            out.emplace(name, std::move(data));
+        }
+        return out;
+    }
+
+  private:
+    /** Affine index expression guaranteed to stay within [0, len). */
+    IntRef
+    bounded_index(const IntRef& var, std::int64_t trip, std::int64_t len)
+    {
+        // var in [0, trip): index = var + offset, offset in
+        // [0, len - trip]. Loops are generated with trip <= len for every
+        // array, so the offset range is never empty.
+        const std::int64_t offset =
+            rng_.uniform_int(0, std::max<std::int64_t>(0, len - trip));
+        return var + offset;
+    }
+
+    FloatRef
+    random_expr(const IntRef& var, std::int64_t trip, int depth)
+    {
+        const int choice =
+            static_cast<int>(rng_.uniform_int(0, depth > 2 ? 2 : 7));
+        auto leaf = [&]() -> FloatRef {
+            const char* arr = rng_.uniform_int(0, 1) ? "a" : "b";
+            return KernelBuilder::load(
+                arr, bounded_index(var, trip, in_len_));
+        };
+        switch (choice) {
+          case 0:
+          case 1:
+            return leaf();
+          case 2:
+            return scalar::f_const(rng_.uniform_int(-2, 3));
+          case 3:
+            return random_expr(var, trip, depth + 1) +
+                   random_expr(var, trip, depth + 1);
+          case 4:
+            return random_expr(var, trip, depth + 1) *
+                   random_expr(var, trip, depth + 1);
+          case 5:
+            return random_expr(var, trip, depth + 1) -
+                   random_expr(var, trip, depth + 1);
+          case 6:
+            return -random_expr(var, trip, depth + 1);
+          default:
+            // sqrt over a square keeps the argument non-negative for any
+            // input sign.
+            {
+                FloatRef e = leaf();
+                return scalar::f_sqrt(e * e);
+            }
+        }
+    }
+
+    StmtRef
+    random_loop(int depth)
+    {
+        // Trip count bounded by every array the body may index.
+        const std::int64_t max_trip = std::min(out_len_, in_len_);
+        const std::int64_t trip = rng_.uniform_int(2, max_trip);
+        const std::string var = "i" + std::to_string(depth);
+        const IntRef v = KernelBuilder::var(var);
+
+        std::vector<StmtRef> body;
+        const IntRef out_index = bounded_index(v, trip, out_len_);
+        const FloatRef value = random_expr(v, trip, 0);
+        if (rng_.uniform_int(0, 1)) {
+            body.push_back(scalar::st_accumulate("o", out_index, value));
+        } else {
+            body.push_back(scalar::st_store("o", out_index, value));
+        }
+        // Optional boundary guard, like the conv kernel's.
+        if (rng_.uniform_int(0, 2) == 0) {
+            body = {scalar::st_if(v >= 1 && v < IntExpr::constant(trip),
+                                  std::move(body))};
+        }
+        // Optional nested loop around an independent statement.
+        if (depth == 0 && rng_.uniform_int(0, 2) == 0) {
+            body.push_back(random_loop(depth + 1));
+        }
+        return scalar::st_for(var, IntExpr::constant(0),
+                              IntExpr::constant(trip), std::move(body));
+    }
+
+    Rng rng_;
+    std::int64_t in_len_ = 8;
+    std::int64_t out_len_ = 8;
+};
+
+class FuzzCompiler : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzCompiler, RandomKernelsCompileCorrectly)
+{
+    const int batch = GetParam();
+    KernelFuzzer fuzzer(static_cast<std::uint64_t>(batch) * 7919 + 1);
+    for (int trial = 0; trial < 8; ++trial) {
+        const Kernel kernel = fuzzer.generate(batch * 100 + trial);
+        const scalar::BufferMap inputs = fuzzer.inputs(
+            static_cast<std::uint64_t>(batch * 100 + trial) + 5);
+
+        CompilerOptions options;
+        options.limits = RunnerLimits{.node_limit = 200'000,
+                                      .iter_limit = 10,
+                                      .time_limit_seconds = 10.0};
+        options.validate = true;
+        options.random_check = true;
+        const CompiledKernel compiled = compile_kernel(kernel, options);
+
+        ASSERT_NE(compiled.report.validation, Verdict::kNotEquivalent)
+            << kernel.name;
+        ASSERT_TRUE(compiled.report.random_check_passed) << kernel.name;
+
+        const auto run = compiled.run(inputs, options.target);
+        const scalar::BufferMap want =
+            scalar::run_reference(kernel, inputs);
+        const auto& w = want.at("o");
+        const auto& g = run.outputs.at("o");
+        ASSERT_EQ(g.size(), w.size()) << kernel.name;
+        for (std::size_t i = 0; i < w.size(); ++i) {
+            const float scale =
+                std::max({1.0f, std::abs(w[i]), std::abs(g[i])});
+            ASSERT_LE(std::abs(g[i] - w[i]), 2e-3f * scale)
+                << kernel.name << " o[" << i << "]\n"
+                << scalar::to_pseudo_c(kernel);
+        }
+
+        // Scalar-only configuration must agree with the full one.
+        CompilerOptions scalar_only = options;
+        scalar_only.validate = false;
+        scalar_only.random_check = false;
+        scalar_only.rules.enable_vector_rules = false;
+        const auto run2 = compile_kernel(kernel, scalar_only)
+                              .run(inputs, options.target);
+        const auto& g2 = run2.outputs.at("o");
+        for (std::size_t i = 0; i < w.size(); ++i) {
+            const float scale =
+                std::max({1.0f, std::abs(g[i]), std::abs(g2[i])});
+            ASSERT_LE(std::abs(g2[i] - g[i]), 2e-3f * scale)
+                << kernel.name << " scalar-only disagrees at o[" << i
+                << "]";
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Batches, FuzzCompiler, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace diospyros

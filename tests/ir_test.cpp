@@ -1,0 +1,197 @@
+// Unit tests for the vector DSL: term construction, parsing/printing,
+// shape checking, and the concrete evaluator.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ir/eval.h"
+#include "ir/term.h"
+#include "support/error.h"
+
+namespace diospyros {
+namespace {
+
+TEST(Symbol, InternsBySpelling)
+{
+    EXPECT_EQ(Symbol("a"), Symbol("a"));
+    EXPECT_NE(Symbol("a"), Symbol("b"));
+    EXPECT_EQ(Symbol("a").str(), "a");
+    EXPECT_FALSE(Symbol().valid());
+}
+
+TEST(Term, FactoriesSetPayloads)
+{
+    const TermRef c = Term::constant(Rational(3, 2));
+    EXPECT_EQ(c->op(), Op::kConst);
+    EXPECT_EQ(c->value(), Rational(3, 2));
+
+    const TermRef g = t_get("a", 5);
+    EXPECT_EQ(g->op(), Op::kGet);
+    EXPECT_EQ(g->symbol().str(), "a");
+    EXPECT_EQ(g->index(), 5);
+}
+
+TEST(Term, MakeChecksArity)
+{
+    EXPECT_THROW(Term::make(Op::kAdd, {t_const(1)}), UserError);
+    EXPECT_THROW(Term::make(Op::kVecMAC, {t_vec({t_const(0)})}), UserError);
+    EXPECT_THROW(Term::make(Op::kVec, {}), UserError);
+}
+
+TEST(Term, ParsePrintRoundTrip)
+{
+    const std::string text =
+        "(List (+ (Get a 0) (Get b 0)) (* (Get a 1) -2))";
+    const TermRef t = Term::parse(text);
+    EXPECT_EQ(Term::to_string(t), text);
+}
+
+TEST(Term, ParsesVectorOps)
+{
+    const TermRef t = Term::parse(
+        "(VecMAC (Vec 0 0) (Vec (Get a 0) (Get a 1)) (Vec (Get b 0) (Get b "
+        "1)))");
+    EXPECT_EQ(t->op(), Op::kVecMAC);
+    EXPECT_EQ(check_shape(t).width, 2);
+}
+
+TEST(Term, ParsesCalls)
+{
+    const TermRef t = Term::parse("(Call f (Get a 0) 2)");
+    EXPECT_EQ(t->op(), Op::kCall);
+    EXPECT_EQ(t->symbol().str(), "f");
+    EXPECT_EQ(t->arity(), 2u);
+}
+
+TEST(Term, StructuralEquality)
+{
+    const TermRef a = Term::parse("(+ (Get a 0) (* (Get b 1) 3))");
+    const TermRef b = Term::parse("(+ (Get a 0) (* (Get b 1) 3))");
+    const TermRef c = Term::parse("(+ (Get a 0) (* (Get b 1) 4))");
+    EXPECT_TRUE(Term::equal(a, b));
+    EXPECT_FALSE(Term::equal(a, c));
+}
+
+TEST(Term, DagVsTreeSize)
+{
+    const TermRef shared = Term::parse("(+ (Get a 0) (Get a 1))");
+    const TermRef t = t_mul(shared, shared);
+    // DAG: mul + add + 2 gets = 4; tree: 1 + 2*3 = 7.
+    EXPECT_EQ(Term::dag_size(t), 4u);
+    EXPECT_EQ(Term::tree_size(t), 7u);
+}
+
+TEST(Shape, ScalarAndVectorWidths)
+{
+    EXPECT_EQ(check_shape(Term::parse("(+ 1 2)")).kind,
+              Shape::Kind::kScalar);
+    EXPECT_EQ(check_shape(Term::parse("(Vec 1 2 3 4)")).width, 4);
+    EXPECT_EQ(
+        check_shape(Term::parse("(Concat (Vec 1 2) (Vec 3 4))")).width, 4);
+    EXPECT_EQ(check_shape(Term::parse("(List (Vec 1 2) 5)")).width, 3);
+}
+
+TEST(Shape, RejectsIllFormedTerms)
+{
+    // Scalar op over a vector.
+    EXPECT_THROW(check_shape(Term::parse("(+ (Vec 1 2) 3)")), UserError);
+    // Vector op over scalars.
+    EXPECT_THROW(check_shape(Term::parse("(VecAdd 1 2)")), UserError);
+    // Lane-width mismatch.
+    EXPECT_THROW(check_shape(Term::parse("(VecAdd (Vec 1 2) (Vec 1 2 3))")),
+                 UserError);
+    // Vec of vectors.
+    EXPECT_THROW(check_shape(Term::parse("(Vec (Vec 1 2))")), UserError);
+}
+
+class EvalTest : public ::testing::Test {
+  protected:
+    void
+    SetUp() override
+    {
+        env_.bind_array("a", {1.0, 2.0, 3.0, 4.0});
+        env_.bind_array("b", {10.0, 20.0, 30.0, 40.0});
+        env_.bind_scalar("x", 2.5);
+    }
+
+    double
+    eval1(const std::string& text)
+    {
+        return evaluate_scalar(Term::parse(text), env_);
+    }
+
+    EvalEnv env_;
+};
+
+TEST_F(EvalTest, ScalarArithmetic)
+{
+    EXPECT_DOUBLE_EQ(eval1("(+ (Get a 0) (Get b 1))"), 21.0);
+    EXPECT_DOUBLE_EQ(eval1("(- (Get a 3) (Get a 0))"), 3.0);
+    EXPECT_DOUBLE_EQ(eval1("(* (Get a 1) (Get b 2))"), 60.0);
+    EXPECT_DOUBLE_EQ(eval1("(/ (Get b 0) (Get a 3))"), 2.5);
+    EXPECT_DOUBLE_EQ(eval1("(neg x)"), -2.5);
+    EXPECT_DOUBLE_EQ(eval1("(sqrt (Get a 3))"), 2.0);
+    EXPECT_DOUBLE_EQ(eval1("(sgn (neg x))"), -1.0);
+    EXPECT_DOUBLE_EQ(eval1("(sgn 0)"), 0.0);
+    EXPECT_DOUBLE_EQ(eval1("(recip (Get a 1))"), 0.5);
+}
+
+TEST_F(EvalTest, VectorOps)
+{
+    const auto v = evaluate(
+        Term::parse("(VecAdd (Vec (Get a 0) (Get a 1)) (Vec (Get b 0) (Get "
+                    "b 1)))"),
+        env_);
+    ASSERT_EQ(v.size(), 2u);
+    EXPECT_DOUBLE_EQ(v[0], 11.0);
+    EXPECT_DOUBLE_EQ(v[1], 22.0);
+}
+
+TEST_F(EvalTest, VecMACSemantics)
+{
+    const auto v = evaluate(
+        Term::parse("(VecMAC (Vec 1 1) (Vec (Get a 0) (Get a 1)) (Vec (Get "
+                    "b 0) (Get b 1)))"),
+        env_);
+    ASSERT_EQ(v.size(), 2u);
+    EXPECT_DOUBLE_EQ(v[0], 1.0 + 1.0 * 10.0);
+    EXPECT_DOUBLE_EQ(v[1], 1.0 + 2.0 * 20.0);
+}
+
+TEST_F(EvalTest, ListFlattens)
+{
+    const auto v = evaluate(
+        Term::parse("(List (Concat (Vec 1 2) (Vec 3 4)) (Get a 0))"), env_);
+    EXPECT_EQ(v, (std::vector<double>{1, 2, 3, 4, 1}));
+}
+
+TEST_F(EvalTest, UserFunctions)
+{
+    env_.bind_function("square", [](std::span<const double> args) {
+        return args[0] * args[0];
+    });
+    EXPECT_DOUBLE_EQ(eval1("(Call square (Get a 2))"), 9.0);
+    EXPECT_THROW(eval1("(Call unknown 1)"), UserError);
+}
+
+TEST_F(EvalTest, ErrorsOnUnboundOrOutOfRange)
+{
+    EXPECT_THROW(eval1("(Get missing 0)"), UserError);
+    EXPECT_THROW(eval1("(Get a 17)"), UserError);
+    EXPECT_THROW(eval1("unbound_var"), UserError);
+}
+
+TEST_F(EvalTest, SharedSubtermsEvaluateOnce)
+{
+    // Build a deep DAG of sharing; naive tree evaluation would be 2^40.
+    TermRef t = t_add(t_get("a", 0), t_get("a", 1));
+    for (int i = 0; i < 40; ++i) {
+        t = t_add(t, t);
+    }
+    const double expected = 3.0 * std::pow(2.0, 40);
+    EXPECT_DOUBLE_EQ(evaluate_scalar(t, env_), expected);
+}
+
+}  // namespace
+}  // namespace diospyros

@@ -1,0 +1,212 @@
+// Tests for the benchmark kernel definitions: reference semantics
+// (against hand-computed or mathematical properties), lifting sanity,
+// and the Table 1 instance list.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kernels/kernels.h"
+#include "scalar/symbolic.h"
+
+namespace diospyros::kernels {
+namespace {
+
+using scalar::BufferMap;
+
+TEST(Conv2d, MatchesHandComputedFullConvolution)
+{
+    // 2x2 input, 2x2 filter -> 3x3 "full" output.
+    const scalar::Kernel k = make_conv2d(2, 2, 2, 2);
+    const BufferMap out = scalar::run_reference(
+        k, {{"in", {1, 2, 3, 4}}, {"f", {10, 20, 30, 40}}});
+    // Full convolution of [[1,2],[3,4]] with [[10,20],[30,40]]:
+    const std::vector<float> expected = {10, 40,  40, 60,  200, 160,
+                                         90, 240, 160};
+    ASSERT_EQ(out.at("out").size(), 9u);
+    for (int i = 0; i < 9; ++i) {
+        EXPECT_FLOAT_EQ(out.at("out")[static_cast<std::size_t>(i)],
+                        expected[static_cast<std::size_t>(i)])
+            << "at " << i;
+    }
+}
+
+TEST(Conv2d, IdentityFilterIsIdentity)
+{
+    // 1x1 filter of value 1: output == input.
+    const scalar::Kernel k = make_conv2d(3, 3, 1, 1);
+    const std::vector<float> input = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+    const BufferMap out =
+        scalar::run_reference(k, {{"in", input}, {"f", {1}}});
+    EXPECT_EQ(out.at("out"), input);
+}
+
+TEST(Conv2d, PaperSizeShapes)
+{
+    // The §2 example: 3x5 input, 3x3 filter -> 5x7 output.
+    const scalar::Kernel k = make_conv2d(3, 5, 3, 3);
+    EXPECT_EQ(scalar::array_length(k, k.array("out")), 35);
+    const scalar::LiftedSpec spec = scalar::lift(k);
+    EXPECT_EQ(spec.total_outputs, 35);
+    // The corner element touches exactly one product; interior elements
+    // touch up to 9 — irregularity is the point of this benchmark.
+}
+
+TEST(MatMul, MatchesHandComputed)
+{
+    const scalar::Kernel k = make_matmul(2, 3, 2);
+    // A = [[1,2,3],[4,5,6]], B = [[7,8],[9,10],[11,12]].
+    const BufferMap out = scalar::run_reference(
+        k, {{"A", {1, 2, 3, 4, 5, 6}}, {"B", {7, 8, 9, 10, 11, 12}}});
+    EXPECT_EQ(out.at("C"), (std::vector<float>{58, 64, 139, 154}));
+}
+
+TEST(QProd, IdentityQuaternionActsAsTranslation)
+{
+    const scalar::Kernel k = make_qprod();
+    // q1 = identity rotation, t1 = (1,2,3); q2 arbitrary, t2 = (4,5,6).
+    const BufferMap out = scalar::run_reference(
+        k, {{"q1", {1, 0, 0, 0}},
+            {"t1", {1, 2, 3}},
+            {"q2", {0.5f, 0.5f, 0.5f, 0.5f}},
+            {"t2", {4, 5, 6}}});
+    // qr = q2 (identity product); tr = t2 + t1.
+    EXPECT_EQ(out.at("qr"),
+              (std::vector<float>{0.5f, 0.5f, 0.5f, 0.5f}));
+    EXPECT_EQ(out.at("tr"), (std::vector<float>{5, 7, 9}));
+}
+
+TEST(QProd, NinetyDegreeRotationAboutZ)
+{
+    // q = (cos45, 0, 0, sin45): rotate (1, 0, 0) -> (0, 1, 0).
+    const float c = std::sqrt(0.5f);
+    const scalar::Kernel k = make_qprod();
+    const BufferMap out = scalar::run_reference(
+        k, {{"q1", {c, 0, 0, c}},
+            {"t1", {0, 0, 0}},
+            {"q2", {1, 0, 0, 0}},
+            {"t2", {1, 0, 0}}});
+    EXPECT_NEAR(out.at("tr")[0], 0.0f, 1e-5f);
+    EXPECT_NEAR(out.at("tr")[1], 1.0f, 1e-5f);
+    EXPECT_NEAR(out.at("tr")[2], 0.0f, 1e-5f);
+}
+
+TEST(QProd, ProductOfUnitQuaternionsIsUnit)
+{
+    const scalar::Kernel k = make_qprod();
+    const BufferMap inputs = make_inputs(k, 7);
+    // Normalize the random quaternions first.
+    BufferMap normalized = inputs;
+    for (const char* name : {"q1", "q2"}) {
+        auto& q = normalized.at(name);
+        float norm = 0;
+        for (const float v : q) {
+            norm += v * v;
+        }
+        norm = std::sqrt(norm);
+        for (float& v : q) {
+            v /= norm;
+        }
+    }
+    const BufferMap out = scalar::run_reference(k, normalized);
+    float norm = 0;
+    for (const float v : out.at("qr")) {
+        norm += v * v;
+    }
+    EXPECT_NEAR(std::sqrt(norm), 1.0f, 1e-5f);
+}
+
+class QrTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(QrTest, DecompositionPropertiesHold)
+{
+    const int n = GetParam();
+    const scalar::Kernel k = make_qrdecomp(n);
+    const BufferMap inputs = make_inputs(k, 42);
+    const BufferMap out = scalar::run_reference(k, inputs);
+    const auto& q = out.at("Q");
+    const auto& r = out.at("R");
+    const auto& a = inputs.at("A");
+    const auto at = [n](const std::vector<float>& m, int i, int j) {
+        return m[static_cast<std::size_t>(i * n + j)];
+    };
+
+    // R is upper triangular.
+    for (int i = 1; i < n; ++i) {
+        for (int j = 0; j < i; ++j) {
+            EXPECT_NEAR(at(r, i, j), 0.0f, 2e-4f)
+                << "R[" << i << "][" << j << "]";
+        }
+    }
+    // Q^T Q = I.
+    for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < n; ++j) {
+            float dot = 0;
+            for (int l = 0; l < n; ++l) {
+                dot += at(q, l, i) * at(q, l, j);
+            }
+            EXPECT_NEAR(dot, i == j ? 1.0f : 0.0f, 2e-4f)
+                << "QtQ[" << i << "][" << j << "]";
+        }
+    }
+    // Q * R = A.
+    for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < n; ++j) {
+            float dot = 0;
+            for (int l = 0; l < n; ++l) {
+                dot += at(q, i, l) * at(r, l, j);
+            }
+            EXPECT_NEAR(dot, at(a, i, j), 2e-3f)
+                << "QR[" << i << "][" << j << "]";
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, QrTest, ::testing::Values(2, 3, 4, 5));
+
+TEST(Table1, HasTwentyOneInstancesInPaperOrder)
+{
+    const auto instances = table1_instances();
+    ASSERT_EQ(instances.size(), 21u);
+    EXPECT_EQ(instances[0].label(), "2DConv 3x3, 2x2");
+    EXPECT_EQ(instances[2].label(), "2DConv 3x5, 3x3");
+    EXPECT_EQ(instances[11].label(), "MatMul 2x2, 2x2");
+    EXPECT_EQ(instances[12].label(), "MatMul 2x3, 3x3");
+    EXPECT_EQ(instances[18].label(), "QProd 4, 3, 4, 3");
+    EXPECT_EQ(instances[20].label(), "QRDecomp 4x4");
+    int conv = 0, mm = 0;
+    for (const auto& inst : instances) {
+        conv += inst.suite == "2DConv";
+        mm += inst.suite == "MatMul";
+    }
+    EXPECT_EQ(conv, 11);
+    EXPECT_EQ(mm, 7);
+}
+
+TEST(Table1, AllInstancesLiftWithExpectedOutputCounts)
+{
+    for (const auto& inst : table1_instances()) {
+        // Lift only the small/medium sizes here (the huge ones are
+        // exercised by the benches).
+        std::int64_t total = 0;
+        for (const auto& decl :
+             inst.kernel.arrays_with_role(scalar::ArrayRole::kOutput)) {
+            total += scalar::array_length(inst.kernel, decl);
+        }
+        if (total > 200) {
+            continue;
+        }
+        const scalar::LiftedSpec spec = scalar::lift(inst.kernel);
+        EXPECT_EQ(spec.total_outputs, total) << inst.label();
+    }
+}
+
+TEST(MakeInputs, IsDeterministicPerSeed)
+{
+    const scalar::Kernel k = make_matmul(3, 3, 3);
+    EXPECT_EQ(make_inputs(k, 5).at("A"), make_inputs(k, 5).at("A"));
+    EXPECT_NE(make_inputs(k, 5).at("A"), make_inputs(k, 6).at("A"));
+}
+
+}  // namespace
+}  // namespace diospyros::kernels

@@ -1,0 +1,209 @@
+// Tests for the host-side matrix library, decompositions, and the
+// Eigen-substitute simulator baseline.
+
+#include <gtest/gtest.h>
+
+#include "kernels/kernels.h"
+#include "linalg/baseline.h"
+#include "linalg/decompose.h"
+#include "support/rng.h"
+
+namespace diospyros::linalg {
+namespace {
+
+Mat3
+random_mat3(Rng& rng)
+{
+    Mat3 m;
+    for (int r = 0; r < 3; ++r) {
+        for (int c = 0; c < 3; ++c) {
+            m(r, c) = rng.uniform_float(-2.0f, 2.0f);
+        }
+    }
+    // Keep it well away from singular.
+    for (int i = 0; i < 3; ++i) {
+        m(i, i) += 4.0f;
+    }
+    return m;
+}
+
+TEST(Matrix, BasicOps)
+{
+    Mat<2, 3> a;
+    a(0, 0) = 1;
+    a(0, 1) = 2;
+    a(0, 2) = 3;
+    a(1, 0) = 4;
+    a(1, 1) = 5;
+    a(1, 2) = 6;
+    const Mat<3, 2> t = a.transposed();
+    EXPECT_FLOAT_EQ(t(2, 1), 6.0f);
+
+    const auto i3 = Mat3::identity();
+    EXPECT_FLOAT_EQ((i3 * i3)(1, 1), 1.0f);
+
+    Mat<2, 2> b;
+    b(0, 0) = 1;
+    b(0, 1) = 2;
+    b(1, 0) = 3;
+    b(1, 1) = 4;
+    const auto flip_r = b.flipped_rows();
+    EXPECT_FLOAT_EQ(flip_r(0, 0), 3.0f);
+    const auto flip_c = b.flipped_cols();
+    EXPECT_FLOAT_EQ(flip_c(0, 0), 2.0f);
+}
+
+TEST(Matrix, MultiplyMatchesHandComputed)
+{
+    Mat<2, 3> a;
+    Mat<3, 2> b;
+    int v = 1;
+    for (int r = 0; r < 2; ++r) {
+        for (int c = 0; c < 3; ++c) {
+            a(r, c) = static_cast<float>(v++);
+        }
+    }
+    for (int r = 0; r < 3; ++r) {
+        for (int c = 0; c < 2; ++c) {
+            b(r, c) = static_cast<float>(v++);
+        }
+    }
+    const auto p = a * b;
+    EXPECT_FLOAT_EQ(p(0, 0), 1 * 7 + 2 * 9 + 3 * 11);
+    EXPECT_FLOAT_EQ(p(1, 1), 4 * 8 + 5 * 10 + 6 * 12);
+}
+
+TEST(Quaternion, RotationMatchesCrossFormula)
+{
+    const float c = std::sqrt(0.5f);
+    const Quaternion q{c, 0.0f, 0.0f, c};  // 90 deg about z
+    Vec3 x;
+    x(0, 0) = 1;
+    const Vec3 r = q.rotate(x);
+    EXPECT_NEAR(r(0, 0), 0.0f, 1e-6f);
+    EXPECT_NEAR(r(1, 0), 1.0f, 1e-6f);
+    EXPECT_NEAR(r(2, 0), 0.0f, 1e-6f);
+}
+
+TEST(HouseholderQr, ReconstructsInput)
+{
+    Rng rng(8);
+    for (int trial = 0; trial < 20; ++trial) {
+        const Mat3 a = random_mat3(rng);
+        const QrResult<3> qr = householder_qr(a);
+        // R upper triangular.
+        EXPECT_NEAR(qr.r(1, 0), 0.0f, 1e-4f);
+        EXPECT_NEAR(qr.r(2, 0), 0.0f, 1e-4f);
+        EXPECT_NEAR(qr.r(2, 1), 0.0f, 1e-4f);
+        // Q orthogonal.
+        EXPECT_LT((qr.q * qr.q.transposed())
+                      .max_abs_diff(Mat3::identity()),
+                  1e-4f);
+        // Q * R == A.
+        EXPECT_LT((qr.q * qr.r).max_abs_diff(a), 1e-3f);
+    }
+}
+
+TEST(RqDecompose, ReconstructsInput)
+{
+    Rng rng(9);
+    for (int trial = 0; trial < 20; ++trial) {
+        const Mat3 a = random_mat3(rng);
+        const RqResult<3> rq = rq_decompose(a);
+        // R upper triangular.
+        EXPECT_NEAR(rq.r(1, 0), 0.0f, 1e-4f);
+        EXPECT_NEAR(rq.r(2, 0), 0.0f, 1e-4f);
+        EXPECT_NEAR(rq.r(2, 1), 0.0f, 1e-4f);
+        // Q orthogonal.
+        EXPECT_LT((rq.q * rq.q.transposed())
+                      .max_abs_diff(Mat3::identity()),
+                  1e-4f);
+        // R * Q == A.
+        EXPECT_LT((rq.r * rq.q).max_abs_diff(a), 1e-3f);
+    }
+}
+
+TEST(DecomposeProjection, RoundTripsThroughCompose)
+{
+    Rng rng(10);
+    for (int trial = 0; trial < 20; ++trial) {
+        // Build a plausible camera: K upper triangular positive diag,
+        // R a rotation (from quaternion), c arbitrary.
+        Mat3 k;
+        k(0, 0) = rng.uniform_float(0.5f, 3.0f);
+        k(1, 1) = rng.uniform_float(0.5f, 3.0f);
+        k(2, 2) = 1.0f;
+        k(0, 1) = rng.uniform_float(-0.2f, 0.2f);
+        k(0, 2) = rng.uniform_float(-1.0f, 1.0f);
+        k(1, 2) = rng.uniform_float(-1.0f, 1.0f);
+
+        Quaternion q{rng.uniform_float(-1, 1), rng.uniform_float(-1, 1),
+                     rng.uniform_float(-1, 1), rng.uniform_float(-1, 1)};
+        const float qs = q.norm();
+        q.w /= qs;
+        q.x /= qs;
+        q.y /= qs;
+        q.z /= qs;
+        Mat3 r;
+        // Rotation matrix columns = rotated basis vectors.
+        for (int c = 0; c < 3; ++c) {
+            Vec3 e;
+            e(c, 0) = 1.0f;
+            const Vec3 col = q.rotate(e);
+            for (int rr = 0; rr < 3; ++rr) {
+                r(rr, c) = col(rr, 0);
+            }
+        }
+        Vec3 center;
+        for (int i = 0; i < 3; ++i) {
+            center(i, 0) = rng.uniform_float(-5, 5);
+        }
+
+        const Mat34 p = compose_projection(k, r, center);
+        const ProjectionDecomposition d = decompose_projection(p);
+        EXPECT_LT(d.calibration.max_abs_diff(k), 2e-3f) << "trial "
+                                                        << trial;
+        EXPECT_LT(d.rotation.max_abs_diff(r), 2e-3f) << "trial " << trial;
+        EXPECT_LT(d.center.max_abs_diff(center), 5e-3f)
+            << "trial " << trial;
+    }
+}
+
+TEST(EigenBaseline, MatchesReferenceOnMatMul)
+{
+    const scalar::Kernel kernel = kernels::make_matmul(3, 3, 3);
+    const scalar::BufferMap inputs = kernels::make_inputs(kernel, 12);
+    const auto run =
+        run_eigen_like(kernel, inputs, TargetSpec::fusion_g3_like());
+    const scalar::BufferMap want = scalar::run_reference(kernel, inputs);
+    for (std::size_t i = 0; i < 9; ++i) {
+        EXPECT_NEAR(run.outputs.at("C")[i], want.at("C")[i], 1e-4f);
+    }
+}
+
+TEST(EigenBaseline, SlowerThanHandFixedLowering)
+{
+    // The portable library pays abstraction overhead relative to
+    // hand-specialized code.
+    const TargetSpec target = TargetSpec::fusion_g3_like();
+    const scalar::Kernel kernel = kernels::make_matmul(3, 3, 3);
+    const scalar::BufferMap inputs = kernels::make_inputs(kernel, 13);
+    const auto eigen = run_eigen_like(kernel, inputs, target);
+    const auto fixed = scalar::run_baseline(
+        kernel, inputs, scalar::LowerMode::kNaiveFixed, target);
+    EXPECT_GT(eigen.result.cycles, fixed.result.cycles);
+}
+
+TEST(EigenBaseline, AvailabilityMirrorsFigure5)
+{
+    EXPECT_TRUE(eigen_supports(kernels::make_matmul(2, 2, 2)));
+    EXPECT_TRUE(eigen_supports(kernels::make_qprod()));
+    EXPECT_TRUE(eigen_supports(kernels::make_qrdecomp(3)));
+    EXPECT_FALSE(eigen_supports(kernels::make_conv2d(3, 3, 2, 2)));
+    EXPECT_THROW(run_eigen_like(kernels::make_conv2d(3, 3, 2, 2), {},
+                                TargetSpec::fusion_g3_like()),
+                 UserError);
+}
+
+}  // namespace
+}  // namespace diospyros::linalg

@@ -1,0 +1,133 @@
+// Tests for the Nature vendor-library substitute: correctness against the
+// reference interpreter across sizes (including awkward non-multiple-of-W
+// shapes), availability rules, and the performance characteristics the
+// paper describes (fast on large aligned shapes, weak on small ones).
+
+#include <gtest/gtest.h>
+
+#include "kernels/kernels.h"
+#include "nature/nature.h"
+#include "scalar/lower.h"
+
+namespace diospyros::nature {
+namespace {
+
+using kernels::make_conv2d;
+using kernels::make_inputs;
+using kernels::make_matmul;
+using scalar::BufferMap;
+
+void
+expect_match(const BufferMap& got, const BufferMap& want, float tol)
+{
+    ASSERT_EQ(got.size(), want.size());
+    for (const auto& [name, w] : want) {
+        const auto& g = got.at(name);
+        ASSERT_EQ(g.size(), w.size()) << name;
+        for (std::size_t i = 0; i < w.size(); ++i) {
+            const float scale =
+                std::max({1.0f, std::abs(w[i]), std::abs(g[i])});
+            ASSERT_LE(std::abs(g[i] - w[i]), tol * scale)
+                << name << "[" << i << "]";
+        }
+    }
+}
+
+class NatureMatMul
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(NatureMatMul, MatchesReference)
+{
+    const auto [n, m, p] = GetParam();
+    const scalar::Kernel kernel = make_matmul(n, m, p);
+    const BufferMap inputs = make_inputs(kernel, 17);
+    const auto run =
+        run_nature(kernel, inputs, TargetSpec::fusion_g3_like());
+    expect_match(run.outputs, scalar::run_reference(kernel, inputs),
+                 1e-4f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, NatureMatMul,
+    ::testing::Values(std::make_tuple(2, 2, 2), std::make_tuple(2, 3, 3),
+                      std::make_tuple(3, 3, 3), std::make_tuple(4, 4, 4),
+                      std::make_tuple(5, 7, 6), std::make_tuple(8, 8, 8),
+                      std::make_tuple(10, 10, 10),
+                      std::make_tuple(1, 1, 1),
+                      std::make_tuple(16, 16, 16)));
+
+class NatureConv
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(NatureConv, MatchesReference)
+{
+    const auto [ir, ic, fr, fc] = GetParam();
+    const scalar::Kernel kernel = make_conv2d(ir, ic, fr, fc);
+    const BufferMap inputs = make_inputs(kernel, 23);
+    const auto run =
+        run_nature(kernel, inputs, TargetSpec::fusion_g3_like());
+    expect_match(run.outputs, scalar::run_reference(kernel, inputs),
+                 1e-4f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, NatureConv,
+    ::testing::Values(std::make_tuple(3, 3, 2, 2),
+                      std::make_tuple(3, 3, 3, 3),
+                      std::make_tuple(3, 5, 3, 3),
+                      std::make_tuple(4, 4, 3, 3),
+                      std::make_tuple(8, 8, 3, 3),
+                      std::make_tuple(10, 10, 4, 4),
+                      std::make_tuple(16, 16, 2, 2),
+                      std::make_tuple(5, 4, 1, 1),
+                      std::make_tuple(2, 2, 4, 4)));
+
+TEST(NatureAvailability, OnlyMatMulAndConv)
+{
+    EXPECT_TRUE(supports(make_matmul(3, 3, 3)));
+    EXPECT_TRUE(supports(make_conv2d(3, 3, 2, 2)));
+    EXPECT_FALSE(supports(kernels::make_qprod()));
+    EXPECT_FALSE(supports(kernels::make_qrdecomp(3)));
+    EXPECT_THROW(run_nature(kernels::make_qprod(), {},
+                            TargetSpec::fusion_g3_like()),
+                 UserError);
+}
+
+TEST(NaturePerformance, BeatsFixedNaiveOnLargeAlignedMatMul)
+{
+    // §5.4: the library shines on shapes that fill vector lanes.
+    const TargetSpec target = TargetSpec::fusion_g3_like();
+    const scalar::Kernel kernel = make_matmul(16, 16, 16);
+    const BufferMap inputs = make_inputs(kernel, 3);
+    const auto nature = run_nature(kernel, inputs, target);
+    const auto fixed = scalar::run_baseline(
+        kernel, inputs, scalar::LowerMode::kNaiveFixed, target);
+    EXPECT_LT(nature.result.cycles, fixed.result.cycles);
+}
+
+TEST(NaturePerformance, ControlOverheadDominatesTinyMatMul)
+{
+    // §5.4: "even highly-optimized code such as Nature can perform poorly
+    // on small kernels, such as the 2x2 square matrix product, due to the
+    // control overhead of the parametrized unrolling."
+    const TargetSpec target = TargetSpec::fusion_g3_like();
+    const scalar::Kernel kernel = make_matmul(2, 2, 2);
+    const BufferMap inputs = make_inputs(kernel, 4);
+    const auto nature = run_nature(kernel, inputs, target);
+    const auto fixed = scalar::run_baseline(
+        kernel, inputs, scalar::LowerMode::kNaiveFixed, target);
+    EXPECT_GT(nature.result.cycles, fixed.result.cycles);
+}
+
+TEST(NaturePerformance, VectorPathActuallyVectorizes)
+{
+    const TargetSpec target = TargetSpec::fusion_g3_like();
+    const scalar::Kernel kernel = make_matmul(8, 8, 8);
+    const auto run = run_nature(kernel, make_inputs(kernel, 5), target);
+    // 8x8x8: every column block is vectorized -> 8*2*8 = 128 vector MACs.
+    EXPECT_EQ(run.result.count(Opcode::kVMac), 128u);
+    EXPECT_EQ(run.result.count(Opcode::kFMul), 0u);  // no scalar tail
+}
+
+}  // namespace
+}  // namespace diospyros::nature

@@ -1,0 +1,183 @@
+// Tests for the list scheduler: dependence preservation (semantics
+// unchanged under random programs), stall reduction, and bail-out rules.
+
+#include <gtest/gtest.h>
+
+#include "machine/schedule.h"
+#include "machine/sim.h"
+#include "support/rng.h"
+
+namespace diospyros {
+namespace {
+
+class ScheduleTest : public ::testing::Test {
+  protected:
+    TargetSpec spec_ = TargetSpec::fusion_g3_like();
+    Simulator sim_{TargetSpec::fusion_g3_like()};
+};
+
+TEST_F(ScheduleTest, HidesLatencyOfIndependentChains)
+{
+    // Two independent mul chains interleaved badly: a naive order stalls
+    // on every instruction; the scheduler should interleave them.
+    ProgramBuilder pb;
+    const int a = pb.fresh_float();
+    const int b = pb.fresh_float();
+    pb.fload(a, -1, 0);
+    pb.fbinop(Opcode::kFMul, a, a, a);
+    pb.fbinop(Opcode::kFMul, a, a, a);
+    pb.fbinop(Opcode::kFMul, a, a, a);
+    pb.fload(b, -1, 1);
+    pb.fbinop(Opcode::kFMul, b, b, b);
+    pb.fbinop(Opcode::kFMul, b, b, b);
+    pb.fbinop(Opcode::kFMul, b, b, b);
+    pb.fstore(-1, 2, a);
+    pb.fstore(-1, 3, b);
+    pb.halt();
+    const Program original = pb.finish();
+
+    Memory mem1(8), mem2(8);
+    mem1.at(0) = mem2.at(0) = 2.0f;
+    mem1.at(1) = mem2.at(1) = 3.0f;
+    const RunResult before = sim_.run(original, mem1);
+
+    ScheduleStats stats;
+    const Program scheduled = schedule_program(original, spec_, &stats);
+    EXPECT_TRUE(stats.applied);
+    EXPECT_GT(stats.moved, 0u);
+    const RunResult after = sim_.run(scheduled, mem2);
+
+    EXPECT_FLOAT_EQ(mem2.at(2), mem1.at(2));
+    EXPECT_FLOAT_EQ(mem2.at(3), mem1.at(3));
+    EXPECT_LT(after.cycles, before.cycles);
+    EXPECT_LT(after.stall_cycles, before.stall_cycles);
+}
+
+TEST_F(ScheduleTest, BailsOutOnControlFlow)
+{
+    ProgramBuilder pb;
+    const int r = pb.fresh_int();
+    pb.mov_i(r, 0);
+    auto l = pb.new_label();
+    pb.bind(l);
+    pb.add_i(r, r, 1);
+    pb.branch_lt(r, r, l);
+    pb.halt();
+    const Program p = pb.finish();
+    ScheduleStats stats;
+    const Program out = schedule_program(p, spec_, &stats);
+    EXPECT_FALSE(stats.applied);
+    EXPECT_EQ(out.code.size(), p.code.size());
+}
+
+TEST_F(ScheduleTest, BailsOutOnRegisterRelativeAddressing)
+{
+    ProgramBuilder pb;
+    const int r = pb.fresh_int();
+    const int f = pb.fresh_float();
+    pb.mov_i(r, 0);
+    pb.fload(f, r, 0);
+    pb.halt();
+    ScheduleStats stats;
+    schedule_program(pb.finish(), spec_, &stats);
+    EXPECT_FALSE(stats.applied);
+}
+
+TEST_F(ScheduleTest, PreservesStoreLoadDependences)
+{
+    // store x -> load x -> store y: order must be preserved exactly.
+    ProgramBuilder pb;
+    const int f = pb.fresh_float();
+    const int g = pb.fresh_float();
+    pb.fmov_i(f, 7.0f);
+    pb.fstore(-1, 0, f);
+    pb.fload(g, -1, 0);
+    pb.fbinop(Opcode::kFAdd, g, g, g);
+    pb.fstore(-1, 0, g);
+    pb.halt();
+    Memory mem(4);
+    sim_.run(schedule_program(pb.finish(), spec_), mem);
+    EXPECT_FLOAT_EQ(mem.at(0), 14.0f);
+}
+
+TEST_F(ScheduleTest, PreservesVectorScalarMemoryOverlap)
+{
+    // A vector store overlapping later scalar loads must come first.
+    ProgramBuilder pb;
+    const int v = pb.fresh_vec();
+    const int f = pb.fresh_float();
+    pb.vload(v, -1, 0);
+    pb.vstore(-1, 4, v);
+    pb.fload(f, -1, 6);  // reads lane 2 of the stored vector
+    pb.fbinop(Opcode::kFMul, f, f, f);
+    pb.fstore(-1, 8, f);
+    pb.halt();
+    Memory mem(9);
+    for (int i = 0; i < 4; ++i) {
+        mem.at(static_cast<std::size_t>(i)) = static_cast<float>(i + 1);
+    }
+    sim_.run(schedule_program(pb.finish(), spec_), mem);
+    EXPECT_FLOAT_EQ(mem.at(8), 9.0f);  // (lane 2 == 3)^2
+}
+
+TEST_F(ScheduleTest, RandomizedProgramsKeepSemantics)
+{
+    // Property: scheduling never changes the memory image a random
+    // straight-line program produces, and never makes it slower.
+    Rng rng(515);
+    for (int trial = 0; trial < 40; ++trial) {
+        ProgramBuilder pb;
+        constexpr int kRegs = 5;
+        for (int r = 0; r < kRegs; ++r) {
+            pb.fload(r, -1, r);
+        }
+        const int steps = static_cast<int>(rng.uniform_int(5, 30));
+        for (int s = 0; s < steps; ++s) {
+            const int d = static_cast<int>(rng.uniform_int(0, kRegs - 1));
+            const int a = static_cast<int>(rng.uniform_int(0, kRegs - 1));
+            const int b = static_cast<int>(rng.uniform_int(0, kRegs - 1));
+            switch (rng.uniform_int(0, 4)) {
+              case 0:
+                pb.fbinop(Opcode::kFAdd, d, a, b);
+                break;
+              case 1:
+                pb.fbinop(Opcode::kFMul, d, a, b);
+                break;
+              case 2:
+                pb.fmac(d, a, b);
+                break;
+              case 3:
+                pb.fstore(-1, static_cast<int>(rng.uniform_int(5, 9)), a);
+                break;
+              default:
+                pb.fload(d, -1,
+                         static_cast<int>(rng.uniform_int(0, 9)));
+                break;
+            }
+        }
+        for (int r = 0; r < kRegs; ++r) {
+            pb.fstore(-1, 10 + r, r);
+        }
+        pb.halt();
+        const Program original = pb.finish();
+        const Program scheduled = schedule_program(original, spec_);
+
+        Memory mem1(16), mem2(16);
+        for (int i = 0; i < 10; ++i) {
+            const float v = rng.uniform_float(-2, 2);
+            mem1.at(static_cast<std::size_t>(i)) = v;
+            mem2.at(static_cast<std::size_t>(i)) = v;
+        }
+        const RunResult before = sim_.run(original, mem1);
+        const RunResult after = sim_.run(scheduled, mem2);
+        for (int i = 0; i < 16; ++i) {
+            ASSERT_FLOAT_EQ(mem2.at(static_cast<std::size_t>(i)),
+                            mem1.at(static_cast<std::size_t>(i)))
+                << "trial " << trial << " addr " << i;
+        }
+        EXPECT_LE(after.cycles, before.cycles) << "trial " << trial;
+    }
+}
+
+}  // namespace
+}  // namespace diospyros

@@ -1,0 +1,253 @@
+/**
+ * @file
+ * dioscc — the Diospyros command-line compiler.
+ *
+ * Compiles a kernel written in the textual input language (see
+ * src/scalar/parse.h) through the full pipeline and reports the result:
+ *
+ *   dioscc <kernel.ksp> [options]
+ *
+ * Options:
+ *   --width N       target vector width (default 4)
+ *   --iters N       saturation iteration budget (default 12)
+ *   --nodes N       e-graph node limit (default 300000)
+ *   --timeout S     saturation wall-clock budget in seconds (default 20)
+ *   --no-vector     disable vector rewrite rules (§5.6 ablation)
+ *   --ac            enable full associativity/commutativity (§3.3)
+ *   --recip         target has a fast reciprocal (§6 extension)
+ *   --validate      run exact translation validation
+ *   --emit-c        print the generated C intrinsics
+ *   --emit-asm      print the scheduled DSP assembly
+ *   --emit-spec     print the lifted specification
+ *   --emit-dot FILE write the saturated e-graph as Graphviz (debugging)
+ *   --json          print the compile report as a JSON object
+ *   --run           run on random inputs and compare with the baselines
+ *   --seed N        RNG seed for --run (default 1)
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include <fstream>
+
+#include "compiler/driver.h"
+#include "egraph/runner.h"
+#include "rules/rules.h"
+#include "scalar/lower.h"
+#include "scalar/parse.h"
+#include "support/rng.h"
+
+using namespace diospyros;
+
+namespace {
+
+struct CliOptions {
+    std::string path;
+    CompilerOptions compiler;
+    bool emit_c = false;
+    bool emit_asm = false;
+    bool emit_spec = false;
+    bool json = false;
+    bool run = false;
+    std::string dot_path;
+    std::uint64_t seed = 1;
+};
+
+[[noreturn]] void
+usage(const char* argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s <kernel.ksp> [--width N] [--iters N] "
+                 "[--nodes N] [--timeout S] [--no-vector] [--ac] "
+                 "[--recip] [--validate] [--emit-c] [--emit-asm] "
+                 "[--emit-spec] [--emit-dot FILE] [--json] [--run] "
+                 "[--seed N]\n",
+                 argv0);
+    std::exit(2);
+}
+
+CliOptions
+parse_cli(int argc, char** argv)
+{
+    CliOptions cli;
+    cli.compiler.limits = RunnerLimits{.node_limit = 300'000,
+                                       .iter_limit = 12,
+                                       .time_limit_seconds = 20.0};
+    auto int_arg = [&](int& i) {
+        if (i + 1 >= argc) {
+            usage(argv[0]);
+        }
+        return std::atoll(argv[++i]);
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--width") {
+            cli.compiler.target.vector_width =
+                static_cast<int>(int_arg(i));
+        } else if (arg == "--iters") {
+            cli.compiler.limits.iter_limit = static_cast<int>(int_arg(i));
+        } else if (arg == "--nodes") {
+            cli.compiler.limits.node_limit =
+                static_cast<std::size_t>(int_arg(i));
+        } else if (arg == "--timeout") {
+            cli.compiler.limits.time_limit_seconds =
+                static_cast<double>(int_arg(i));
+        } else if (arg == "--no-vector") {
+            cli.compiler.rules.enable_vector_rules = false;
+        } else if (arg == "--ac") {
+            cli.compiler.rules.full_ac = true;
+        } else if (arg == "--recip") {
+            cli.compiler.target.has_reciprocal = true;
+        } else if (arg == "--validate") {
+            cli.compiler.validate = true;
+            cli.compiler.random_check = true;
+        } else if (arg == "--emit-c") {
+            cli.emit_c = true;
+        } else if (arg == "--emit-asm") {
+            cli.emit_asm = true;
+        } else if (arg == "--emit-spec") {
+            cli.emit_spec = true;
+        } else if (arg == "--json") {
+            cli.json = true;
+        } else if (arg == "--emit-dot") {
+            if (i + 1 >= argc) {
+                usage(argv[0]);
+            }
+            cli.dot_path = argv[++i];
+        } else if (arg == "--run") {
+            cli.run = true;
+        } else if (arg == "--seed") {
+            cli.seed = static_cast<std::uint64_t>(int_arg(i));
+        } else if (!arg.empty() && arg[0] == '-') {
+            usage(argv[0]);
+        } else if (cli.path.empty()) {
+            cli.path = arg;
+        } else {
+            usage(argv[0]);
+        }
+    }
+    if (cli.path.empty()) {
+        usage(argv[0]);
+    }
+    return cli;
+}
+
+scalar::BufferMap
+random_inputs(const scalar::Kernel& kernel, std::uint64_t seed)
+{
+    Rng rng(seed);
+    scalar::BufferMap out;
+    for (const auto& decl :
+         kernel.arrays_with_role(scalar::ArrayRole::kInput)) {
+        std::vector<float> data(static_cast<std::size_t>(
+            scalar::array_length(kernel, decl)));
+        for (float& v : data) {
+            v = rng.uniform_float(-2.0f, 2.0f);
+        }
+        out.emplace(decl.name.str(), std::move(data));
+    }
+    return out;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+try {
+    CliOptions cli = parse_cli(argc, argv);
+    const scalar::Kernel kernel = scalar::parse_kernel_file(cli.path);
+
+    std::printf("; kernel '%s' from %s\n", kernel.name.c_str(),
+                cli.path.c_str());
+    const CompiledKernel compiled = compile_kernel(kernel, cli.compiler);
+    std::printf("; %s\n", report_row(kernel.name, compiled.report).c_str());
+    if (cli.json) {
+        const CompileReport& r = compiled.report;
+        std::printf(
+            "{\"kernel\":\"%s\",\"total_seconds\":%.6f,"
+            "\"saturation_seconds\":%.6f,\"egraph_nodes\":%zu,"
+            "\"egraph_classes\":%zu,\"iterations\":%zu,"
+            "\"stop\":\"%s\",\"extracted_cost\":%.2f,"
+            "\"spec_elements\":%zu,\"memory_proxy_bytes\":%zu,"
+            "\"lvn_removed\":%zu}\n",
+            kernel.name.c_str(), r.total_seconds, r.saturation_seconds,
+            r.egraph_nodes, r.egraph_classes, r.runner_iterations,
+            stop_reason_name(r.stop_reason), r.extracted_cost,
+            r.spec_elements, r.memory_proxy_bytes,
+            r.lvn.value_numbered + r.lvn.dead_removed);
+    }
+    if (cli.compiler.validate) {
+        std::printf("; translation validation: %s; random check: %s\n",
+                    verdict_name(compiled.report.validation),
+                    compiled.report.random_check_passed ? "passed"
+                                                        : "FAILED");
+    }
+
+    if (!cli.dot_path.empty()) {
+        // Re-run saturation on the padded spec to obtain the e-graph (the
+        // compiled artifact does not retain it), then dump Graphviz.
+        CompilerOptions opts = cli.compiler;
+        opts.sync();
+        EGraph graph;
+        graph.add_term(compiled.padded_spec);
+        graph.rebuild();
+        Runner(opts.limits).run(graph, build_rules(opts.rules));
+        std::ofstream out(cli.dot_path);
+        out << graph.to_dot();
+        std::printf("; wrote e-graph (%zu nodes, %zu classes) to %s\n",
+                    graph.num_nodes(), graph.num_classes(),
+                    cli.dot_path.c_str());
+    }
+
+    if (cli.emit_spec) {
+        std::printf("\n; lifted specification\n%s\n",
+                    Term::to_string(compiled.padded_spec).c_str());
+    }
+    if (cli.emit_c) {
+        std::printf("\n%s", compiled.c_source.c_str());
+    }
+    if (cli.emit_asm) {
+        std::printf("\n; scheduled DSP assembly\n%s",
+                    disassemble(compiled.machine,
+                                cli.compiler.target.vector_width)
+                        .c_str());
+    }
+
+    if (cli.run) {
+        const scalar::BufferMap inputs = random_inputs(kernel, cli.seed);
+        const auto run = compiled.run(inputs, cli.compiler.target);
+        const auto naive = scalar::run_baseline(
+            kernel, inputs, scalar::LowerMode::kNaiveParametric,
+            cli.compiler.target);
+        const auto fixed = scalar::run_baseline(
+            kernel, inputs, scalar::LowerMode::kNaiveFixed,
+            cli.compiler.target);
+        const scalar::BufferMap want =
+            scalar::run_reference(kernel, inputs);
+        float max_err = 0.0f;
+        for (const auto& [name, w] : want) {
+            const auto& g = run.outputs.at(name);
+            for (std::size_t i = 0; i < w.size(); ++i) {
+                max_err = std::max(max_err, std::abs(w[i] - g[i]));
+            }
+        }
+        std::printf("\n; simulated cycles\n");
+        std::printf(";   naive (parametric) : %llu\n",
+                    static_cast<unsigned long long>(naive.result.cycles));
+        std::printf(";   naive (fixed size) : %llu\n",
+                    static_cast<unsigned long long>(fixed.result.cycles));
+        std::printf(";   diospyros          : %llu (%.2fx over fixed)\n",
+                    static_cast<unsigned long long>(run.result.cycles),
+                    static_cast<double>(fixed.result.cycles) /
+                        static_cast<double>(run.result.cycles));
+        std::printf(";   max |error| vs reference: %g\n", max_err);
+        if (max_err > 1e-2f) {
+            return 1;
+        }
+    }
+    return 0;
+} catch (const std::exception& e) {
+    std::fprintf(stderr, "dioscc: error: %s\n", e.what());
+    return 1;
+}
