@@ -79,7 +79,20 @@ measure_kernel(const scalar::Kernel& kernel, const CompiledKernel& compiled,
 
     auto check = [&](const scalar::BufferMap& got, const char* impl) {
         for (const auto& [name, w] : want) {
-            const auto& g = got.at(name);
+            // Shape first: a missing or mis-sized buffer must abort with
+            // a message, not an out-of-bounds read.
+            const auto it = got.find(name);
+            if (it == got.end() || it->second.size() != w.size()) {
+                std::fprintf(stderr,
+                             "SHAPE MISMATCH %s %s: got %zu elements, "
+                             "expected %zu\n",
+                             impl, name.c_str(),
+                             it == got.end() ? std::size_t{0}
+                                             : it->second.size(),
+                             w.size());
+                std::abort();
+            }
+            const auto& g = it->second;
             for (std::size_t i = 0; i < w.size(); ++i) {
                 const float scale =
                     std::max({1.0f, std::abs(w[i]), std::abs(g[i])});

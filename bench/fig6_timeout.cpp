@@ -40,12 +40,25 @@ main()
     for (const int iters : {1, 2, 3, 4, 6, 8, 12}) {
         CompilerOptions options = bench::bench_options();
         options.limits.iter_limit = iters;
-        const CompiledKernel compiled = compile_kernel(kernel, options);
+        // Resilient: a blow-up at one budget point degrades and is
+        // annotated rather than killing the remaining sweep.
+        const CompileResult result =
+            compile_kernel_resilient(kernel, options);
+        if (!result.ok) {
+            std::printf("%-22d FAILED: %s\n", iters,
+                        result.error.c_str());
+            continue;
+        }
+        const CompiledKernel& compiled = *result.compiled;
         const auto run = compiled.run(inputs, target);
-        std::printf("%-22d %10llu %12.3f %10s\n", iters,
+        std::printf("%-22d %10llu %12.3f %10s%s%s\n", iters,
                     static_cast<unsigned long long>(run.result.cycles),
                     compiled.report.total_seconds,
-                    stop_reason_name(compiled.report.stop_reason));
+                    stop_reason_name(compiled.report.stop_reason),
+                    result.fallback_level > 0 ? " fallback=" : "",
+                    result.fallback_level > 0
+                        ? fallback_level_name(result.fallback_level)
+                        : "");
     }
     return 0;
 }

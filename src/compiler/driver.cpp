@@ -1,9 +1,12 @@
 #include "compiler/driver.h"
 
+#include <algorithm>
+#include <cmath>
 #include <sstream>
 
 #include "egraph/extract.h"
 #include "support/error.h"
+#include "support/faults.h"
 #include "support/timer.h"
 #include "vir/cprint.h"
 
@@ -41,22 +44,10 @@ pad_spec(const scalar::LiftedSpec& spec, int width)
     return {t_list(std::move(padded)), std::move(slots)};
 }
 
-}  // namespace
-
-CompiledKernel::RunOutcome
-CompiledKernel::run(const scalar::BufferMap& inputs,
-                    const TargetSpec& target) const
-{
-    Memory memory = layout.make_memory(inputs);
-    Simulator sim(target);
-    RunOutcome outcome;
-    outcome.result = sim.run(machine, memory);
-    outcome.outputs = layout.read_outputs(memory);
-    return outcome;
-}
-
+/** The full pipeline, sharing the caller's compile-wide deadline. */
 CompiledKernel
-compile_kernel(const scalar::Kernel& kernel, CompilerOptions options)
+compile_with_deadline(const scalar::Kernel& kernel, CompilerOptions options,
+                      const Deadline& deadline)
 {
     options.sync();
     const int width = options.target.vector_width;
@@ -66,6 +57,7 @@ compile_kernel(const scalar::Kernel& kernel, CompilerOptions options)
     Timer total;
 
     // Phase 1: symbolic evaluation (lifting) + alignment padding.
+    deadline.check("lifting");
     Timer phase;
     out.spec = scalar::lift(kernel);
     auto [padded, slots] = pad_spec(out.spec, width);
@@ -74,35 +66,92 @@ compile_kernel(const scalar::Kernel& kernel, CompilerOptions options)
     out.report.spec_elements = padded->arity();
     out.report.spec_dag_nodes = Term::dag_size(padded);
 
-    // Phase 2: equality saturation.
+    // Phase 2: equality saturation. The runner stops gracefully at the
+    // deadline (partial e-graphs are usable, §5.5); the per-phase
+    // checkpoints below turn an exhausted budget into DeadlineExceeded.
     phase.reset();
     EGraph graph;
     const ClassId root = graph.add_term(padded);
     graph.rebuild();
     const std::vector<Rewrite> rules = build_rules(options.rules);
     Runner runner(options.limits);
-    const RunnerReport rr = runner.run(graph, rules);
+    const RunnerReport rr = runner.run(graph, rules, deadline);
     out.report.saturation_seconds = phase.elapsed_seconds();
     out.report.stop_reason = rr.stop_reason;
     out.report.runner_iterations = rr.iterations.size();
     out.report.egraph_nodes = graph.num_nodes();
     out.report.egraph_classes = graph.num_classes();
-    // Memory proxy: e-nodes dominate; count node + hashcons + class
-    // overhead per node, plus per-class bookkeeping.
-    out.report.memory_proxy_bytes =
-        graph.num_nodes() * (sizeof(ENode) + 96) +
-        graph.num_classes() * 160;
+    out.report.memory_proxy_bytes = graph.memory_proxy_bytes();
 
-    // Phase 3: extraction.
+    // Phase 3: extraction (checks the deadline per relaxation pass).
     phase.reset();
+    deadline.check("extraction");
     const DiosCostModel cost(options.cost, width);
-    const Extractor extractor(graph, cost);
+    const Extractor extractor(graph, cost, deadline);
     Extraction best = extractor.extract(graph.find(root));
     out.extracted = best.term;
     out.report.extracted_cost = best.cost;
     out.report.extract_seconds = phase.elapsed_seconds();
 
     // Phase 4: backend — lower, LVN, instruction selection, C source.
+    phase.reset();
+    deadline.check("lowering");
+    out.vprogram = vir::lower_term(out.extracted, width, slots,
+                                   options.target.has_scalar_mac);
+    deadline.check("lvn");
+    out.report.lvn = vir::run_lvn(out.vprogram);
+    out.layout = vir::CompiledLayout::make(kernel, width);
+    deadline.check("emission");
+    out.machine = vir::emit_machine(out.vprogram, out.layout,
+                                    options.target);
+    out.c_source = vir::to_c_intrinsics(out.vprogram, kernel.name);
+    out.report.backend_seconds = phase.elapsed_seconds();
+
+    // Phase 5 (optional): translation validation.
+    if (options.validate) {
+        deadline.check("validation");
+        out.report.validation =
+            validate_translation(out.padded_spec, out.extracted);
+    }
+    if (options.random_check) {
+        deadline.check("random-check");
+        out.report.random_check_passed =
+            random_equivalent(out.padded_spec, out.extracted);
+    }
+
+    out.report.total_seconds = total.elapsed_seconds();
+    return out;
+}
+
+/**
+ * The ladder's final rung: lower the padded spec directly, with no
+ * e-graph at all. The "extracted" program *is* the spec, so the result
+ * is correct by construction (scalar code, vectorized only where the
+ * backend's LVN helps) and the only remaining failure modes are an
+ * invalid kernel or a fault injected into the backend itself.
+ */
+CompiledKernel
+compile_direct(const scalar::Kernel& kernel, CompilerOptions options)
+{
+    options.sync();
+    const int width = options.target.vector_width;
+
+    CompiledKernel out;
+    out.kernel = kernel;
+    Timer total;
+
+    Timer phase;
+    out.spec = scalar::lift(kernel);
+    auto [padded, slots] = pad_spec(out.spec, width);
+    out.padded_spec = padded;
+    out.report.lift_seconds = phase.elapsed_seconds();
+    out.report.spec_elements = padded->arity();
+    out.report.spec_dag_nodes = Term::dag_size(padded);
+
+    // No saturation ran: a zero iteration budget stopped the "search".
+    out.report.stop_reason = StopReason::kIterLimit;
+    out.extracted = out.padded_spec;
+
     phase.reset();
     out.vprogram = vir::lower_term(out.extracted, width, slots,
                                    options.target.has_scalar_mac);
@@ -113,18 +162,210 @@ compile_kernel(const scalar::Kernel& kernel, CompilerOptions options)
     out.c_source = vir::to_c_intrinsics(out.vprogram, kernel.name);
     out.report.backend_seconds = phase.elapsed_seconds();
 
-    // Phase 5 (optional): translation validation.
+    // The optimized term is pointer-identical to the spec, so both
+    // verifications hold trivially — record them without re-deriving.
     if (options.validate) {
-        out.report.validation =
-            validate_translation(out.padded_spec, out.extracted);
+        out.report.validation = Verdict::kEquivalent;
     }
-    if (options.random_check) {
-        out.report.random_check_passed =
-            random_equivalent(out.padded_spec, out.extracted);
-    }
+    out.report.random_check_passed = true;
 
     out.report.total_seconds = total.elapsed_seconds();
     return out;
+}
+
+/** Options for one degradation-ladder rung (see driver.h file header). */
+CompilerOptions
+rung_options(const CompilerOptions& base, int level)
+{
+    CompilerOptions o = base;
+    if (level >= 1) {
+        // Reduced search: aggressive backoff, capped match batches, a
+        // quarter of the node budget, and a hard memory ceiling, so a
+        // blow-up that killed rung 0 cannot simply repeat.
+        o.limits.node_limit =
+            std::max<std::size_t>(base.limits.node_limit / 4, 10'000);
+        o.limits.iter_limit = std::min(base.limits.iter_limit, 8);
+        if (o.limits.backoff_threshold == 0) {
+            o.limits.backoff_threshold = 64;
+        }
+        if (o.limits.match_limit_per_rule == 0) {
+            o.limits.match_limit_per_rule = 1024;
+        }
+        if (o.limits.memory_limit_bytes == 0) {
+            o.limits.memory_limit_bytes = std::size_t{512} << 20;
+        }
+    }
+    if (level >= 2) {
+        // Scalar simplification only (the §5.6 ablation configuration —
+        // still beats the fixed-size baseline through global CSE).
+        o.rules.enable_vector_rules = false;
+    }
+    return o;
+}
+
+}  // namespace
+
+const char*
+fallback_level_name(int level)
+{
+    switch (level) {
+      case 0:
+        return "full";
+      case 1:
+        return "reduced";
+      case 2:
+        return "scalar-rules";
+      case 3:
+        return "direct-scalar";
+    }
+    return "unknown";
+}
+
+CompiledKernel::RunOutcome
+CompiledKernel::run(const scalar::BufferMap& inputs,
+                    const TargetSpec& target) const
+{
+    Memory memory = layout.make_memory(inputs);
+    Simulator sim(target);
+    RunOutcome outcome;
+    outcome.result = sim.run(machine, memory);
+    outcome.outputs = layout.read_outputs(memory);
+    // Shape-check against the kernel's output manifest so callers can
+    // element-wise compare without out-of-bounds reads.
+    for (const auto& [name, len] : spec.outputs) {
+        const auto it = outcome.outputs.find(name);
+        DIOS_ASSERT(it != outcome.outputs.end(),
+                    "simulated run produced no buffer for output '" + name +
+                        "'");
+        DIOS_ASSERT(it->second.size() == static_cast<std::size_t>(len),
+                    "output '" + name + "' has " +
+                        std::to_string(it->second.size()) +
+                        " elements but the kernel manifest declares " +
+                        std::to_string(len));
+    }
+    return outcome;
+}
+
+CompiledKernel
+compile_kernel(const scalar::Kernel& kernel, CompilerOptions options)
+{
+    const Deadline deadline =
+        options.deadline_seconds > 0.0
+            ? Deadline::after_seconds(options.deadline_seconds)
+            : Deadline::unlimited();
+    return compile_with_deadline(kernel, options, deadline);
+}
+
+CompileResult
+compile_kernel_resilient(const scalar::Kernel& kernel,
+                         CompilerOptions options)
+{
+    constexpr int kDirectLevel = 3;
+    CompileResult result;
+
+    try {
+        for (const std::string& spec : options.fault_specs) {
+            faults::arm(faults::parse_spec(spec));
+        }
+    } catch (const std::exception& e) {
+        result.error = e.what();
+        return result;
+    }
+
+    const Deadline deadline =
+        options.deadline_seconds > 0.0
+            ? Deadline::after_seconds(options.deadline_seconds)
+            : Deadline::unlimited();
+
+    for (int level = 0; level <= kDirectLevel; ++level) {
+        Timer attempt_timer;
+        AttemptDiagnostic diag;
+        diag.level = level;
+        try {
+            // The final rung ignores the shared deadline: it is the
+            // cheap, always-succeeds fallback that guarantees the
+            // service returns *something*.
+            CompiledKernel compiled =
+                level == kDirectLevel
+                    ? compile_direct(kernel, rung_options(options, level))
+                    : compile_with_deadline(
+                          kernel, rung_options(options, level), deadline);
+
+            // Post-hoc verification failures degrade like exceptions do.
+            if (compiled.report.validation == Verdict::kNotEquivalent) {
+                diag.error = "translation validation reported "
+                             "NOT-equivalent";
+            } else if (!compiled.report.random_check_passed) {
+                diag.error = "random differential check failed";
+            }
+            diag.seconds = attempt_timer.elapsed_seconds();
+            if (!diag.error.empty()) {
+                result.attempts.push_back(diag);
+                result.error = diag.error;
+                continue;
+            }
+
+            result.attempts.push_back(diag);
+            result.ok = true;
+            result.fallback_level = level;
+            result.error.clear();
+            compiled.report.fallback_level = level;
+            compiled.report.attempts = result.attempts;
+            if (level > 0) {
+                compiled.report.error =
+                    result.attempts[result.attempts.size() - 2].error;
+            }
+            result.compiled = std::move(compiled);
+            return result;
+        } catch (const UserError& e) {
+            // The kernel or options are invalid: every rung would fail
+            // the same way, so don't burn budget retrying.
+            diag.error = std::string("user error: ") + e.what();
+            diag.seconds = attempt_timer.elapsed_seconds();
+            result.attempts.push_back(diag);
+            result.error = diag.error;
+            return result;
+        } catch (const std::exception& e) {
+            diag.error = e.what();
+        } catch (...) {
+            diag.error = "unknown exception";
+        }
+        diag.seconds = attempt_timer.elapsed_seconds();
+        result.attempts.push_back(diag);
+        result.error = diag.error;
+    }
+    return result;
+}
+
+OutputComparison
+compare_outputs(const scalar::BufferMap& got, const scalar::BufferMap& want)
+{
+    OutputComparison cmp;
+    std::ostringstream problems;
+    bool first = true;
+    for (const auto& [name, w] : want) {
+        const auto it = got.find(name);
+        if (it == got.end()) {
+            problems << (first ? "" : "; ") << "missing output '" << name
+                     << "'";
+            first = false;
+            continue;
+        }
+        const auto& g = it->second;
+        if (g.size() != w.size()) {
+            problems << (first ? "" : "; ") << "output '" << name
+                     << "' has " << g.size() << " elements, expected "
+                     << w.size();
+            first = false;
+            continue;
+        }
+        for (std::size_t i = 0; i < w.size(); ++i) {
+            cmp.max_abs_error =
+                std::max(cmp.max_abs_error, std::abs(g[i] - w[i]));
+        }
+    }
+    cmp.shape_error = problems.str();
+    return cmp;
 }
 
 std::string
@@ -139,6 +380,9 @@ report_row(const std::string& name, const CompileReport& r)
        << " stop=" << stop_reason_name(r.stop_reason)
        << " mem~" << (r.memory_proxy_bytes / (1024.0 * 1024.0)) << "MB"
        << " cost=" << r.extracted_cost;
+    if (r.fallback_level > 0) {
+        os << " fallback=" << fallback_level_name(r.fallback_level);
+    }
     return os.str();
 }
 

@@ -10,10 +10,33 @@
  * vector-width boundary (vector stores never straddle arrays) and
  * produces the compile report that Table 1 summarizes: wall-clock per
  * phase, e-graph size, stop reason, and a memory proxy.
+ *
+ * Two entry points:
+ *  - compile_kernel(): the raw pipeline; throws on any failure
+ *    (UserError, InternalError, ResourceLimitError / DeadlineExceeded).
+ *  - compile_kernel_resilient(): the fault-tolerant service wrapper. It
+ *    never throws; on failure it retries down a *degradation ladder* of
+ *    progressively cheaper configurations and reports which rung
+ *    produced the result:
+ *
+ *      rung 0  full rule set, caller's limits
+ *      rung 1  reduced search: aggressive backoff, match caps, lower
+ *              node budget
+ *      rung 2  vector rules off — scalar simplification only
+ *      rung 3  direct scalar lowering of the padded spec (no e-graph at
+ *              all) — correct by construction, succeeds whenever the
+ *              input kernel itself is valid
+ *
+ *    The paper leans on this shape of robustness implicitly — when
+ *    saturation trips the 3-minute / 10M-node limits it extracts from
+ *    the partial e-graph (§5.2, §5.5) — and the ladder extends it to
+ *    failures in *any* phase.
  */
 #pragma once
 
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "egraph/runner.h"
 #include "machine/sim.h"
@@ -22,6 +45,7 @@
 #include "scalar/ast.h"
 #include "scalar/interp.h"
 #include "scalar/symbolic.h"
+#include "support/deadline.h"
 #include "validation/validate.h"
 #include "vir/emit.h"
 #include "vir/lower_term.h"
@@ -42,6 +66,21 @@ struct CompilerOptions {
     bool validate = false;
     /** Also differential-test spec vs extracted term on random inputs. */
     bool random_check = false;
+    /**
+     * Wall-clock budget for the *whole* compile — saturation,
+     * extraction, LVN, emission, validation — as one Deadline
+     * (support/deadline.h). 0 disables the global deadline; the
+     * saturation phase still honors limits.time_limit_seconds either
+     * way. Expiry raises DeadlineExceeded from compile_kernel(); the
+     * resilient driver degrades instead.
+     */
+    double deadline_seconds = 0.0;
+    /**
+     * Fault-injection specs ("site[:nth[:count]]"; see support/faults.h)
+     * armed by compile_kernel_resilient() before the first attempt.
+     * Normally empty; populated by `dioscc --fault` and tests.
+     */
+    std::vector<std::string> fault_specs;
 
     /** Synchronizes rule/target parameters (width, recip support). */
     void
@@ -51,6 +90,19 @@ struct CompilerOptions {
         rules.target_has_recip = target.has_reciprocal;
     }
 };
+
+/** One rung attempt by the resilient driver. */
+struct AttemptDiagnostic {
+    /** Ladder rung tried (0 = full pipeline ... 3 = direct scalar). */
+    int level = 0;
+    /** Failure message; empty when this attempt succeeded. */
+    std::string error;
+    /** Wall-clock spent on this attempt. */
+    double seconds = 0.0;
+};
+
+/** Human-readable rung name ("full", "reduced", ...). */
+const char* fallback_level_name(int level);
 
 /** Everything Table 1 reports, per kernel. */
 struct CompileReport {
@@ -71,6 +123,12 @@ struct CompileReport {
     std::size_t memory_proxy_bytes = 0;
     Verdict validation = Verdict::kUnknown;
     bool random_check_passed = true;
+    /** Degradation-ladder rung that produced this result (0 = none). */
+    int fallback_level = 0;
+    /** Every rung tried by the resilient driver (empty for raw compiles). */
+    std::vector<AttemptDiagnostic> attempts;
+    /** Failure message of the *last failed* attempt ("" when rung 0 won). */
+    std::string error;
 };
 
 /** A fully compiled kernel. */
@@ -91,13 +149,69 @@ struct CompiledKernel {
         scalar::BufferMap outputs;
         RunResult result;
     };
+    /**
+     * Runs on the simulator. The returned output buffers are validated
+     * against the kernel's output manifest (every declared output
+     * present, at its declared length) before being handed back, so
+     * callers can element-wise compare without out-of-bounds risk.
+     */
     RunOutcome run(const scalar::BufferMap& inputs,
                    const TargetSpec& target) const;
 };
 
-/** Compiles a scalar kernel end to end. */
+/**
+ * Compiles a scalar kernel end to end. Throws UserError on invalid
+ * input, InternalError on library bugs, and DeadlineExceeded when
+ * `options.deadline_seconds` expires mid-compile.
+ */
 CompiledKernel compile_kernel(const scalar::Kernel& kernel,
                               CompilerOptions options = {});
+
+/**
+ * Result of a resilient compile. Exactly one of the following holds:
+ * `ok` and `compiled` is engaged (with `fallback_level` telling which
+ * rung produced it), or `!ok` and `error` describes the final failure.
+ */
+struct CompileResult {
+    bool ok = false;
+    /** Rung that succeeded (0 = full pipeline ... 3 = direct scalar). */
+    int fallback_level = 0;
+    /** Final failure when !ok; empty otherwise. */
+    std::string error;
+    /** One entry per rung tried (also mirrored into the report). */
+    std::vector<AttemptDiagnostic> attempts;
+    /** Engaged iff ok. Its report carries fallback_level + attempts. */
+    std::optional<CompiledKernel> compiled;
+
+    const CompileReport& report() const { return compiled->report; }
+};
+
+/**
+ * Fault-tolerant compile: never throws. Attempts the full pipeline and
+ * walks the degradation ladder (see file header) on any failure —
+ * resource-limit blow-up, internal error, injected fault, failed
+ * translation validation or random check. All rungs share one Deadline
+ * when options.deadline_seconds > 0; the final direct-scalar rung
+ * ignores it (it must be allowed to finish to return *something*).
+ */
+CompileResult compile_kernel_resilient(const scalar::Kernel& kernel,
+                                       CompilerOptions options = {});
+
+/**
+ * Shape-checked comparison of simulated outputs against a reference.
+ * Never indexes out of bounds: missing or mis-sized buffers are
+ * reported through `shape_error` instead.
+ */
+struct OutputComparison {
+    /** Empty when every expected buffer is present at the right size. */
+    std::string shape_error;
+    /** Max |got - want| over all compared elements (shapes permitting). */
+    float max_abs_error = 0.0f;
+
+    bool shapes_ok() const { return shape_error.empty(); }
+};
+OutputComparison compare_outputs(const scalar::BufferMap& got,
+                                 const scalar::BufferMap& want);
 
 /** One-line Table 1-style row for a report. */
 std::string report_row(const std::string& name, const CompileReport& r);

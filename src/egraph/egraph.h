@@ -104,6 +104,19 @@ class EGraph {
     /** Number of unions performed since construction. */
     std::size_t union_count() const { return union_count_; }
 
+    /**
+     * Estimated resident memory of the e-graph in bytes — the Table 1
+     * "Memory" proxy, also used by the saturation runner's mid-iteration
+     * memory watchdog (RunnerLimits::memory_limit_bytes). E-nodes
+     * dominate; counts node + hashcons + class overhead per node, plus
+     * per-class bookkeeping.
+     */
+    std::size_t
+    memory_proxy_bytes() const
+    {
+        return num_nodes() * (sizeof(ENode) + 96) + num_classes() * 160;
+    }
+
     /** True when no merge is pending a rebuild. */
     bool is_clean() const { return dirty_.empty(); }
 

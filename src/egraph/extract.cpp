@@ -1,10 +1,12 @@
 #include "egraph/extract.h"
 
 #include "support/error.h"
+#include "support/faults.h"
 
 namespace diospyros {
 
-Extractor::Extractor(const EGraph& graph, const CostModel& cost)
+Extractor::Extractor(const EGraph& graph, const CostModel& cost,
+                     const Deadline& deadline)
     : graph_(graph)
 {
     DIOS_ASSERT(graph.is_clean(), "extraction requires a rebuilt e-graph");
@@ -18,6 +20,7 @@ Extractor::Extractor(const EGraph& graph, const CostModel& cost)
     // DAG depth.
     bool changed = true;
     while (changed) {
+        deadline.check("extraction");
         changed = false;
         for (const ClassId id : ids) {
             const EClass& cls = graph.eclass(id);
@@ -57,6 +60,7 @@ Extractor::class_cost(ClassId id) const
 Extraction
 Extractor::extract(ClassId id) const
 {
+    DIOS_FAULT_POINT("extract.build");
     id = graph_.find_const(id);
     auto it = best_.find(id);
     DIOS_ASSERT(it != best_.end(), "extract() for unknown class");

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "egraph/egraph.h"
+#include "support/deadline.h"
 
 namespace diospyros {
 
@@ -56,9 +57,13 @@ class Extractor {
   public:
     /**
      * Computes best costs for every class reachable in the graph.
-     * Requires a clean (rebuilt) graph.
+     * Requires a clean (rebuilt) graph. The compile-wide `deadline` is
+     * checked once per relaxation pass (each pass is linear in the
+     * e-graph, so large partial graphs cannot run away unbounded);
+     * expiry raises DeadlineExceeded.
      */
-    Extractor(const EGraph& graph, const CostModel& cost);
+    Extractor(const EGraph& graph, const CostModel& cost,
+              const Deadline& deadline = {});
 
     /** Best cost of a class (infinity if unrealizable). */
     double class_cost(ClassId id) const;

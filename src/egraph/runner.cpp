@@ -1,7 +1,9 @@
 #include "egraph/runner.h"
 
+#include <optional>
 #include <sstream>
 
+#include "support/faults.h"
 #include "support/timer.h"
 
 namespace diospyros {
@@ -18,6 +20,10 @@ stop_reason_name(StopReason r)
         return "iter-limit";
       case StopReason::kTimeLimit:
         return "time-limit";
+      case StopReason::kMemoryLimit:
+        return "memory-limit";
+      case StopReason::kDeadline:
+        return "deadline";
     }
     return "unknown";
 }
@@ -33,11 +39,41 @@ RunnerReport::to_string() const
 }
 
 RunnerReport
-Runner::run(EGraph& graph, const std::vector<Rewrite>& rules) const
+Runner::run(EGraph& graph, const std::vector<Rewrite>& rules,
+            const Deadline& deadline) const
 {
     RunnerReport report;
     Timer total;
     graph.rebuild();
+
+    // An empty iteration budget means the budget — not saturation —
+    // stopped the run; the untouched graph is still valid for extraction.
+    if (limits_.iter_limit <= 0) {
+        report.stop_reason = StopReason::kIterLimit;
+    }
+
+    // Watchdog, in historical priority order. The node-limit check runs
+    // per rule batch (as it always has, so partial-saturation e-graph
+    // sizes are reproducible); the memory and deadline checks also run
+    // every `kWatchdogStride` applications *within* a batch so one
+    // explosive rule cannot blow past the ceilings unchecked.
+    auto over_budget = [&]() -> std::optional<StopReason> {
+        if (graph.num_nodes() > limits_.node_limit) {
+            return StopReason::kNodeLimit;
+        }
+        if (total.elapsed_seconds() > limits_.time_limit_seconds) {
+            return StopReason::kTimeLimit;
+        }
+        if (deadline.expired()) {
+            return StopReason::kDeadline;
+        }
+        if (limits_.memory_limit_bytes != 0 &&
+            graph.memory_proxy_bytes() > limits_.memory_limit_bytes) {
+            return StopReason::kMemoryLimit;
+        }
+        return std::nullopt;
+    };
+    constexpr std::size_t kWatchdogStride = 1024;
 
     // Backoff state (egg's BackoffScheduler): per rule, the iteration it
     // is banned until and how many times it has been banned so far.
@@ -45,6 +81,7 @@ Runner::run(EGraph& graph, const std::vector<Rewrite>& rules) const
     std::vector<int> ban_count(rules.size(), 0);
 
     for (int iter = 0; iter < limits_.iter_limit; ++iter) {
+        DIOS_FAULT_POINT("runner.iter");
         Timer iter_timer;
         IterationStats stats;
         const std::size_t unions_before = graph.union_count();
@@ -76,20 +113,32 @@ Runner::run(EGraph& graph, const std::vector<Rewrite>& rules) const
             }
             stats.matches += matches.size();
             all_matches.push_back(std::move(matches));
-            if (total.elapsed_seconds() > limits_.time_limit_seconds) {
+            if (total.elapsed_seconds() > limits_.time_limit_seconds ||
+                deadline.expired()) {
                 break;
             }
         }
 
         // Phase 2: apply everything that was found.
-        for (std::size_t r = 0; r < all_matches.size(); ++r) {
+        bool tripped = false;
+        for (std::size_t r = 0; r < all_matches.size() && !tripped; ++r) {
+            std::size_t since_check = 0;
             for (const RuleMatch& match : all_matches[r]) {
                 if (rules[r].applier().apply(graph, match)) {
                     ++stats.applications;
                 }
+                if (++since_check >= kWatchdogStride) {
+                    since_check = 0;
+                    if (deadline.expired() ||
+                        (limits_.memory_limit_bytes != 0 &&
+                         graph.memory_proxy_bytes() >
+                             limits_.memory_limit_bytes)) {
+                        tripped = true;
+                        break;
+                    }
+                }
             }
-            if (graph.num_nodes() > limits_.node_limit ||
-                total.elapsed_seconds() > limits_.time_limit_seconds) {
+            if (over_budget()) {
                 break;
             }
         }
@@ -108,12 +157,8 @@ Runner::run(EGraph& graph, const std::vector<Rewrite>& rules) const
             report.stop_reason = StopReason::kSaturated;
             break;
         }
-        if (graph.num_nodes() > limits_.node_limit) {
-            report.stop_reason = StopReason::kNodeLimit;
-            break;
-        }
-        if (total.elapsed_seconds() > limits_.time_limit_seconds) {
-            report.stop_reason = StopReason::kTimeLimit;
+        if (const auto reason = over_budget()) {
+            report.stop_reason = *reason;
             break;
         }
         if (iter + 1 == limits_.iter_limit) {

@@ -4,10 +4,14 @@
  *
  * Each iteration runs in egg's batched style: search all rules on the
  * clean graph, apply every match, then rebuild once. The runner stops at
- * saturation (an iteration that changes nothing) or at a node / time /
- * iteration limit — the paper's evaluation gives saturation a 3-minute
- * timeout and a 10M-node limit and extracts from the partial graph when
- * they trip (§5.2, §5.5).
+ * saturation (an iteration that changes nothing) or at a node / memory /
+ * time / iteration limit — the paper's evaluation gives saturation a
+ * 3-minute timeout and a 10M-node limit and extracts from the partial
+ * graph when they trip (§5.2, §5.5). A compile-wide `Deadline` can be
+ * threaded in on top of the phase budget; watchdog checks run
+ * *mid-iteration* (inside the search and apply loops) so a single
+ * explosive iteration cannot overshoot the ceilings by more than one
+ * batch of one rule.
  */
 #pragma once
 
@@ -15,6 +19,7 @@
 #include <vector>
 
 #include "egraph/rewrite.h"
+#include "support/deadline.h"
 
 namespace diospyros {
 
@@ -35,6 +40,11 @@ struct RunnerLimits {
      * explosive rule from starving the rest. 0 disables backoff.
      */
     std::size_t backoff_threshold = 0;
+    /**
+     * Stop when the e-graph memory proxy
+     * (EGraph::memory_proxy_bytes()) passes this ceiling (0 = unlimited).
+     */
+    std::size_t memory_limit_bytes = 0;
 };
 
 /** Why the runner stopped. */
@@ -43,6 +53,8 @@ enum class StopReason {
     kNodeLimit,
     kIterLimit,
     kTimeLimit,
+    kMemoryLimit,
+    kDeadline,  ///< the compile-wide Deadline expired mid-saturation
 };
 
 /** Human-readable stop reason. */
@@ -78,8 +90,14 @@ class Runner {
     /**
      * Saturates `graph` under `rules`. The graph is left clean (rebuilt)
      * regardless of the stop reason, so extraction can always proceed.
+     * `deadline` is the compile-wide budget: it is checked alongside the
+     * runner's own time limit and reported as StopReason::kDeadline when
+     * it is the binding constraint (the graph is still left usable — an
+     * expired deadline here stops gracefully; the *caller* decides
+     * whether to keep going or degrade).
      */
-    RunnerReport run(EGraph& graph, const std::vector<Rewrite>& rules) const;
+    RunnerReport run(EGraph& graph, const std::vector<Rewrite>& rules,
+                     const Deadline& deadline = {}) const;
 
   private:
     RunnerLimits limits_;

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * A single wall-clock budget shared by every phase of a compile.
+ *
+ * The paper budgets only the saturation phase (3 minutes, §5.2); a
+ * compiler *service* needs the whole pipeline — lifting, saturation,
+ * extraction, LVN, emission, validation — to respect one deadline. A
+ * `Deadline` is created once by the driver and threaded through the
+ * long-running phases (the saturation runner checks it mid-iteration,
+ * the extractor per relaxation pass) while the driver adds per-phase
+ * checkpoints in between. Expiry raises `DeadlineExceeded`, a
+ * `ResourceLimitError`, which the resilient driver converts into a
+ * degradation-ladder retry instead of a crash.
+ */
+#pragma once
+
+#include <chrono>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "support/error.h"
+
+namespace diospyros {
+
+/** Raised by Deadline::check() when the budget is exhausted. */
+class DeadlineExceeded : public ResourceLimitError {
+  public:
+    explicit DeadlineExceeded(const std::string& what)
+        : ResourceLimitError(what)
+    {
+    }
+};
+
+/**
+ * Monotonic wall-clock deadline. Default-constructed deadlines are
+ * unlimited, so every API taking a `const Deadline&` can default to
+ * "no budget" with `{}`.
+ */
+class Deadline {
+  public:
+    /** Unlimited deadline: never expires. */
+    Deadline() = default;
+
+    /** Deadline `seconds` from now (non-positive: already expired). */
+    static Deadline
+    after_seconds(double seconds)
+    {
+        Deadline d;
+        d.unlimited_ = false;
+        d.expiry_ = Clock::now() +
+                    std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(seconds));
+        return d;
+    }
+
+    static Deadline unlimited() { return Deadline(); }
+
+    bool is_unlimited() const { return unlimited_; }
+
+    bool
+    expired() const
+    {
+        return !unlimited_ && Clock::now() >= expiry_;
+    }
+
+    /** Seconds left (+infinity when unlimited, <= 0 when expired). */
+    double
+    remaining_seconds() const
+    {
+        if (unlimited_) {
+            return std::numeric_limits<double>::infinity();
+        }
+        return std::chrono::duration<double>(expiry_ - Clock::now())
+            .count();
+    }
+
+    /**
+     * Per-phase checkpoint: throws DeadlineExceeded naming `phase` when
+     * the budget is gone. Cheap enough to call per saturation iteration.
+     */
+    void
+    check(const char* phase) const
+    {
+        if (expired()) {
+            std::ostringstream os;
+            os << "compile deadline exceeded during " << phase;
+            throw DeadlineExceeded(os.str());
+        }
+    }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    bool unlimited_ = true;
+    Clock::time_point expiry_{};
+};
+
+}  // namespace diospyros

@@ -2,11 +2,16 @@
  * @file
  * Error-handling primitives shared across the library.
  *
- * Two failure categories, mirroring the gem5 panic/fatal split:
+ * Three failure categories, mirroring the gem5 panic/fatal split plus a
+ * resource dimension:
  *  - DIOS_CHECK / raise_user_error: the *user's* fault (bad kernel spec,
  *    invalid options). Throws diospyros::UserError.
  *  - DIOS_ASSERT: an internal invariant violation (a bug in this library).
  *    Throws diospyros::InternalError with file/line context.
+ *  - ResourceLimitError: the input was valid and the code correct, but a
+ *    wall-clock / node / memory budget was exhausted (see
+ *    support/deadline.h). The resilient driver treats these as retryable
+ *    on a cheaper degradation rung rather than as hard failures.
  */
 #pragma once
 
@@ -26,6 +31,15 @@ class UserError : public std::runtime_error {
 class InternalError : public std::logic_error {
   public:
     explicit InternalError(const std::string& what) : std::logic_error(what) {}
+};
+
+/** Raised when a wall-clock / node / memory budget is exhausted. */
+class ResourceLimitError : public std::runtime_error {
+  public:
+    explicit ResourceLimitError(const std::string& what)
+        : std::runtime_error(what)
+    {
+    }
 };
 
 namespace detail {

@@ -1,0 +1,180 @@
+#include "support/faults.h"
+
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+
+#include "support/error.h"
+#include "support/numeric.h"
+
+namespace diospyros::faults {
+
+namespace detail {
+
+std::atomic<bool> g_enabled{false};
+
+namespace {
+
+struct Registry {
+    std::mutex mutex;
+    std::vector<FaultSpec> armed;
+    std::unordered_map<std::string, std::size_t> hits;
+};
+
+Registry&
+registry()
+{
+    static Registry r;
+    return r;
+}
+
+}  // namespace
+
+void
+on_site(const char* site)
+{
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    const std::size_t hit = ++r.hits[site];
+    for (const FaultSpec& spec : r.armed) {
+        if (spec.site != site) {
+            continue;
+        }
+        const std::size_t first = static_cast<std::size_t>(spec.nth);
+        if (hit < first) {
+            continue;
+        }
+        if (spec.count >= 0 &&
+            hit >= first + static_cast<std::size_t>(spec.count)) {
+            continue;
+        }
+        throw InjectedFault(site, hit);
+    }
+}
+
+}  // namespace detail
+
+FaultSpec
+parse_spec(const std::string& text)
+{
+    FaultSpec spec;
+    const std::size_t colon1 = text.find(':');
+    spec.site = text.substr(0, colon1);
+    DIOS_CHECK(!spec.site.empty(),
+               "fault spec '" + text + "': empty site name");
+    if (colon1 == std::string::npos) {
+        return spec;
+    }
+    const std::size_t colon2 = text.find(':', colon1 + 1);
+    const std::string nth_text =
+        text.substr(colon1 + 1, colon2 == std::string::npos
+                                    ? std::string::npos
+                                    : colon2 - colon1 - 1);
+    const auto nth = parse_integer(nth_text);
+    DIOS_CHECK(nth && *nth >= 1,
+               "fault spec '" + text +
+                   "': nth must be a positive integer, got '" + nth_text +
+                   "'");
+    spec.nth = static_cast<int>(*nth);
+    if (colon2 == std::string::npos) {
+        return spec;
+    }
+    const std::string count_text = text.substr(colon2 + 1);
+    if (count_text == "*") {
+        spec.count = -1;
+        return spec;
+    }
+    const auto count = parse_integer(count_text);
+    DIOS_CHECK(count && *count >= 1,
+               "fault spec '" + text +
+                   "': count must be a positive integer or '*', got '" +
+                   count_text + "'");
+    spec.count = static_cast<int>(*count);
+    return spec;
+}
+
+void
+arm(const FaultSpec& spec)
+{
+    DIOS_CHECK(!spec.site.empty(), "cannot arm a fault with no site name");
+    DIOS_CHECK(spec.nth >= 1, "fault nth must be >= 1");
+    DIOS_CHECK(spec.count >= 1 || spec.count == -1,
+               "fault count must be >= 1 or -1 (forever)");
+    auto& r = detail::registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    r.armed.push_back(spec);
+    detail::g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void
+arm(const std::string& site, int nth, int count)
+{
+    arm(FaultSpec{site, nth, count});
+}
+
+int
+arm_from_env()
+{
+    const char* env = std::getenv("DIOS_FAULT");
+    if (env == nullptr || *env == '\0') {
+        return 0;
+    }
+    int armed = 0;
+    std::string text(env);
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        std::size_t end = text.find(',', start);
+        if (end == std::string::npos) {
+            end = text.size();
+        }
+        const std::string part = text.substr(start, end - start);
+        if (!part.empty()) {
+            arm(parse_spec(part));
+            ++armed;
+        }
+        start = end + 1;
+    }
+    return armed;
+}
+
+void
+disarm_all()
+{
+    auto& r = detail::registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    r.armed.clear();
+    r.hits.clear();
+    detail::g_enabled.store(false, std::memory_order_relaxed);
+}
+
+bool
+any_armed()
+{
+    auto& r = detail::registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    return !r.armed.empty();
+}
+
+std::size_t
+hit_count(const std::string& site)
+{
+    auto& r = detail::registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    const auto it = r.hits.find(site);
+    return it == r.hits.end() ? 0 : it->second;
+}
+
+const std::vector<std::string>&
+known_sites()
+{
+    static const std::vector<std::string> sites = {
+        "runner.iter",      // start of each saturation iteration
+        "extract.build",    // extraction of the best term
+        "lower.term",       // vector-IR lowering of the extracted term
+        "emit.machine",     // instruction selection / machine emission
+        "validate.exact",   // exact translation validation
+    };
+    return sites;
+}
+
+}  // namespace diospyros::faults

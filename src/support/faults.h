@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Deterministic fault injection for exercising recovery paths.
+ *
+ * Every interesting pipeline stage declares a named *fault site* with
+ * `DIOS_FAULT_POINT("site.name")`. Sites are compiled in unconditionally
+ * but cost a single relaxed atomic load while nothing is armed, so
+ * production binaries pay nothing. Arming a site — programmatically via
+ * `faults::arm()` / `CompilerOptions::fault_specs`, or externally via
+ * the `DIOS_FAULT` environment variable — makes the nth execution of
+ * that site throw `InjectedFault`, which the resilient driver must
+ * absorb exactly like a real blow-up.
+ *
+ * Spec grammar (also accepted by `dioscc --fault` and `DIOS_FAULT`,
+ * comma-separated for multiple faults):
+ *
+ *     site            fire on the 1st hit, once
+ *     site:nth        fire on the nth hit, once
+ *     site:nth:count  fire on hits nth .. nth+count-1
+ *     site:nth:*      fire on every hit from the nth on
+ *
+ * Hit counts are global across a process (not per compile), matching how
+ * the tests drive one resilient compile per armed fault: the fault fires
+ * on the ladder rung that reaches the site, and the retry rungs observe
+ * later hit numbers.
+ */
+#pragma once
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace diospyros::faults {
+
+/** Thrown by an armed fault site. */
+class InjectedFault : public std::runtime_error {
+  public:
+    InjectedFault(const std::string& site, std::size_t hit)
+        : std::runtime_error("injected fault at site '" + site + "' (hit " +
+                             std::to_string(hit) + ")"),
+          site_(site), hit_(hit)
+    {
+    }
+
+    const std::string& site() const { return site_; }
+    std::size_t hit() const { return hit_; }
+
+  private:
+    std::string site_;
+    std::size_t hit_;
+};
+
+/** One armed fault. */
+struct FaultSpec {
+    std::string site;
+    /** 1-based hit number that first fires. */
+    int nth = 1;
+    /** Consecutive hits that fire from `nth` on; -1 = every later hit. */
+    int count = 1;
+};
+
+/**
+ * Parses "site", "site:nth", "site:nth:count", "site:nth:*".
+ * Throws UserError on malformed specs (bad numbers, nth < 1, count < 1).
+ */
+FaultSpec parse_spec(const std::string& text);
+
+/** Arms a fault. Hit counters for the site keep their current value. */
+void arm(const FaultSpec& spec);
+void arm(const std::string& site, int nth = 1, int count = 1);
+
+/**
+ * Arms every comma-separated spec in the DIOS_FAULT environment
+ * variable. Returns the number of faults armed (0 when unset/empty).
+ */
+int arm_from_env();
+
+/** Disarms every fault and clears all hit counters. */
+void disarm_all();
+
+/** True while at least one fault is armed. */
+bool any_armed();
+
+/** Times `site` has been *evaluated* while the registry was enabled. */
+std::size_t hit_count(const std::string& site);
+
+/**
+ * The catalog of sites compiled into the pipeline (for docs, tests, and
+ * `dioscc --list-faults`). Arming an unknown site is allowed — it simply
+ * never fires.
+ */
+const std::vector<std::string>& known_sites();
+
+namespace detail {
+
+extern std::atomic<bool> g_enabled;
+
+/** Slow path: counts the hit and throws if an armed spec matches. */
+void on_site(const char* site);
+
+}  // namespace detail
+
+/** Fast disarmed check — one relaxed atomic load. */
+inline bool
+enabled()
+{
+    return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+}  // namespace diospyros::faults
+
+/**
+ * Declares a named fault site. Zero-cost (one relaxed load) while no
+ * fault is armed; throws faults::InjectedFault when an armed spec's hit
+ * window covers this execution.
+ */
+#define DIOS_FAULT_POINT(site)                                              \
+    do {                                                                    \
+        if (::diospyros::faults::enabled()) {                               \
+            ::diospyros::faults::detail::on_site(site);                     \
+        }                                                                   \
+    } while (0)

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Strict numeric parsing for command-line flags and fault specs.
+ *
+ * `atoll`-style parsing silently truncates ("0.5" -> 0) and accepts
+ * garbage ("abc" -> 0); these helpers require the *entire* token to be
+ * consumed and the value to be in range, returning nullopt otherwise.
+ * The `require_*` forms raise UserError with the flag name so CLI
+ * messages are actionable.
+ */
+#pragma once
+
+#include <cerrno>
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+#include "support/error.h"
+
+namespace diospyros {
+
+/** Parses a whole string as a base-10 integer; nullopt on any leftover
+ *  characters, empty input, or out-of-range value. */
+inline std::optional<long long>
+parse_integer(const std::string& text)
+{
+    if (text.empty()) {
+        return std::nullopt;
+    }
+    errno = 0;
+    char* end = nullptr;
+    const long long value = std::strtoll(text.c_str(), &end, 10);
+    if (errno == ERANGE || end != text.c_str() + text.size()) {
+        return std::nullopt;
+    }
+    return value;
+}
+
+/** Parses a whole string as a floating-point number; nullopt on any
+ *  leftover characters, empty input, or overflow. */
+inline std::optional<double>
+parse_number(const std::string& text)
+{
+    if (text.empty()) {
+        return std::nullopt;
+    }
+    errno = 0;
+    char* end = nullptr;
+    const double value = std::strtod(text.c_str(), &end);
+    if (errno == ERANGE || end != text.c_str() + text.size()) {
+        return std::nullopt;
+    }
+    return value;
+}
+
+/** Parses `text` for `flag` as a strictly positive integer or throws
+ *  UserError naming the flag. */
+inline long long
+require_positive_integer(const std::string& flag, const std::string& text)
+{
+    const auto value = parse_integer(text);
+    DIOS_CHECK(value.has_value(),
+               flag + " expects an integer, got '" + text + "'");
+    DIOS_CHECK(*value > 0, flag + " must be positive, got '" + text + "'");
+    return *value;
+}
+
+/** Parses `text` for `flag` as a non-negative integer or throws
+ *  UserError naming the flag. */
+inline long long
+require_nonnegative_integer(const std::string& flag, const std::string& text)
+{
+    const auto value = parse_integer(text);
+    DIOS_CHECK(value.has_value(),
+               flag + " expects an integer, got '" + text + "'");
+    DIOS_CHECK(*value >= 0,
+               flag + " must be non-negative, got '" + text + "'");
+    return *value;
+}
+
+/** Parses `text` for `flag` as a strictly positive number (fractions
+ *  allowed, e.g. "--timeout 0.5") or throws UserError naming the flag. */
+inline double
+require_positive_number(const std::string& flag, const std::string& text)
+{
+    const auto value = parse_number(text);
+    DIOS_CHECK(value.has_value(),
+               flag + " expects a number, got '" + text + "'");
+    DIOS_CHECK(*value > 0.0,
+               flag + " must be positive, got '" + text + "'");
+    return *value;
+}
+
+}  // namespace diospyros

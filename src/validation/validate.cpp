@@ -9,6 +9,7 @@
 
 #include "ir/eval.h"
 #include "support/error.h"
+#include "support/faults.h"
 #include "support/rng.h"
 
 namespace diospyros {
@@ -409,6 +410,7 @@ Verdict
 validate_translation(const TermRef& spec, const TermRef& optimized,
                      const ValidationLimits& limits)
 {
+    DIOS_FAULT_POINT("validate.exact");
     const std::vector<TermRef> lhs = devectorize(spec);
     const std::vector<TermRef> rhs = devectorize(optimized);
     if (rhs.size() < lhs.size()) {

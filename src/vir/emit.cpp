@@ -5,6 +5,7 @@
 
 #include "machine/schedule.h"
 #include "support/error.h"
+#include "support/faults.h"
 
 namespace diospyros::vir {
 
@@ -419,6 +420,7 @@ Program
 emit_machine(const VProgram& program, CompiledLayout& layout,
              const TargetSpec& target)
 {
+    DIOS_FAULT_POINT("emit.machine");
     Emitter emitter(program, layout, target);
     // Compiled kernels are straight-line: list-schedule to hide operand
     // latencies, as the vendor toolchain would (paper §4 delegates this

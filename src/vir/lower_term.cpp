@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "support/error.h"
+#include "support/faults.h"
 
 namespace diospyros::vir {
 
@@ -519,6 +520,7 @@ VProgram
 lower_term(const TermRef& root, int width,
            const std::vector<OutputSlot>& outputs, bool fuse_scalar_mac)
 {
+    DIOS_FAULT_POINT("lower.term");
     DIOS_ASSERT(root != nullptr, "lower_term() on null term");
     TermLowering lowering(width, outputs, fuse_scalar_mac);
     return lowering.run(root);

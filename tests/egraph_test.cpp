@@ -291,6 +291,62 @@ TEST(Runner, RespectsIterLimit)
     EXPECT_EQ(report.iterations.size(), 2u);
 }
 
+TEST(Runner, ZeroIterLimitReportsIterLimitNotSaturation)
+{
+    // Regression: with iter_limit = 0 the loop never executes — the
+    // graph was *not* saturated, the budget stopped it. The untouched
+    // graph must still support extraction.
+    EGraph g(false);
+    const ClassId root = g.add_term(wide_sum());
+    g.rebuild();
+    Runner runner(RunnerLimits{.node_limit = 100'000,
+                               .iter_limit = 0,
+                               .time_limit_seconds = 60.0});
+    const RunnerReport report = runner.run(g, ac_rules());
+    EXPECT_EQ(report.stop_reason, StopReason::kIterLimit);
+    EXPECT_TRUE(report.iterations.empty());
+
+    const TreeSizeCost cost;
+    const Extractor extractor(g, cost);
+    const Extraction best = extractor.extract(g.find(root));
+    ASSERT_NE(best.term, nullptr);
+    // 8 Get leaves + 7 additions.
+    EXPECT_EQ(best.cost, 15.0);
+}
+
+TEST(Runner, MemoryLimitStopsSaturation)
+{
+    EGraph g(false);
+    g.add_term(wide_sum());
+    g.rebuild();
+    Runner runner(RunnerLimits{.node_limit = 100'000'000,
+                               .iter_limit = 1000,
+                               .time_limit_seconds = 60.0,
+                               .memory_limit_bytes = 64 * 1024});
+    const RunnerReport report = runner.run(g, ac_rules());
+    EXPECT_EQ(report.stop_reason, StopReason::kMemoryLimit);
+    EXPECT_LT(report.iterations.size(), 1000u);
+}
+
+TEST(Runner, ExpiredDeadlineStopsGracefully)
+{
+    // An already-expired compile-wide deadline: the runner must stop with
+    // kDeadline and still leave a clean, extractable graph.
+    EGraph g(false);
+    const ClassId root = g.add_term(wide_sum());
+    g.rebuild();
+    Runner runner(RunnerLimits{.node_limit = 100'000'000,
+                               .iter_limit = 1000,
+                               .time_limit_seconds = 60.0});
+    const RunnerReport report =
+        runner.run(g, ac_rules(), Deadline::after_seconds(0.0));
+    EXPECT_EQ(report.stop_reason, StopReason::kDeadline);
+    EXPECT_TRUE(g.is_clean());
+    const TreeSizeCost cost;
+    const Extractor extractor(g, cost);
+    EXPECT_NE(extractor.extract(g.find(root)).term, nullptr);
+}
+
 TEST(Runner, RespectsNodeLimit)
 {
     EGraph g(false);

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Sanitizer gate: build the whole tree (library, tools, tests, benches)
+# under ASan + UBSan and run the full test suite, including
+# fuzz_compiler_test and resilience_test, with sanitizer reports
+# promoted to hard failures. Run from anywhere; ~5-10 minutes.
+#
+#   tools/check.sh            # ASan+UBSan build + full ctest
+#   tools/check.sh --fast     # reuse an existing build-asan without reconfigure
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="$repo/build-asan"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+if [[ "${1:-}" != "--fast" || ! -d "$build" ]]; then
+    cmake --preset asan -S "$repo"
+fi
+cmake --build "$build" -j "$jobs"
+
+export ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1"
+export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
+ctest --test-dir "$build" --output-on-failure -j "$jobs"
+
+echo "check.sh: all tests passed under ASan+UBSan"

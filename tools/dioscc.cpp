@@ -11,11 +11,21 @@
  *   --width N       target vector width (default 4)
  *   --iters N       saturation iteration budget (default 12)
  *   --nodes N       e-graph node limit (default 300000)
- *   --timeout S     saturation wall-clock budget in seconds (default 20)
+ *   --timeout S     saturation wall-clock budget in seconds (default 20;
+ *                   fractions allowed, e.g. 0.5)
+ *   --deadline S    wall-clock budget for the WHOLE compile (all phases
+ *                   share one deadline; the final degradation rung is
+ *                   exempt so a result is always produced)
+ *   --memory BYTES  e-graph memory ceiling for saturation (proxy bytes)
  *   --no-vector     disable vector rewrite rules (§5.6 ablation)
  *   --ac            enable full associativity/commutativity (§3.3)
  *   --recip         target has a fast reciprocal (§6 extension)
  *   --validate      run exact translation validation
+ *   --strict        raw pipeline: fail outright instead of walking the
+ *                   degradation ladder on errors
+ *   --fault SPEC    arm a fault site, SPEC = site[:nth[:count|*]]
+ *                   (also honoured from the DIOS_FAULT env var)
+ *   --list-faults   print the fault-site catalog and exit
  *   --emit-c        print the generated C intrinsics
  *   --emit-asm      print the scheduled DSP assembly
  *   --emit-spec     print the lifted specification
@@ -36,6 +46,8 @@
 #include "rules/rules.h"
 #include "scalar/lower.h"
 #include "scalar/parse.h"
+#include "support/faults.h"
+#include "support/numeric.h"
 #include "support/rng.h"
 
 using namespace diospyros;
@@ -50,6 +62,7 @@ struct CliOptions {
     bool emit_spec = false;
     bool json = false;
     bool run = false;
+    bool strict = false;
     std::string dot_path;
     std::uint64_t seed = 1;
 };
@@ -59,8 +72,9 @@ usage(const char* argv0)
 {
     std::fprintf(stderr,
                  "usage: %s <kernel.ksp> [--width N] [--iters N] "
-                 "[--nodes N] [--timeout S] [--no-vector] [--ac] "
-                 "[--recip] [--validate] [--emit-c] [--emit-asm] "
+                 "[--nodes N] [--timeout S] [--deadline S] [--memory B] "
+                 "[--no-vector] [--ac] [--recip] [--validate] [--strict] "
+                 "[--fault SPEC] [--list-faults] [--emit-c] [--emit-asm] "
                  "[--emit-spec] [--emit-dot FILE] [--json] [--run] "
                  "[--seed N]\n",
                  argv0);
@@ -74,25 +88,36 @@ parse_cli(int argc, char** argv)
     cli.compiler.limits = RunnerLimits{.node_limit = 300'000,
                                        .iter_limit = 12,
                                        .time_limit_seconds = 20.0};
-    auto int_arg = [&](int& i) {
+    // Strict numeric parsing: the whole token must parse and limits must
+    // be positive ("--timeout 0.5" works; "--iters abc" is rejected
+    // instead of silently becoming 0).
+    auto next_arg = [&](int& i) -> std::string {
         if (i + 1 >= argc) {
             usage(argv[0]);
         }
-        return std::atoll(argv[++i]);
+        return argv[++i];
     };
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--width") {
-            cli.compiler.target.vector_width =
-                static_cast<int>(int_arg(i));
+            cli.compiler.target.vector_width = static_cast<int>(
+                require_positive_integer(arg, next_arg(i)));
         } else if (arg == "--iters") {
-            cli.compiler.limits.iter_limit = static_cast<int>(int_arg(i));
+            cli.compiler.limits.iter_limit = static_cast<int>(
+                require_positive_integer(arg, next_arg(i)));
         } else if (arg == "--nodes") {
-            cli.compiler.limits.node_limit =
-                static_cast<std::size_t>(int_arg(i));
+            cli.compiler.limits.node_limit = static_cast<std::size_t>(
+                require_positive_integer(arg, next_arg(i)));
         } else if (arg == "--timeout") {
             cli.compiler.limits.time_limit_seconds =
-                static_cast<double>(int_arg(i));
+                require_positive_number(arg, next_arg(i));
+        } else if (arg == "--deadline") {
+            cli.compiler.deadline_seconds =
+                require_positive_number(arg, next_arg(i));
+        } else if (arg == "--memory") {
+            cli.compiler.limits.memory_limit_bytes =
+                static_cast<std::size_t>(
+                    require_positive_integer(arg, next_arg(i)));
         } else if (arg == "--no-vector") {
             cli.compiler.rules.enable_vector_rules = false;
         } else if (arg == "--ac") {
@@ -102,6 +127,15 @@ parse_cli(int argc, char** argv)
         } else if (arg == "--validate") {
             cli.compiler.validate = true;
             cli.compiler.random_check = true;
+        } else if (arg == "--strict") {
+            cli.strict = true;
+        } else if (arg == "--fault") {
+            cli.compiler.fault_specs.push_back(next_arg(i));
+        } else if (arg == "--list-faults") {
+            for (const std::string& site : faults::known_sites()) {
+                std::printf("%s\n", site.c_str());
+            }
+            std::exit(0);
         } else if (arg == "--emit-c") {
             cli.emit_c = true;
         } else if (arg == "--emit-asm") {
@@ -111,14 +145,12 @@ parse_cli(int argc, char** argv)
         } else if (arg == "--json") {
             cli.json = true;
         } else if (arg == "--emit-dot") {
-            if (i + 1 >= argc) {
-                usage(argv[0]);
-            }
-            cli.dot_path = argv[++i];
+            cli.dot_path = next_arg(i);
         } else if (arg == "--run") {
             cli.run = true;
         } else if (arg == "--seed") {
-            cli.seed = static_cast<std::uint64_t>(int_arg(i));
+            cli.seed = static_cast<std::uint64_t>(
+                require_nonnegative_integer(arg, next_arg(i)));
         } else if (!arg.empty() && arg[0] == '-') {
             usage(argv[0]);
         } else if (cli.path.empty()) {
@@ -150,38 +182,127 @@ random_inputs(const scalar::Kernel& kernel, std::uint64_t seed)
     return out;
 }
 
+/** JSON-escapes a string (quotes, backslashes, control characters). */
+std::string
+json_escape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+print_json(const std::string& kernel_name, const CompileReport& r)
+{
+    std::printf(
+        "{\"kernel\":\"%s\",\"total_seconds\":%.6f,"
+        "\"saturation_seconds\":%.6f,\"egraph_nodes\":%zu,"
+        "\"egraph_classes\":%zu,\"iterations\":%zu,"
+        "\"stop\":\"%s\",\"extracted_cost\":%.2f,"
+        "\"spec_elements\":%zu,\"memory_proxy_bytes\":%zu,"
+        "\"lvn_removed\":%zu,\"fallback_level\":%d,"
+        "\"fallback\":\"%s\",\"error\":\"%s\",\"attempts\":[",
+        json_escape(kernel_name).c_str(), r.total_seconds,
+        r.saturation_seconds, r.egraph_nodes, r.egraph_classes,
+        r.runner_iterations, stop_reason_name(r.stop_reason),
+        r.extracted_cost, r.spec_elements, r.memory_proxy_bytes,
+        r.lvn.value_numbered + r.lvn.dead_removed, r.fallback_level,
+        fallback_level_name(r.fallback_level),
+        json_escape(r.error).c_str());
+    for (std::size_t i = 0; i < r.attempts.size(); ++i) {
+        const AttemptDiagnostic& a = r.attempts[i];
+        std::printf("%s{\"level\":%d,\"rung\":\"%s\",\"seconds\":%.6f,"
+                    "\"error\":\"%s\"}",
+                    i == 0 ? "" : ",", a.level,
+                    fallback_level_name(a.level), a.seconds,
+                    json_escape(a.error).c_str());
+    }
+    std::printf("]}\n");
+}
+
 }  // namespace
 
 int
 main(int argc, char** argv)
 try {
     CliOptions cli = parse_cli(argc, argv);
+    faults::arm_from_env();
     const scalar::Kernel kernel = scalar::parse_kernel_file(cli.path);
 
-    std::printf("; kernel '%s' from %s\n", kernel.name.c_str(),
-                cli.path.c_str());
-    const CompiledKernel compiled = compile_kernel(kernel, cli.compiler);
-    std::printf("; %s\n", report_row(kernel.name, compiled.report).c_str());
+    // With --json, stdout must stay machine-parseable: route the ';'
+    // commentary to stderr.
+    std::FILE* info = cli.json ? stderr : stdout;
+
+    std::fprintf(info, "; kernel '%s' from %s\n", kernel.name.c_str(),
+                 cli.path.c_str());
+
+    CompiledKernel compiled;
+    if (cli.strict) {
+        // The resilient driver arms --fault specs itself; the strict
+        // path must arm them here or they would be silently ignored.
+        for (const std::string& spec : cli.compiler.fault_specs) {
+            faults::arm(faults::parse_spec(spec));
+        }
+        compiled = compile_kernel(kernel, cli.compiler);
+    } else {
+        CompileResult result =
+            compile_kernel_resilient(kernel, cli.compiler);
+        if (!result.ok) {
+            std::fprintf(stderr,
+                         "dioscc: error: all %zu degradation rungs "
+                         "failed: %s\n",
+                         result.attempts.size(), result.error.c_str());
+            for (const AttemptDiagnostic& a : result.attempts) {
+                std::fprintf(stderr, ";   rung %d (%s): %s\n", a.level,
+                             fallback_level_name(a.level),
+                             a.error.c_str());
+            }
+            return 1;
+        }
+        if (result.fallback_level > 0) {
+            std::fprintf(info, "; DEGRADED to rung %d (%s) after: %s\n",
+                         result.fallback_level,
+                         fallback_level_name(result.fallback_level),
+                         result.compiled->report.error.c_str());
+        }
+        compiled = std::move(*result.compiled);
+    }
+
+    std::fprintf(info, "; %s\n",
+                 report_row(kernel.name, compiled.report).c_str());
     if (cli.json) {
-        const CompileReport& r = compiled.report;
-        std::printf(
-            "{\"kernel\":\"%s\",\"total_seconds\":%.6f,"
-            "\"saturation_seconds\":%.6f,\"egraph_nodes\":%zu,"
-            "\"egraph_classes\":%zu,\"iterations\":%zu,"
-            "\"stop\":\"%s\",\"extracted_cost\":%.2f,"
-            "\"spec_elements\":%zu,\"memory_proxy_bytes\":%zu,"
-            "\"lvn_removed\":%zu}\n",
-            kernel.name.c_str(), r.total_seconds, r.saturation_seconds,
-            r.egraph_nodes, r.egraph_classes, r.runner_iterations,
-            stop_reason_name(r.stop_reason), r.extracted_cost,
-            r.spec_elements, r.memory_proxy_bytes,
-            r.lvn.value_numbered + r.lvn.dead_removed);
+        print_json(kernel.name, compiled.report);
     }
     if (cli.compiler.validate) {
-        std::printf("; translation validation: %s; random check: %s\n",
-                    verdict_name(compiled.report.validation),
-                    compiled.report.random_check_passed ? "passed"
-                                                        : "FAILED");
+        std::fprintf(info,
+                     "; translation validation: %s; random check: %s\n",
+                     verdict_name(compiled.report.validation),
+                     compiled.report.random_check_passed ? "passed"
+                                                         : "FAILED");
     }
 
     if (!cli.dot_path.empty()) {
@@ -195,9 +316,10 @@ try {
         Runner(opts.limits).run(graph, build_rules(opts.rules));
         std::ofstream out(cli.dot_path);
         out << graph.to_dot();
-        std::printf("; wrote e-graph (%zu nodes, %zu classes) to %s\n",
-                    graph.num_nodes(), graph.num_classes(),
-                    cli.dot_path.c_str());
+        std::fprintf(info,
+                     "; wrote e-graph (%zu nodes, %zu classes) to %s\n",
+                     graph.num_nodes(), graph.num_classes(),
+                     cli.dot_path.c_str());
     }
 
     if (cli.emit_spec) {
@@ -225,28 +347,35 @@ try {
             cli.compiler.target);
         const scalar::BufferMap want =
             scalar::run_reference(kernel, inputs);
-        float max_err = 0.0f;
-        for (const auto& [name, w] : want) {
-            const auto& g = run.outputs.at(name);
-            for (std::size_t i = 0; i < w.size(); ++i) {
-                max_err = std::max(max_err, std::abs(w[i] - g[i]));
-            }
+        // Shape-check before comparing so a mis-sized simulated buffer
+        // is reported, not read out of bounds.
+        const OutputComparison cmp = compare_outputs(run.outputs, want);
+        if (!cmp.shapes_ok()) {
+            std::fprintf(stderr,
+                         "dioscc: error: simulated outputs do not match "
+                         "the kernel manifest: %s\n",
+                         cmp.shape_error.c_str());
+            return 1;
         }
-        std::printf("\n; simulated cycles\n");
-        std::printf(";   naive (parametric) : %llu\n",
-                    static_cast<unsigned long long>(naive.result.cycles));
-        std::printf(";   naive (fixed size) : %llu\n",
-                    static_cast<unsigned long long>(fixed.result.cycles));
-        std::printf(";   diospyros          : %llu (%.2fx over fixed)\n",
-                    static_cast<unsigned long long>(run.result.cycles),
-                    static_cast<double>(fixed.result.cycles) /
-                        static_cast<double>(run.result.cycles));
-        std::printf(";   max |error| vs reference: %g\n", max_err);
-        if (max_err > 1e-2f) {
+        std::fprintf(info, "\n; simulated cycles\n");
+        std::fprintf(info, ";   naive (parametric) : %llu\n",
+                     static_cast<unsigned long long>(naive.result.cycles));
+        std::fprintf(info, ";   naive (fixed size) : %llu\n",
+                     static_cast<unsigned long long>(fixed.result.cycles));
+        std::fprintf(info, ";   diospyros          : %llu (%.2fx over fixed)\n",
+                     static_cast<unsigned long long>(run.result.cycles),
+                     static_cast<double>(fixed.result.cycles) /
+                         static_cast<double>(run.result.cycles));
+        std::fprintf(info, ";   max |error| vs reference: %g\n",
+                     cmp.max_abs_error);
+        if (cmp.max_abs_error > 1e-2f) {
             return 1;
         }
     }
     return 0;
+} catch (const UserError& e) {
+    std::fprintf(stderr, "dioscc: error: %s\n", e.what());
+    return 2;
 } catch (const std::exception& e) {
     std::fprintf(stderr, "dioscc: error: %s\n", e.what());
     return 1;
