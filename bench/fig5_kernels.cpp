@@ -16,6 +16,7 @@
 #include <fstream>
 
 #include "bench_common.h"
+#include "service/compile_service.h"
 
 using namespace diospyros;
 
@@ -24,13 +25,28 @@ main(int argc, char** argv)
 {
     const TargetSpec target = TargetSpec::fusion_g3_like();
     // Optional: `fig5_kernels --csv out.csv` dumps machine-readable rows
-    // for plotting.
+    // for plotting; `--jobs N` compiles the 21 kernels concurrently
+    // through the compile service (cycle measurement stays sequential so
+    // the reported numbers are undisturbed).
     std::ofstream csv;
+    int jobs = 1;
     for (int i = 1; i + 1 < argc; ++i) {
         if (std::string(argv[i]) == "--csv") {
             csv.open(argv[i + 1]);
             csv << "kernel,naive,fixed,diospyros,nature,eigen\n";
+        } else if (std::string(argv[i]) == "--jobs") {
+            jobs = std::max(1, std::atoi(argv[i + 1]));
         }
+    }
+
+    // Compile phase: all kernels up front (in parallel with --jobs N).
+    service::CompileService::Options sopts;
+    sopts.jobs = jobs;
+    sopts.queue_capacity = 64;
+    service::CompileService svc(sopts);
+    std::vector<service::Ticket> tickets;
+    for (const auto& inst : kernels::table1_instances()) {
+        tickets.push_back(svc.submit(inst.kernel, bench::bench_options()));
     }
 
     std::printf("=== Figure 5: speedup over Naive (fixed size), "
@@ -41,9 +57,16 @@ main(int argc, char** argv)
 
     std::vector<double> dios_over_best;
     std::vector<double> dios_over_fixed;
-    for (const auto& inst : kernels::table1_instances()) {
-        const CompiledKernel compiled =
-            compile_kernel(inst.kernel, bench::bench_options());
+    const auto& instances = kernels::table1_instances();
+    for (std::size_t k = 0; k < instances.size(); ++k) {
+        const auto& inst = instances[k];
+        const CompileResult& result = tickets[k].get();
+        if (!result.ok) {
+            std::printf("%-24s | FAILED: %s\n", inst.label().c_str(),
+                        result.error.c_str());
+            continue;
+        }
+        const CompiledKernel& compiled = *result.compiled;
         const bench::KernelCycles cycles =
             bench::measure_kernel(inst.kernel, compiled, target);
 

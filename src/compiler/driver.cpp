@@ -12,14 +12,12 @@
 
 namespace diospyros {
 
-namespace {
-
 /**
  * Inserts alignment zeros so each output array's element run is padded to
  * a multiple of the vector width, and builds the matching OutputSlots.
  */
 std::pair<TermRef, std::vector<vir::OutputSlot>>
-pad_spec(const scalar::LiftedSpec& spec, int width)
+pad_lifted_spec(const scalar::LiftedSpec& spec, int width)
 {
     std::vector<vir::OutputSlot> slots;
     std::vector<TermRef> padded;
@@ -44,6 +42,8 @@ pad_spec(const scalar::LiftedSpec& spec, int width)
     return {t_list(std::move(padded)), std::move(slots)};
 }
 
+namespace {
+
 /** The full pipeline, sharing the caller's compile-wide deadline. */
 CompiledKernel
 compile_with_deadline(const scalar::Kernel& kernel, CompilerOptions options,
@@ -60,7 +60,7 @@ compile_with_deadline(const scalar::Kernel& kernel, CompilerOptions options,
     deadline.check("lifting");
     Timer phase;
     out.spec = scalar::lift(kernel);
-    auto [padded, slots] = pad_spec(out.spec, width);
+    auto [padded, slots] = pad_lifted_spec(out.spec, width);
     out.padded_spec = padded;
     out.report.lift_seconds = phase.elapsed_seconds();
     out.report.spec_elements = padded->arity();
@@ -142,7 +142,7 @@ compile_direct(const scalar::Kernel& kernel, CompilerOptions options)
 
     Timer phase;
     out.spec = scalar::lift(kernel);
-    auto [padded, slots] = pad_spec(out.spec, width);
+    auto [padded, slots] = pad_lifted_spec(out.spec, width);
     out.padded_spec = padded;
     out.report.lift_seconds = phase.elapsed_seconds();
     out.report.spec_elements = padded->arity();
@@ -263,14 +263,21 @@ compile_kernel_resilient(const scalar::Kernel& kernel,
     constexpr int kDirectLevel = 3;
     CompileResult result;
 
+    // Per-compile fault scope: hit counters start at zero for THIS
+    // compile, and concurrent compiles (the service's worker pool) never
+    // observe each other's armed specs.
+    std::vector<faults::FaultSpec> fault_specs;
     try {
         for (const std::string& spec : options.fault_specs) {
-            faults::arm(faults::parse_spec(spec));
+            fault_specs.push_back(faults::parse_spec(spec));
         }
     } catch (const std::exception& e) {
         result.error = e.what();
+        // Malformed fault specs come from CLI flags / test config.
+        result.user_error = true;
         return result;
     }
+    const faults::ScopedFaults scoped_faults(std::move(fault_specs));
 
     const Deadline deadline =
         options.deadline_seconds > 0.0
@@ -324,6 +331,7 @@ compile_kernel_resilient(const scalar::Kernel& kernel,
             diag.seconds = attempt_timer.elapsed_seconds();
             result.attempts.push_back(diag);
             result.error = diag.error;
+            result.user_error = true;
             return result;
         } catch (const std::exception& e) {
             diag.error = e.what();

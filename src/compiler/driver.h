@@ -176,6 +176,12 @@ struct CompileResult {
     bool ok = false;
     /** Rung that succeeded (0 = full pipeline ... 3 = direct scalar). */
     int fallback_level = 0;
+    /**
+     * True when the failure was the caller's fault (invalid kernel or
+     * options) — the one category batch drivers report with a non-zero
+     * exit code, since no retry or degradation can fix it.
+     */
+    bool user_error = false;
     /** Final failure when !ok; empty otherwise. */
     std::string error;
     /** One entry per rung tried (also mirrored into the report). */
@@ -215,5 +221,14 @@ OutputComparison compare_outputs(const scalar::BufferMap& got,
 
 /** One-line Table 1-style row for a report. */
 std::string report_row(const std::string& name, const CompileReport& r);
+
+/**
+ * Pads a lifted spec so every output array's element run is a multiple of
+ * the vector width (vector stores never straddle arrays) and returns the
+ * matching output slots. Exposed so the compile service can rebuild the
+ * padded spec when reconstructing a kernel from the on-disk cache.
+ */
+std::pair<TermRef, std::vector<vir::OutputSlot>> pad_lifted_spec(
+    const scalar::LiftedSpec& spec, int width);
 
 }  // namespace diospyros

@@ -9,9 +9,11 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
-#include <vector>
 
 #include "support/error.h"
 
@@ -33,7 +35,11 @@ class Symbol {
     str() const
     {
         DIOS_ASSERT(valid(), "str() on invalid symbol");
-        return table().spellings[id_];
+        Table& t = table();
+        std::shared_lock lock(t.mutex);
+        // Spellings live in a deque: the reference stays valid after the
+        // lock drops because existing elements never move or mutate.
+        return t.spellings[id_];
     }
 
     std::uint32_t id() const { return id_; }
@@ -46,13 +52,18 @@ class Symbol {
     static constexpr std::uint32_t kInvalid = 0xffffffffu;
 
     struct Table {
+        mutable std::shared_mutex mutex;
         std::unordered_map<std::string, std::uint32_t> ids;
-        std::vector<std::string> spellings;
+        /** Deque, not vector: growth never invalidates references that
+         *  str() hands out to concurrent readers. */
+        std::deque<std::string> spellings;
     };
 
     /**
-     * Process-wide interning table. The compiler is single-threaded by
-     * design (like the reference implementation), so no locking.
+     * Process-wide interning table. Each *compile* is single-threaded
+     * (like the reference implementation), but the compile service runs
+     * many compiles concurrently, so interning takes a writer lock and
+     * spelling lookups a reader lock.
      */
     static Table&
     table()
@@ -65,6 +76,14 @@ class Symbol {
     intern(const std::string& name)
     {
         Table& t = table();
+        {
+            std::shared_lock lock(t.mutex);
+            const auto it = t.ids.find(name);
+            if (it != t.ids.end()) {
+                return it->second;
+            }
+        }
+        std::unique_lock lock(t.mutex);
         auto [it, inserted] =
             t.ids.try_emplace(name, static_cast<std::uint32_t>(
                                         t.spellings.size()));

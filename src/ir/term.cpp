@@ -276,6 +276,50 @@ Term::tree_size(const TermRef& t)
     return rec.run(t.get());
 }
 
+std::uint64_t
+Term::stable_hash(const TermRef& t)
+{
+    DIOS_ASSERT(t != nullptr, "stable_hash of null term");
+    std::unordered_map<const Term*, std::uint64_t> memo;
+    struct Rec {
+        std::unordered_map<const Term*, std::uint64_t>& memo;
+        std::uint64_t
+        run(const Term* n)
+        {
+            const auto it = memo.find(n);
+            if (it != memo.end()) {
+                return it->second;
+            }
+            StableHasher h;
+            h.str(op_name(n->op()));
+            switch (n->op()) {
+              case Op::kConst:
+                h.i64(n->value().num()).i64(n->value().den());
+                break;
+              case Op::kSymbol:
+                h.str(n->symbol().str());
+                break;
+              case Op::kGet:
+                h.str(n->symbol().str()).i64(n->index());
+                break;
+              case Op::kCall:
+                h.str(n->symbol().str());
+                break;
+              default:
+                break;
+            }
+            h.u64(n->arity());
+            for (const TermRef& c : n->children()) {
+                h.u64(run(c.get()));
+            }
+            const std::uint64_t digest = h.digest();
+            memo.emplace(n, digest);
+            return digest;
+        }
+    } rec{memo};
+    return rec.run(t.get());
+}
+
 namespace {
 
 void

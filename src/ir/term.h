@@ -119,6 +119,15 @@ class Term {
     /** Number of nodes counting shared subterms once (DAG size). */
     static std::size_t dag_size(const TermRef& t);
 
+    /**
+     * Content-based 64-bit hash, byte-stable across runs and processes:
+     * derived from operator spellings, exact rational payloads, symbol
+     * *spellings* (not interning ids), and child hashes — never from
+     * pointers. Structurally equal terms hash equal regardless of how
+     * their DAGs are shared. DAG-memoized, linear in dag_size().
+     */
+    static std::uint64_t stable_hash(const TermRef& t);
+
     /** Number of nodes counting shared subterms repeatedly (tree size). */
     static std::size_t tree_size(const TermRef& t);
 

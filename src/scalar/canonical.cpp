@@ -1,0 +1,298 @@
+#include "scalar/canonical.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "support/error.h"
+#include "support/hash.h"
+
+namespace diospyros::scalar {
+
+namespace {
+
+void
+write_int_expr(const IntRef& e, std::string& out)
+{
+    DIOS_ASSERT(e != nullptr, "canonical form of null index expression");
+    switch (e->kind) {
+      case IntExpr::Kind::kConst:
+        out += std::to_string(e->value);
+        return;
+      case IntExpr::Kind::kVar:
+        out += e->var.str();
+        return;
+      case IntExpr::Kind::kAdd:
+      case IntExpr::Kind::kSub:
+      case IntExpr::Kind::kMul: {
+        out += '(';
+        out += e->kind == IntExpr::Kind::kAdd   ? '+'
+               : e->kind == IntExpr::Kind::kSub ? '-'
+                                                : '*';
+        out += ' ';
+        write_int_expr(e->a, out);
+        out += ' ';
+        write_int_expr(e->b, out);
+        out += ')';
+        return;
+      }
+    }
+}
+
+void
+write_cond(const CondRef& c, std::string& out)
+{
+    // .get(): ast.h's DSL operator overloads on CondRef would otherwise
+    // capture the comparison via ADL.
+    DIOS_ASSERT(c.get() != nullptr, "canonical form of null condition");
+    const char* name = nullptr;
+    switch (c->kind) {
+      case Cond::Kind::kLt:
+        name = "<";
+        break;
+      case Cond::Kind::kLe:
+        name = "<=";
+        break;
+      case Cond::Kind::kGt:
+        name = ">";
+        break;
+      case Cond::Kind::kGe:
+        name = ">=";
+        break;
+      case Cond::Kind::kEq:
+        name = "==";
+        break;
+      case Cond::Kind::kNe:
+        name = "!=";
+        break;
+      case Cond::Kind::kAnd:
+        name = "and";
+        break;
+      case Cond::Kind::kOr:
+        name = "or";
+        break;
+      case Cond::Kind::kNot:
+        name = "not";
+        break;
+    }
+    out += '(';
+    out += name;
+    if (c->kind == Cond::Kind::kAnd || c->kind == Cond::Kind::kOr) {
+        out += ' ';
+        write_cond(c->c1, out);
+        out += ' ';
+        write_cond(c->c2, out);
+    } else if (c->kind == Cond::Kind::kNot) {
+        out += ' ';
+        write_cond(c->c1, out);
+    } else {
+        out += ' ';
+        write_int_expr(c->x, out);
+        out += ' ';
+        write_int_expr(c->y, out);
+    }
+    out += ')';
+}
+
+void
+write_float_expr(const FloatRef& e, std::string& out)
+{
+    DIOS_ASSERT(e != nullptr, "canonical form of null float expression");
+    switch (e->kind) {
+      case FloatExpr::Kind::kConst:
+        out += std::to_string(e->value.num());
+        if (!e->value.is_integer()) {
+            out += '/';
+            out += std::to_string(e->value.den());
+        }
+        return;
+      case FloatExpr::Kind::kLoad:
+        out += "(load ";
+        out += e->array.str();
+        out += ' ';
+        write_int_expr(e->index, out);
+        out += ')';
+        return;
+      default:
+        break;
+    }
+    const char* name = nullptr;
+    switch (e->kind) {
+      case FloatExpr::Kind::kAdd:
+        name = "+";
+        break;
+      case FloatExpr::Kind::kSub:
+        name = "-";
+        break;
+      case FloatExpr::Kind::kMul:
+        name = "*";
+        break;
+      case FloatExpr::Kind::kDiv:
+        name = "/";
+        break;
+      case FloatExpr::Kind::kNeg:
+        name = "neg";
+        break;
+      case FloatExpr::Kind::kSqrt:
+        name = "sqrt";
+        break;
+      case FloatExpr::Kind::kSgn:
+        name = "sgn";
+        break;
+      case FloatExpr::Kind::kCall:
+        name = "call";
+        break;
+      default:
+        DIOS_ASSERT(false, "unhandled float expression kind");
+    }
+    out += '(';
+    out += name;
+    if (e->kind == FloatExpr::Kind::kCall) {
+        out += ' ';
+        out += e->fn.str();
+    }
+    for (const FloatRef& a : e->args) {
+        out += ' ';
+        write_float_expr(a, out);
+    }
+    out += ')';
+}
+
+void
+write_stmt(const StmtRef& s, std::string& out)
+{
+    DIOS_ASSERT(s != nullptr, "canonical form of null statement");
+    switch (s->kind) {
+      case Stmt::Kind::kStore:
+        out += "(store ";
+        out += s->array.str();
+        out += ' ';
+        write_int_expr(s->index, out);
+        out += ' ';
+        write_float_expr(s->value, out);
+        out += ')';
+        return;
+      case Stmt::Kind::kFor:
+        out += "(for ";
+        out += s->loop_var.str();
+        out += ' ';
+        write_int_expr(s->lo, out);
+        out += ' ';
+        write_int_expr(s->hi, out);
+        for (const StmtRef& child : s->body) {
+            out += ' ';
+            write_stmt(child, out);
+        }
+        out += ')';
+        return;
+      case Stmt::Kind::kIf:
+        out += "(if ";
+        write_cond(s->cond, out);
+        out += " (then";
+        for (const StmtRef& child : s->body) {
+            out += ' ';
+            write_stmt(child, out);
+        }
+        out += ") (else";
+        for (const StmtRef& child : s->else_body) {
+            out += ' ';
+            write_stmt(child, out);
+        }
+        out += "))";
+        return;
+      case Stmt::Kind::kBlock:
+        out += "(block";
+        for (const StmtRef& child : s->body) {
+            out += ' ';
+            write_stmt(child, out);
+        }
+        out += ')';
+        return;
+    }
+}
+
+}  // namespace
+
+std::string
+canonical_kernel_text(const Kernel& kernel)
+{
+    std::string out;
+    out += "(kernel ";
+    out += kernel.name;
+
+    // Params are a name->value binding map: order-independent in the IR,
+    // so canonicalize sorted by spelling.
+    std::vector<std::pair<std::string, std::int64_t>> params;
+    params.reserve(kernel.params.size());
+    for (const auto& [sym, value] : kernel.params) {
+        params.emplace_back(sym.str(), value);
+    }
+    std::sort(params.begin(), params.end());
+    out += " (params";
+    for (const auto& [name, value] : params) {
+        out += " (";
+        out += name;
+        out += ' ';
+        out += std::to_string(value);
+        out += ')';
+    }
+    out += ')';
+
+    // Array declarations keep signature order: it defines the output
+    // manifest ordering and is therefore semantic.
+    out += " (arrays";
+    for (const ArrayDecl& decl : kernel.arrays) {
+        out += " (";
+        switch (decl.role) {
+          case ArrayRole::kInput:
+            out += "input";
+            break;
+          case ArrayRole::kOutput:
+            out += "output";
+            break;
+          case ArrayRole::kScratch:
+            out += "scratch";
+            break;
+        }
+        out += ' ';
+        out += decl.name.str();
+        out += ' ';
+        write_int_expr(decl.size, out);
+        out += ')';
+    }
+    out += ')';
+
+    out += " (body";
+    for (const StmtRef& stmt : kernel.body) {
+        out += ' ';
+        write_stmt(stmt, out);
+    }
+    out += "))";
+    return out;
+}
+
+std::uint64_t
+stable_kernel_hash(const Kernel& kernel)
+{
+    return stable_hash_string(canonical_kernel_text(kernel));
+}
+
+std::uint64_t
+stable_spec_hash(const LiftedSpec& spec)
+{
+    StableHasher h;
+    h.tag("lifted-spec");
+    h.u64(Term::stable_hash(spec.spec));
+    h.tag("outputs").u64(spec.outputs.size());
+    for (const auto& [name, len] : spec.outputs) {
+        h.str(name).i64(len);
+    }
+    h.tag("inputs").u64(spec.inputs.size());
+    for (const auto& [name, len] : spec.inputs) {
+        h.str(name).i64(len);
+    }
+    h.i64(spec.total_outputs);
+    return h.digest();
+}
+
+}  // namespace diospyros::scalar

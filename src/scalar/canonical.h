@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Canonical serialization and stable hashing of scalar kernels and
+ * lifted specs — the identity half of the compile service's
+ * content-addressed cache (see src/service/).
+ *
+ * The canonical text is byte-stable across runs and processes: it is
+ * built from spellings and exact values only (no pointers, no interning
+ * ids) and is order-independent exactly where the IR is — parameter
+ * bindings are a name→value map, so they serialize sorted by name, while
+ * array declarations and statements keep their order because it is
+ * semantically significant (output manifest order, store sequencing).
+ * Two structurally identical kernels therefore serialize identically no
+ * matter how their shared_ptr DAGs are shared or in which order their
+ * params were declared.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "scalar/ast.h"
+#include "scalar/symbolic.h"
+
+namespace diospyros::scalar {
+
+/** Canonical s-expression text of a kernel (see file header). */
+std::string canonical_kernel_text(const Kernel& kernel);
+
+/** Byte-stable 64-bit hash of a kernel's canonical form. */
+std::uint64_t stable_kernel_hash(const Kernel& kernel);
+
+/**
+ * Byte-stable 64-bit hash of a lifted spec: the spec term's content hash
+ * (Term::stable_hash) combined with the input/output manifests.
+ */
+std::uint64_t stable_spec_hash(const LiftedSpec& spec);
+
+}  // namespace diospyros::scalar

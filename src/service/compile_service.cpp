@@ -1,0 +1,436 @@
+#include "service/compile_service.h"
+
+#include <cstdio>
+#include <limits>
+#include <utility>
+
+#include "service/serialize.h"
+#include "support/error.h"
+#include "support/faults.h"
+
+namespace diospyros::service {
+
+namespace {
+
+/** A budget of <= 0 means "disabled", i.e. unlimited. */
+double
+effective_budget(double seconds)
+{
+    return seconds <= 0.0 ? std::numeric_limits<double>::infinity() : seconds;
+}
+
+bool
+time_bound(StopReason r)
+{
+    return r == StopReason::kTimeLimit || r == StopReason::kDeadline;
+}
+
+/** True when `req`'s wall-clock budgets are no larger than the given ones. */
+bool
+budget_within(const CompilerOptions& req, double time_limit_seconds,
+              double deadline_seconds)
+{
+    return effective_budget(req.limits.time_limit_seconds) <=
+               effective_budget(time_limit_seconds) &&
+           effective_budget(req.deadline_seconds) <=
+               effective_budget(deadline_seconds);
+}
+
+/**
+ * May this disk entry serve `req`? Successful (non-time-bound) entries
+ * always may — that is what makes the key's timeout exclusion sound. A
+ * kTimeLimit entry only serves requests with no larger saturation
+ * budget; a kDeadline entry never does (the deadline it ran under is
+ * not persisted, so assume the request's could be larger).
+ */
+bool
+disk_entry_servable(const CachedEntry& entry, const CompilerOptions& req)
+{
+    if (!time_bound(entry.report.stop_reason)) {
+        return true;
+    }
+    if (entry.report.stop_reason == StopReason::kDeadline) {
+        return false;
+    }
+    return effective_budget(req.limits.time_limit_seconds) <=
+           effective_budget(entry.time_limit_seconds);
+}
+
+void
+json_count(std::string& out, const char* name, std::uint64_t v, bool last)
+{
+    out += '"';
+    out += name;
+    out += "\":";
+    out += std::to_string(v);
+    if (!last) {
+        out += ',';
+    }
+}
+
+void
+json_seconds(std::string& out, const char* name, double v, bool last)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6f", v);
+    out += '"';
+    out += name;
+    out += "\":";
+    out += buf;
+    if (!last) {
+        out += ',';
+    }
+}
+
+}  // namespace
+
+const char*
+cache_outcome_name(CacheOutcome outcome)
+{
+    switch (outcome) {
+      case CacheOutcome::kMiss:
+        return "miss";
+      case CacheOutcome::kMemoryHit:
+        return "memory-hit";
+      case CacheOutcome::kDiskHit:
+        return "disk-hit";
+      case CacheOutcome::kCoalesced:
+        return "coalesced";
+      case CacheOutcome::kBypass:
+        return "bypass";
+    }
+    return "unknown";
+}
+
+const char*
+cache_outcome_json_name(CacheOutcome outcome)
+{
+    switch (outcome) {
+      case CacheOutcome::kMemoryHit:
+      case CacheOutcome::kDiskHit:
+        return "hit";
+      case CacheOutcome::kCoalesced:
+        return "coalesced";
+      case CacheOutcome::kBypass:
+        return "bypass";
+      default:
+        return "miss";
+    }
+}
+
+std::string
+ServiceMetrics::to_json() const
+{
+    std::string out = "{";
+    json_count(out, "submitted", submitted, false);
+    json_count(out, "completed", completed, false);
+    json_count(out, "memory_hits", memory_hits, false);
+    json_count(out, "disk_hits", disk_hits, false);
+    json_count(out, "misses", misses, false);
+    json_count(out, "coalesced", coalesced, false);
+    json_count(out, "bypasses", bypasses, false);
+    json_count(out, "evictions", evictions, false);
+    json_count(out, "disk_writes", disk_writes, false);
+    json_count(out, "failures", failures, false);
+    json_count(out, "user_errors", user_errors, false);
+    json_count(out, "queue_depth", queue_depth, false);
+    json_count(out, "peak_queue_depth", peak_queue_depth, false);
+    json_seconds(out, "lift_seconds", lift_seconds, false);
+    json_seconds(out, "saturation_seconds", saturation_seconds, false);
+    json_seconds(out, "extract_seconds", extract_seconds, false);
+    json_seconds(out, "backend_seconds", backend_seconds, false);
+    json_seconds(out, "total_seconds", total_seconds, true);
+    out += "}";
+    return out;
+}
+
+CompileService::CompileService(Options options) : options_(options)
+{
+    if (options_.jobs < 1) {
+        options_.jobs = 1;
+    }
+    if (options_.queue_capacity < 1) {
+        options_.queue_capacity = 1;
+    }
+    if (!options_.cache_dir.empty()) {
+        disk_.emplace(options_.cache_dir);
+    }
+    workers_.reserve(static_cast<std::size_t>(options_.jobs));
+    for (int i = 0; i < options_.jobs; ++i) {
+        workers_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+CompileService::~CompileService()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stopping_ = true;
+    }
+    cv_not_empty_.notify_all();
+    cv_not_full_.notify_all();
+    for (std::thread& t : workers_) {
+        t.join();
+    }
+}
+
+Ticket
+CompileService::submit(const scalar::Kernel& kernel, CompilerOptions options)
+{
+    options.sync();
+    const bool bypass = !options.fault_specs.empty() || faults::any_armed();
+
+    auto job = std::make_shared<Job>();
+    job->key = compute_cache_key(kernel, options);
+    job->kernel = kernel;
+    job->options = std::move(options);
+    job->bypass = bypass;
+    job->future = job->promise.get_future().share();
+    job->outcome = std::make_shared<std::atomic<CacheOutcome>>(
+        bypass ? CacheOutcome::kBypass : CacheOutcome::kMiss);
+
+    Ticket ticket;
+    ticket.outcome_ = job->outcome;
+    ticket.future = job->future;
+
+    std::unique_lock<std::mutex> lock(mu_);
+    DIOS_CHECK(!stopping_, "submit() after CompileService shutdown");
+    ++metrics_.submitted;
+
+    if (bypass) {
+        ++metrics_.bypasses;
+    } else {
+        if (ResultPtr hit = lookup_memory(job->key, job->options)) {
+            ++metrics_.memory_hits;
+            ++metrics_.completed;
+            job->outcome->store(CacheOutcome::kMemoryHit,
+                                std::memory_order_release);
+            job->promise.set_value(std::move(hit));
+            return ticket;
+        }
+        auto it = inflight_.find(job->key);
+        if (it != inflight_.end() &&
+            budget_within(job->options,
+                          it->second->options.limits.time_limit_seconds,
+                          it->second->options.deadline_seconds)) {
+            ++metrics_.coalesced;
+            job->outcome->store(CacheOutcome::kCoalesced,
+                                std::memory_order_release);
+            // Resolve this ticket from the in-flight job's future: no
+            // second saturation, same shared result.
+            ticket.future = it->second->future;
+            return ticket;
+        }
+        if (it == inflight_.end()) {
+            inflight_.emplace(job->key, job);
+            job->owns_inflight = true;
+        }
+        // else: identical key in flight but under a *smaller* budget —
+        // run our own compile; it just doesn't register as coalescable.
+    }
+
+    cv_not_full_.wait(lock, [&] {
+        return stopping_ || queue_.size() < options_.queue_capacity;
+    });
+    if (stopping_) {
+        if (job->owns_inflight) {
+            inflight_.erase(job->key);
+        }
+        detail::raise_user("submit() after CompileService shutdown");
+    }
+    queue_.push_back(job);
+    metrics_.queue_depth = queue_.size();
+    if (metrics_.queue_depth > metrics_.peak_queue_depth) {
+        metrics_.peak_queue_depth = metrics_.queue_depth;
+    }
+    cv_not_empty_.notify_one();
+    return ticket;
+}
+
+void
+CompileService::wait_idle()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_idle_.wait(lock, [&] { return queue_.empty() && executing_ == 0; });
+}
+
+ServiceMetrics
+CompileService::metrics() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ServiceMetrics snapshot = metrics_;
+    snapshot.queue_depth = queue_.size();
+    return snapshot;
+}
+
+void
+CompileService::worker_loop()
+{
+    for (;;) {
+        std::shared_ptr<Job> job;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            cv_not_empty_.wait(lock,
+                               [&] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty()) {
+                return;  // stopping and drained
+            }
+            job = std::move(queue_.front());
+            queue_.pop_front();
+            ++executing_;
+            metrics_.queue_depth = queue_.size();
+            cv_not_full_.notify_one();
+        }
+
+        process(job);
+
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            --executing_;
+            if (queue_.empty() && executing_ == 0) {
+                cv_idle_.notify_all();
+            }
+        }
+    }
+}
+
+void
+CompileService::process(const std::shared_ptr<Job>& job)
+{
+    // Disk level first: a hit skips the compiler entirely.
+    if (!job->bypass && disk_) {
+        if (std::optional<CachedEntry> entry = disk_->load(job->key)) {
+            if (disk_entry_servable(*entry, job->options)) {
+                try {
+                    auto result = std::make_shared<CompileResult>();
+                    result->ok = true;
+                    result->fallback_level = entry->fallback_level;
+                    result->attempts = entry->report.attempts;
+                    result->compiled =
+                        compiled_from_entry(job->kernel, *entry);
+                    job->outcome->store(CacheOutcome::kDiskHit,
+                                        std::memory_order_release);
+                    finish(job, std::move(result), /*executed=*/false);
+                    return;
+                } catch (const std::exception&) {
+                    // Reconstruction failed: fall through and recompile.
+                }
+            }
+        }
+    }
+
+    ResultPtr result;
+    try {
+        result = std::make_shared<CompileResult>(
+            compile_kernel_resilient(job->kernel, job->options));
+    } catch (const std::exception& e) {
+        // compile_kernel_resilient never throws by contract; this is a
+        // belt-and-braces net so a waiter can never hang on our promise.
+        auto failed = std::make_shared<CompileResult>();
+        failed->ok = false;
+        failed->error = e.what();
+        result = std::move(failed);
+    }
+    finish(job, std::move(result), /*executed=*/true);
+}
+
+void
+CompileService::finish(const std::shared_ptr<Job>& job, ResultPtr result,
+                       bool executed)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++metrics_.completed;
+        if (!executed) {
+            ++metrics_.disk_hits;
+        } else if (!job->bypass) {
+            ++metrics_.misses;
+        }
+        if (executed) {
+            if (result->ok) {
+                const CompileReport& r = result->report();
+                metrics_.lift_seconds += r.lift_seconds;
+                metrics_.saturation_seconds += r.saturation_seconds;
+                metrics_.extract_seconds += r.extract_seconds;
+                metrics_.backend_seconds += r.backend_seconds;
+                metrics_.total_seconds += r.total_seconds;
+            } else {
+                ++metrics_.failures;
+                if (result->user_error) {
+                    ++metrics_.user_errors;
+                }
+                for (const AttemptDiagnostic& a : result->attempts) {
+                    metrics_.total_seconds += a.seconds;
+                }
+            }
+        }
+        if (!job->bypass && result->ok && result->compiled) {
+            MemEntry entry;
+            entry.key = job->key;
+            entry.result = result;
+            entry.time_limit_seconds =
+                job->options.limits.time_limit_seconds;
+            entry.deadline_seconds = job->options.deadline_seconds;
+            insert_memory(std::move(entry));
+        }
+        if (job->owns_inflight) {
+            inflight_.erase(job->key);
+        }
+    }
+
+    // Disk writes happen outside the lock (filesystem IO); failures to
+    // persist are non-fatal — the entry is just recompiled next time.
+    if (executed && !job->bypass && result->ok && result->compiled &&
+        disk_) {
+        try {
+            disk_->store(
+                make_entry(job->key, job->options, *result->compiled));
+            std::lock_guard<std::mutex> lock(mu_);
+            ++metrics_.disk_writes;
+        } catch (const std::exception&) {
+        }
+    }
+
+    job->promise.set_value(std::move(result));
+}
+
+ResultPtr
+CompileService::lookup_memory(const CacheKey& key,
+                              const CompilerOptions& options)
+{
+    auto it = lru_index_.find(key);
+    if (it == lru_index_.end()) {
+        return nullptr;
+    }
+    const MemEntry& entry = *it->second;
+    if (time_bound(entry.result->report().stop_reason) &&
+        !budget_within(options, entry.time_limit_seconds,
+                       entry.deadline_seconds)) {
+        return nullptr;  // request has a larger budget: recompile
+    }
+    lru_.splice(lru_.begin(), lru_, it->second);  // touch
+    return entry.result;
+}
+
+void
+CompileService::insert_memory(MemEntry entry)
+{
+    if (options_.memory_cache_capacity == 0) {
+        return;
+    }
+    auto it = lru_index_.find(entry.key);
+    if (it != lru_index_.end()) {
+        *it->second = std::move(entry);
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return;
+    }
+    lru_.push_front(std::move(entry));
+    lru_index_[lru_.front().key] = lru_.begin();
+    while (lru_.size() > options_.memory_cache_capacity) {
+        lru_index_.erase(lru_.back().key);
+        lru_.pop_back();
+        ++metrics_.evictions;
+    }
+}
+
+}  // namespace diospyros::service

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Concurrent compile service: a fixed worker pool behind a bounded job
+ * queue, fronted by a two-level content-addressed cache.
+ *
+ * Request flow for submit(kernel, options):
+ *
+ *   1. key = (canonical spec hash, relevant-options hash)
+ *      (service/cache_key.h — wall-clock budgets excluded).
+ *   2. Memory cache (LRU of shared CompileResults) — hit returns a
+ *      ready ticket without touching the queue.
+ *   3. In-flight map — an identical key already queued or compiling
+ *      *coalesces*: N concurrent requests share one saturation, and the
+ *      other N-1 tickets resolve from the same future.
+ *   4. Otherwise the job enters the bounded queue (submit blocks while
+ *      the queue is full — backpressure, not unbounded memory). A worker
+ *      first consults the optional disk cache; only a disk miss runs
+ *      compile_kernel_resilient().
+ *
+ * Caching policy:
+ *  - Only successful results are cached (including degraded ones —
+ *    their fallback_level rides along in the report). Failures are
+ *    returned but never stored.
+ *  - A cached entry whose saturation was cut short by a wall-clock limit
+ *    (StopReason::kTimeLimit / kDeadline) is only served to requests
+ *    whose budget is *no larger* than the one it was produced under;
+ *    a larger budget might do better, so the service recompiles.
+ *  - Fault-armed requests (options.fault_specs non-empty, or a fault
+ *    armed globally) bypass both cache levels *and* coalescing: injected
+ *    faults are process-global hit counters, and sharing results across
+ *    them would change what the fault tests observe.
+ *
+ * Determinism: a compile job runs single-threaded inside one worker, and
+ * every stage of the pipeline is deterministic for a given (kernel,
+ * options); the cache serves byte-identical artifacts. Hence jobs=1 and
+ * jobs=N produce identical outputs, and a warm run is identical to the
+ * cold run that filled the cache.
+ */
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "compiler/driver.h"
+#include "service/cache_key.h"
+#include "service/disk_cache.h"
+
+namespace diospyros::service {
+
+/** How a submit() was satisfied. */
+enum class CacheOutcome {
+    kMiss,       ///< compiled from scratch by a worker
+    kMemoryHit,  ///< served from the in-memory LRU
+    kDiskHit,    ///< reconstructed from the on-disk store
+    kCoalesced,  ///< joined an identical in-flight compile
+    kBypass,     ///< fault-armed request: cache and coalescing skipped
+};
+
+/** Debug spelling ("miss", "memory-hit", ...). */
+const char* cache_outcome_name(CacheOutcome outcome);
+
+/** Report spelling per the CLI contract: both hit kinds map to "hit". */
+const char* cache_outcome_json_name(CacheOutcome outcome);
+
+/** Counters and aggregates; snapshot via CompileService::metrics(). */
+struct ServiceMetrics {
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t memory_hits = 0;
+    std::uint64_t disk_hits = 0;
+    std::uint64_t misses = 0;      ///< jobs that ran the compiler
+    std::uint64_t coalesced = 0;   ///< submits that joined an in-flight job
+    std::uint64_t bypasses = 0;    ///< fault-armed submits
+    std::uint64_t evictions = 0;   ///< LRU entries displaced
+    std::uint64_t disk_writes = 0;
+    std::uint64_t failures = 0;    ///< compiles with !ok
+    std::uint64_t user_errors = 0; ///< failures that were the caller's fault
+    std::uint64_t queue_depth = 0; ///< jobs waiting right now
+    std::uint64_t peak_queue_depth = 0;
+    /** Aggregated per-phase wall time over all *executed* compiles. */
+    double lift_seconds = 0.0;
+    double saturation_seconds = 0.0;
+    double extract_seconds = 0.0;
+    double backend_seconds = 0.0;
+    double total_seconds = 0.0;
+
+    /** One JSON object with every field above. */
+    std::string to_json() const;
+};
+
+/** Shared, immutable view of a finished compile. */
+using ResultPtr = std::shared_ptr<const CompileResult>;
+
+/**
+ * Handle for one submitted compile. `future` is shared: coalesced
+ * requests hold the same underlying state. outcome() is final once the
+ * future is ready (scheduled jobs refine kMiss -> kDiskHit when the
+ * worker finds the entry on disk).
+ */
+class Ticket {
+  public:
+    std::shared_future<ResultPtr> future;
+
+    CacheOutcome
+    outcome() const
+    {
+        return outcome_->load(std::memory_order_acquire);
+    }
+
+    /** Blocks until done and returns the result. */
+    const CompileResult& get() const { return *future.get(); }
+
+  private:
+    friend class CompileService;
+    std::shared_ptr<std::atomic<CacheOutcome>> outcome_;
+};
+
+class CompileService {
+  public:
+    struct Options {
+        /** Worker threads (clamped to >= 1). */
+        int jobs = 1;
+        /** Bounded queue: submit() blocks past this many waiting jobs. */
+        std::size_t queue_capacity = 64;
+        /** In-memory LRU capacity in entries (0 disables that level). */
+        std::size_t memory_cache_capacity = 128;
+        /** On-disk store directory ("" disables that level). */
+        std::string cache_dir;
+    };
+
+    CompileService() : CompileService(Options()) {}
+    explicit CompileService(Options options);
+
+    /** Drains the queue, waits for in-flight jobs, joins all workers. */
+    ~CompileService();
+
+    CompileService(const CompileService&) = delete;
+    CompileService& operator=(const CompileService&) = delete;
+
+    /**
+     * Submits one compile (see file header for the full flow). Blocks
+     * only while the queue is at capacity. Raises UserError if called
+     * after shutdown began.
+     */
+    Ticket submit(const scalar::Kernel& kernel, CompilerOptions options);
+
+    /** Blocks until no job is queued or executing. */
+    void wait_idle();
+
+    /** Consistent snapshot of the counters. */
+    ServiceMetrics metrics() const;
+
+    const Options& options() const { return options_; }
+
+  private:
+    struct Job {
+        CacheKey key;
+        scalar::Kernel kernel;
+        CompilerOptions options;
+        bool bypass = false;
+        /** True when this job holds the inflight_ registration for key. */
+        bool owns_inflight = false;
+        std::promise<ResultPtr> promise;
+        std::shared_future<ResultPtr> future;
+        std::shared_ptr<std::atomic<CacheOutcome>> outcome;
+    };
+
+    /** One memory-cache entry: the result + the budgets it ran under. */
+    struct MemEntry {
+        CacheKey key;
+        ResultPtr result;
+        double time_limit_seconds = 0.0;
+        double deadline_seconds = 0.0;
+    };
+
+    void worker_loop();
+    void process(const std::shared_ptr<Job>& job);
+    /** Finishes a job: caches (unless bypass/failed), resolves waiters. */
+    void finish(const std::shared_ptr<Job>& job, ResultPtr result,
+                bool executed);
+
+    /** Memory-cache lookup; must hold mu_. Touches LRU order on hit. */
+    ResultPtr lookup_memory(const CacheKey& key,
+                            const CompilerOptions& options);
+    /** Memory-cache insert + eviction; must hold mu_. */
+    void insert_memory(MemEntry entry);
+
+    Options options_;
+    std::optional<DiskCache> disk_;
+
+    mutable std::mutex mu_;
+    std::condition_variable cv_not_empty_;
+    std::condition_variable cv_not_full_;
+    std::condition_variable cv_idle_;
+    bool stopping_ = false;
+    std::deque<std::shared_ptr<Job>> queue_;
+    std::size_t executing_ = 0;
+    std::unordered_map<CacheKey, std::shared_ptr<Job>, CacheKeyHash>
+        inflight_;
+    /** LRU: most-recent at front; index maps key -> list position. */
+    std::list<MemEntry> lru_;
+    std::unordered_map<CacheKey, std::list<MemEntry>::iterator, CacheKeyHash>
+        lru_index_;
+    ServiceMetrics metrics_;
+
+    std::vector<std::thread> workers_;
+};
+
+}  // namespace diospyros::service

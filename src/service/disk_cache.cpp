@@ -1,0 +1,81 @@
+#include "service/disk_cache.h"
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#include "support/error.h"
+
+namespace diospyros::service {
+
+namespace fs = std::filesystem;
+
+DiskCache::DiskCache(const std::string& dir) : dir_(dir)
+{
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    DIOS_CHECK(!ec && fs::is_directory(dir_),
+               "cache directory '" + dir + "' cannot be created: " +
+                   (ec ? ec.message() : "path is not a directory"));
+}
+
+fs::path
+DiskCache::path_for(const CacheKey& key) const
+{
+    return dir_ / (key.hex() + ".sexpr");
+}
+
+std::optional<CachedEntry>
+DiskCache::load(const CacheKey& key) const
+{
+    std::ifstream in(path_for(key));
+    if (!in) {
+        return std::nullopt;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    try {
+        CachedEntry entry = entry_from_sexpr(parse_sexpr(text.str()));
+        if (entry.rule_set_version != kRuleSetVersion || entry.key != key) {
+            return std::nullopt;  // stale or misfiled — treat as miss
+        }
+        return entry;
+    } catch (const std::exception&) {
+        return std::nullopt;  // corrupt entry: recompile and overwrite
+    }
+}
+
+void
+DiskCache::store(const CachedEntry& entry) const
+{
+    // Unique-per-call temp name so concurrent writers of the same key
+    // never interleave into one file; the final rename is atomic and
+    // last-writer-wins (both writers hold byte-identical content).
+    static std::atomic<unsigned> counter{0};
+    const fs::path final_path = path_for(entry.key);
+    const fs::path tmp_path =
+        dir_ / (entry.key.hex() + ".tmp." +
+                std::to_string(counter.fetch_add(1, std::memory_order_relaxed)));
+
+    {
+        std::ofstream out(tmp_path);
+        DIOS_CHECK(out.good(), "cannot write cache file '" +
+                                   tmp_path.string() + "'");
+        out << entry_to_sexpr(entry).to_pretty_string() << "\n";
+        out.flush();
+        DIOS_CHECK(out.good(), "short write to cache file '" +
+                                   tmp_path.string() + "'");
+    }
+
+    std::error_code ec;
+    fs::rename(tmp_path, final_path, ec);
+    if (ec) {
+        fs::remove(tmp_path, ec);
+        detail::raise_user("cannot publish cache file '" +
+                           final_path.string() + "'");
+    }
+}
+
+}  // namespace diospyros::service

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * On-disk level of the compile cache: one s-expression file per entry,
+ * named by the cache key's hex form, under a caller-chosen directory.
+ *
+ * Robustness rules:
+ *  - store() is atomic: write to a temp file in the same directory, then
+ *    rename over the final name, so a concurrent reader (or a crash)
+ *    never observes a half-written entry.
+ *  - load() treats *any* problem — missing file, parse error, version
+ *    mismatch, malformed fields — as a miss (nullopt), never an error.
+ *    A corrupt entry is simply recompiled and overwritten.
+ *
+ * The class itself is stateless between calls and safe to share across
+ * threads (each call touches the filesystem independently).
+ */
+#pragma once
+
+#include <filesystem>
+#include <optional>
+#include <string>
+
+#include "service/cache_key.h"
+#include "service/serialize.h"
+
+namespace diospyros::service {
+
+class DiskCache {
+  public:
+    /**
+     * Opens (creating if needed) the cache directory. Raises UserError
+     * when the path exists but is not a directory or cannot be created.
+     */
+    explicit DiskCache(const std::string& dir);
+
+    /** Loads the entry for `key`; nullopt on miss or corruption. */
+    std::optional<CachedEntry> load(const CacheKey& key) const;
+
+    /** Persists `entry` atomically (temp file + rename). */
+    void store(const CachedEntry& entry) const;
+
+    /** Filesystem path an entry for `key` would live at. */
+    std::filesystem::path path_for(const CacheKey& key) const;
+
+  private:
+    std::filesystem::path dir_;
+};
+
+}  // namespace diospyros::service

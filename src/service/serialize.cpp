@@ -1,0 +1,389 @@
+#include "service/serialize.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+#include "machine/target.h"
+#include "scalar/symbolic.h"
+#include "support/error.h"
+
+namespace diospyros::service {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Atom helpers
+// ---------------------------------------------------------------------------
+
+/** Exact round-trip for doubles: hexfloat atoms ("0x1.8p+1"). */
+Sexpr
+f64_atom(double v)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%a", v);
+    return Sexpr::atom(buf);
+}
+
+Sexpr
+i64_atom(std::int64_t v)
+{
+    return Sexpr::atom(std::to_string(v));
+}
+
+Sexpr
+u64_atom(std::uint64_t v)
+{
+    return Sexpr::atom(std::to_string(v));
+}
+
+Sexpr
+hex_atom(std::uint64_t v)
+{
+    return Sexpr::atom(hash_hex(v));
+}
+
+double
+as_f64(const Sexpr& s)
+{
+    DIOS_CHECK(s.is_number(), "cache entry: expected a number, got '" +
+                                  s.to_string() + "'");
+    return s.as_number();
+}
+
+std::int64_t
+as_i64(const Sexpr& s)
+{
+    DIOS_CHECK(s.is_integer(), "cache entry: expected an integer, got '" +
+                                   s.to_string() + "'");
+    return s.as_integer();
+}
+
+std::uint64_t
+as_hex(const Sexpr& s)
+{
+    DIOS_CHECK(s.is_atom(), "cache entry: expected a hex atom");
+    return std::strtoull(s.token().c_str(), nullptr, 16);
+}
+
+/** A (name value...) field node. */
+Sexpr
+field(const std::string& name, std::vector<Sexpr> values)
+{
+    std::vector<Sexpr> children;
+    children.reserve(values.size() + 1);
+    children.push_back(Sexpr::atom(name));
+    for (Sexpr& v : values) {
+        children.push_back(std::move(v));
+    }
+    return Sexpr::list(std::move(children));
+}
+
+/** True when `s` is a list whose head atom equals `name`. */
+bool
+is_field(const Sexpr& s, const char* name)
+{
+    return s.is_list() && s.size() >= 1 && s[0].is_atom() &&
+           s[0].token() == name;
+}
+
+// ---------------------------------------------------------------------------
+// Enum spellings (reverse lookups over the existing name functions)
+// ---------------------------------------------------------------------------
+
+Opcode
+opcode_from_name(const std::string& name)
+{
+    for (int i = 0; i < kNumOpcodes; ++i) {
+        const auto op = static_cast<Opcode>(i);
+        if (name == opcode_name(op)) {
+            return op;
+        }
+    }
+    detail::raise_user("cache entry: unknown opcode '" + name + "'");
+}
+
+StopReason
+stop_reason_from_name(const std::string& name)
+{
+    for (int i = 0; i <= static_cast<int>(StopReason::kDeadline); ++i) {
+        const auto r = static_cast<StopReason>(i);
+        if (name == stop_reason_name(r)) {
+            return r;
+        }
+    }
+    detail::raise_user("cache entry: unknown stop reason '" + name + "'");
+}
+
+Verdict
+verdict_from_name(const std::string& name)
+{
+    for (int i = 0; i <= static_cast<int>(Verdict::kUnknown); ++i) {
+        const auto v = static_cast<Verdict>(i);
+        if (name == verdict_name(v)) {
+            return v;
+        }
+    }
+    detail::raise_user("cache entry: unknown validation verdict '" + name +
+                       "'");
+}
+
+// ---------------------------------------------------------------------------
+// Report
+// ---------------------------------------------------------------------------
+
+Sexpr
+report_to_sexpr(const CompileReport& r)
+{
+    std::vector<Sexpr> attempts;
+    attempts.push_back(Sexpr::atom("attempts"));
+    for (const AttemptDiagnostic& a : r.attempts) {
+        attempts.push_back(Sexpr::list({i64_atom(a.level),
+                                        f64_atom(a.seconds),
+                                        Sexpr::string_atom(a.error)}));
+    }
+
+    return field(
+        "report",
+        {field("phases",
+               {f64_atom(r.lift_seconds), f64_atom(r.saturation_seconds),
+                f64_atom(r.extract_seconds), f64_atom(r.backend_seconds),
+                f64_atom(r.total_seconds)}),
+         field("spec", {u64_atom(r.spec_elements),
+                        u64_atom(r.spec_dag_nodes)}),
+         field("egraph",
+               {u64_atom(r.egraph_nodes), u64_atom(r.egraph_classes),
+                u64_atom(r.memory_proxy_bytes),
+                u64_atom(r.runner_iterations)}),
+         field("stop", {Sexpr::atom(stop_reason_name(r.stop_reason))}),
+         field("cost", {f64_atom(r.extracted_cost)}),
+         field("lvn",
+               {u64_atom(r.lvn.input_instrs), u64_atom(r.lvn.value_numbered),
+                u64_atom(r.lvn.dead_removed),
+                u64_atom(r.lvn.output_instrs)}),
+         field("validation", {Sexpr::atom(verdict_name(r.validation)),
+                              i64_atom(r.random_check_passed ? 1 : 0)}),
+         field("fallback", {i64_atom(r.fallback_level),
+                            Sexpr::string_atom(r.error)}),
+         Sexpr::list(std::move(attempts))});
+}
+
+CompileReport
+report_from_sexpr(const Sexpr& s)
+{
+    DIOS_CHECK(is_field(s, "report"), "cache entry: missing report");
+    CompileReport r;
+    for (std::size_t i = 1; i < s.size(); ++i) {
+        const Sexpr& f = s[i];
+        if (is_field(f, "phases") && f.size() == 6) {
+            r.lift_seconds = as_f64(f[1]);
+            r.saturation_seconds = as_f64(f[2]);
+            r.extract_seconds = as_f64(f[3]);
+            r.backend_seconds = as_f64(f[4]);
+            r.total_seconds = as_f64(f[5]);
+        } else if (is_field(f, "spec") && f.size() == 3) {
+            r.spec_elements = static_cast<std::size_t>(as_i64(f[1]));
+            r.spec_dag_nodes = static_cast<std::size_t>(as_i64(f[2]));
+        } else if (is_field(f, "egraph") && f.size() == 5) {
+            r.egraph_nodes = static_cast<std::size_t>(as_i64(f[1]));
+            r.egraph_classes = static_cast<std::size_t>(as_i64(f[2]));
+            r.memory_proxy_bytes = static_cast<std::size_t>(as_i64(f[3]));
+            r.runner_iterations = static_cast<std::size_t>(as_i64(f[4]));
+        } else if (is_field(f, "stop") && f.size() == 2) {
+            r.stop_reason = stop_reason_from_name(f[1].token());
+        } else if (is_field(f, "cost") && f.size() == 2) {
+            r.extracted_cost = as_f64(f[1]);
+        } else if (is_field(f, "lvn") && f.size() == 5) {
+            r.lvn.input_instrs = static_cast<std::size_t>(as_i64(f[1]));
+            r.lvn.value_numbered = static_cast<std::size_t>(as_i64(f[2]));
+            r.lvn.dead_removed = static_cast<std::size_t>(as_i64(f[3]));
+            r.lvn.output_instrs = static_cast<std::size_t>(as_i64(f[4]));
+        } else if (is_field(f, "validation") && f.size() == 3) {
+            r.validation = verdict_from_name(f[1].token());
+            r.random_check_passed = as_i64(f[2]) != 0;
+        } else if (is_field(f, "fallback") && f.size() == 3) {
+            r.fallback_level = static_cast<int>(as_i64(f[1]));
+            r.error = f[2].token();
+        } else if (is_field(f, "attempts")) {
+            for (std::size_t j = 1; j < f.size(); ++j) {
+                const Sexpr& a = f[j];
+                DIOS_CHECK(a.is_list() && a.size() == 3,
+                           "cache entry: malformed attempt record");
+                AttemptDiagnostic diag;
+                diag.level = static_cast<int>(as_i64(a[0]));
+                diag.seconds = as_f64(a[1]);
+                diag.error = a[2].token();
+                r.attempts.push_back(std::move(diag));
+            }
+        }
+    }
+    return r;
+}
+
+// ---------------------------------------------------------------------------
+// Machine program
+// ---------------------------------------------------------------------------
+
+Sexpr
+program_to_sexpr(const Program& p)
+{
+    std::vector<Sexpr> code;
+    code.push_back(Sexpr::atom("code"));
+    for (const Instr& instr : p.code) {
+        std::vector<Sexpr> fields = {
+            Sexpr::atom(opcode_name(instr.op)), i64_atom(instr.dst),
+            i64_atom(instr.a),    i64_atom(instr.b),
+            i64_atom(instr.imm),  f64_atom(instr.fimm)};
+        for (const std::int16_t lane : instr.lanes) {
+            fields.push_back(i64_atom(lane));
+        }
+        code.push_back(Sexpr::list(std::move(fields)));
+    }
+    return field("machine",
+                 {field("regs", {i64_atom(p.num_int_regs),
+                                 i64_atom(p.num_float_regs),
+                                 i64_atom(p.num_vec_regs)}),
+                  Sexpr::list(std::move(code))});
+}
+
+Program
+program_from_sexpr(const Sexpr& s)
+{
+    DIOS_CHECK(is_field(s, "machine"), "cache entry: missing machine");
+    Program p;
+    for (std::size_t i = 1; i < s.size(); ++i) {
+        const Sexpr& f = s[i];
+        if (is_field(f, "regs") && f.size() == 4) {
+            p.num_int_regs = static_cast<int>(as_i64(f[1]));
+            p.num_float_regs = static_cast<int>(as_i64(f[2]));
+            p.num_vec_regs = static_cast<int>(as_i64(f[3]));
+        } else if (is_field(f, "code")) {
+            for (std::size_t j = 1; j < f.size(); ++j) {
+                const Sexpr& node = f[j];
+                DIOS_CHECK(node.is_list() &&
+                               node.size() == 6 + kMaxVectorWidth,
+                           "cache entry: malformed instruction");
+                Instr instr;
+                instr.op = opcode_from_name(node[0].token());
+                instr.dst = static_cast<int>(as_i64(node[1]));
+                instr.a = static_cast<int>(as_i64(node[2]));
+                instr.b = static_cast<int>(as_i64(node[3]));
+                instr.imm = static_cast<int>(as_i64(node[4]));
+                instr.fimm = static_cast<float>(as_f64(node[5]));
+                for (int k = 0; k < kMaxVectorWidth; ++k) {
+                    instr.lanes[static_cast<std::size_t>(k)] =
+                        static_cast<std::int16_t>(
+                            as_i64(node[6 + static_cast<std::size_t>(k)]));
+                }
+                p.code.push_back(instr);
+            }
+        }
+    }
+    return p;
+}
+
+}  // namespace
+
+Sexpr
+entry_to_sexpr(const CachedEntry& entry)
+{
+    std::vector<Sexpr> pool;
+    pool.push_back(Sexpr::atom("pool"));
+    for (const float v : entry.pool) {
+        pool.push_back(f64_atom(static_cast<double>(v)));
+    }
+
+    return Sexpr::list(
+        {Sexpr::atom("dios-cache-entry"),
+         field("version", {u64_atom(entry.rule_set_version)}),
+         field("key", {hex_atom(entry.key.spec_hash),
+                       hex_atom(entry.key.options_hash)}),
+         field("kernel", {Sexpr::string_atom(entry.kernel_name)}),
+         field("width", {i64_atom(entry.vector_width)}),
+         field("time-limit", {f64_atom(entry.time_limit_seconds)}),
+         field("fallback-level", {i64_atom(entry.fallback_level)}),
+         report_to_sexpr(entry.report),
+         field("c-source", {Sexpr::string_atom(entry.c_source)}),
+         Sexpr::list(std::move(pool)), program_to_sexpr(entry.machine)});
+}
+
+CachedEntry
+entry_from_sexpr(const Sexpr& sexpr)
+{
+    DIOS_CHECK(sexpr.is_list() && sexpr.size() >= 1 &&
+                   sexpr[0].is_atom() &&
+                   sexpr[0].token() == "dios-cache-entry",
+               "not a dios-cache-entry s-expression");
+    CachedEntry entry;
+    bool saw_version = false;
+    for (std::size_t i = 1; i < sexpr.size(); ++i) {
+        const Sexpr& f = sexpr[i];
+        if (is_field(f, "version") && f.size() == 2) {
+            entry.rule_set_version =
+                static_cast<std::uint64_t>(as_i64(f[1]));
+            saw_version = true;
+        } else if (is_field(f, "key") && f.size() == 3) {
+            entry.key.spec_hash = as_hex(f[1]);
+            entry.key.options_hash = as_hex(f[2]);
+        } else if (is_field(f, "kernel") && f.size() == 2) {
+            entry.kernel_name = f[1].token();
+        } else if (is_field(f, "width") && f.size() == 2) {
+            entry.vector_width = static_cast<int>(as_i64(f[1]));
+        } else if (is_field(f, "time-limit") && f.size() == 2) {
+            entry.time_limit_seconds = as_f64(f[1]);
+        } else if (is_field(f, "fallback-level") && f.size() == 2) {
+            entry.fallback_level = static_cast<int>(as_i64(f[1]));
+        } else if (is_field(f, "report")) {
+            entry.report = report_from_sexpr(f);
+        } else if (is_field(f, "c-source") && f.size() == 2) {
+            entry.c_source = f[1].token();
+        } else if (is_field(f, "pool")) {
+            for (std::size_t j = 1; j < f.size(); ++j) {
+                entry.pool.push_back(static_cast<float>(as_f64(f[j])));
+            }
+        } else if (is_field(f, "machine")) {
+            entry.machine = program_from_sexpr(f);
+        }
+    }
+    DIOS_CHECK(saw_version, "cache entry: missing version field");
+    return entry;
+}
+
+CachedEntry
+make_entry(const CacheKey& key, const CompilerOptions& options,
+           const CompiledKernel& compiled)
+{
+    CachedEntry entry;
+    entry.key = key;
+    entry.kernel_name = compiled.kernel.name;
+    entry.vector_width = options.target.vector_width;
+    entry.time_limit_seconds = options.limits.time_limit_seconds;
+    entry.fallback_level = compiled.report.fallback_level;
+    entry.report = compiled.report;
+    entry.c_source = compiled.c_source;
+    entry.pool = compiled.layout.pool();
+    entry.machine = compiled.machine;
+    return entry;
+}
+
+CompiledKernel
+compiled_from_entry(const scalar::Kernel& kernel, const CachedEntry& entry)
+{
+    CompiledKernel ck;
+    ck.kernel = kernel;
+    ck.spec = scalar::lift(kernel);
+    auto [padded, slots] = pad_lifted_spec(ck.spec, entry.vector_width);
+    (void)slots;
+    ck.padded_spec = padded;
+    // The optimized term is not persisted (see serialize.h file header);
+    // alias the spec so printers never dereference a null term.
+    ck.extracted = padded;
+    ck.layout = vir::CompiledLayout::make(kernel, entry.vector_width);
+    ck.layout.set_pool(entry.pool);
+    ck.machine = entry.machine;
+    ck.c_source = entry.c_source;
+    ck.report = entry.report;
+    return ck;
+}
+
+}  // namespace diospyros::service

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * On-disk representation of a compiled kernel: the compile service's
+ * disk cache persists entries as s-expressions (support/sexpr.h), the
+ * same machinery the rest of the toolchain uses for specs and rules.
+ *
+ * An entry stores exactly what a warm process needs to *serve* the
+ * kernel without re-running saturation: the emitted machine program
+ * (instruction by instruction, floats as exact hexfloat atoms), the
+ * constant pool, the generated C source (quoted-string atom), and the
+ * original CompileReport. The optimized DSL term is deliberately NOT
+ * persisted: printed as a tree it can be exponentially larger than its
+ * DAG, and nothing downstream of emission needs it. When a kernel is
+ * reconstructed from disk, its `extracted` field aliases the (re-lifted)
+ * padded spec as a placeholder.
+ *
+ * Round-trip contract: serialize(deserialize(x)) == x byte-for-byte,
+ * and a deserialized program disassembles identically to the original —
+ * that is what makes warm-cache outputs byte-identical to cold ones.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "compiler/driver.h"
+#include "machine/program.h"
+#include "service/cache_key.h"
+#include "support/sexpr.h"
+
+namespace diospyros::service {
+
+/** One persisted compile result (see file header). */
+struct CachedEntry {
+    std::uint64_t rule_set_version = kRuleSetVersion;
+    CacheKey key;
+    std::string kernel_name;
+    int vector_width = 4;
+    /**
+     * Saturation wall-clock budget the entry was produced under. Not part
+     * of the key; the service consults it when deciding whether a
+     * time-bound entry may serve a request with a larger budget.
+     */
+    double time_limit_seconds = 0.0;
+    int fallback_level = 0;
+    CompileReport report;
+    std::string c_source;
+    std::vector<float> pool;
+    Program machine;
+};
+
+/** Serializes an entry to its s-expression form. */
+Sexpr entry_to_sexpr(const CachedEntry& entry);
+
+/** Parses an entry; raises UserError on malformed or mis-versioned input. */
+CachedEntry entry_from_sexpr(const Sexpr& sexpr);
+
+/** Builds the persistable entry for a finished resilient compile. */
+CachedEntry make_entry(const CacheKey& key, const CompilerOptions& options,
+                       const CompiledKernel& compiled);
+
+/**
+ * Reconstructs a servable CompiledKernel from a cached entry: re-lifts
+ * the (cheap) spec, rebuilds the memory layout, and installs the stored
+ * machine program, pool, C source, and report.
+ */
+CompiledKernel compiled_from_entry(const scalar::Kernel& kernel,
+                                   const CachedEntry& entry);
+
+}  // namespace diospyros::service

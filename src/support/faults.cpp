@@ -13,12 +13,21 @@ namespace detail {
 
 std::atomic<bool> g_enabled{false};
 
+/** One per-compile fault overlay (see ScopedFaults in the header). */
+struct FaultScope {
+    std::vector<FaultSpec> armed;
+    std::unordered_map<std::string, std::size_t> hits;
+    FaultScope* previous = nullptr;
+};
+
 namespace {
 
 struct Registry {
     std::mutex mutex;
     std::vector<FaultSpec> armed;
     std::unordered_map<std::string, std::size_t> hits;
+    /** Live ScopedFaults instances across all threads (for g_enabled). */
+    int local_scopes = 0;
 };
 
 Registry&
@@ -28,31 +37,90 @@ registry()
     return r;
 }
 
+/** Innermost active per-thread scope; null when none. */
+thread_local FaultScope* t_scope = nullptr;
+
+/** Does `hit` fall in `spec`'s firing window for `site`? */
+bool
+spec_fires(const FaultSpec& spec, const char* site, std::size_t hit)
+{
+    if (spec.site != site) {
+        return false;
+    }
+    const std::size_t first = static_cast<std::size_t>(spec.nth);
+    if (hit < first) {
+        return false;
+    }
+    return spec.count < 0 ||
+           hit < first + static_cast<std::size_t>(spec.count);
+}
+
 }  // namespace
 
 void
 on_site(const char* site)
 {
+    // Per-compile scopes first: their hit counters are private to this
+    // thread's scope chain, so concurrent compiles never see each
+    // other's faults or hit numbers.
+    for (FaultScope* scope = t_scope; scope != nullptr;
+         scope = scope->previous) {
+        const std::size_t hit = ++scope->hits[site];
+        for (const FaultSpec& spec : scope->armed) {
+            if (spec_fires(spec, site, hit)) {
+                throw InjectedFault(site, hit);
+            }
+        }
+    }
+
     Registry& r = registry();
     std::lock_guard<std::mutex> lock(r.mutex);
     const std::size_t hit = ++r.hits[site];
     for (const FaultSpec& spec : r.armed) {
-        if (spec.site != site) {
-            continue;
+        if (spec_fires(spec, site, hit)) {
+            throw InjectedFault(site, hit);
         }
-        const std::size_t first = static_cast<std::size_t>(spec.nth);
-        if (hit < first) {
-            continue;
-        }
-        if (spec.count >= 0 &&
-            hit >= first + static_cast<std::size_t>(spec.count)) {
-            continue;
-        }
-        throw InjectedFault(site, hit);
     }
 }
 
 }  // namespace detail
+
+ScopedFaults::ScopedFaults(std::vector<FaultSpec> specs)
+{
+    if (specs.empty()) {
+        return;
+    }
+    for (const FaultSpec& spec : specs) {
+        DIOS_CHECK(!spec.site.empty() && spec.nth >= 1 &&
+                       (spec.count >= 1 || spec.count == -1),
+                   "invalid fault spec for site '" + spec.site + "'");
+    }
+    scope_ = new detail::FaultScope;
+    scope_->armed = std::move(specs);
+    scope_->previous = detail::t_scope;
+    detail::t_scope = scope_;
+
+    auto& r = detail::registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    ++r.local_scopes;
+    detail::g_enabled.store(true, std::memory_order_relaxed);
+}
+
+ScopedFaults::~ScopedFaults()
+{
+    if (scope_ == nullptr) {
+        return;
+    }
+    detail::t_scope = scope_->previous;
+    delete scope_;
+
+    auto& r = detail::registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    --r.local_scopes;
+    if (r.local_scopes == 0 && r.armed.empty()) {
+        detail::g_enabled.store(false, std::memory_order_relaxed);
+    }
+}
 
 FaultSpec
 parse_spec(const std::string& text)
@@ -144,7 +212,8 @@ disarm_all()
     std::lock_guard<std::mutex> lock(r.mutex);
     r.armed.clear();
     r.hits.clear();
-    detail::g_enabled.store(false, std::memory_order_relaxed);
+    // Keep the fast path hot while per-compile scopes are still live.
+    detail::g_enabled.store(r.local_scopes > 0, std::memory_order_relaxed);
 }
 
 bool

@@ -19,10 +19,17 @@
  *     site:nth:count  fire on hits nth .. nth+count-1
  *     site:nth:*      fire on every hit from the nth on
  *
- * Hit counts are global across a process (not per compile), matching how
- * the tests drive one resilient compile per armed fault: the fault fires
- * on the ladder rung that reaches the site, and the retry rungs observe
- * later hit numbers.
+ * Two arming scopes:
+ *  - *Global* (`arm()`, `DIOS_FAULT`): process-wide registry, cumulative
+ *    hit counters, mutex-guarded. For CLI use and single-compile tests.
+ *  - *Per-compile* (`ScopedFaults`, used by the resilient driver for
+ *    `CompilerOptions::fault_specs`): a thread-local overlay with its own
+ *    hit counters starting at zero. Concurrent compiles in the service's
+ *    worker pool each observe only their own faults, and "nth hit" means
+ *    the nth hit of *this* compile — global history is irrelevant.
+ *
+ * Thread safety: the global registry is mutex-guarded; the disarmed fast
+ * path stays a single relaxed atomic load shared by both scopes.
  */
 #pragma once
 
@@ -66,6 +73,10 @@ struct FaultSpec {
  */
 FaultSpec parse_spec(const std::string& text);
 
+namespace detail {
+struct FaultScope;
+}
+
 /** Arms a fault. Hit counters for the site keep their current value. */
 void arm(const FaultSpec& spec);
 void arm(const std::string& site, int nth = 1, int count = 1);
@@ -91,6 +102,27 @@ std::size_t hit_count(const std::string& site);
  * never fires.
  */
 const std::vector<std::string>& known_sites();
+
+/**
+ * Per-compile fault scope: arms `specs` for the current thread only,
+ * with hit counters starting at zero, until destruction. Sites consult
+ * the innermost active scope on their thread first, then the global
+ * registry. The resilient driver wraps each compile's fault_specs in
+ * one of these so concurrent compiles cannot observe each other's
+ * faults or hit numbers.
+ */
+class ScopedFaults {
+  public:
+    /** An empty spec list is a no-op scope. */
+    explicit ScopedFaults(std::vector<FaultSpec> specs);
+    ~ScopedFaults();
+
+    ScopedFaults(const ScopedFaults&) = delete;
+    ScopedFaults& operator=(const ScopedFaults&) = delete;
+
+  private:
+    detail::FaultScope* scope_ = nullptr;  ///< null for the no-op case
+};
 
 namespace detail {
 

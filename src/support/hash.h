@@ -1,12 +1,24 @@
 /**
  * @file
- * Hash-combination helpers used by hash-consed IR nodes and e-nodes.
+ * Hash-combination helpers used by hash-consed IR nodes and e-nodes, plus
+ * the byte-stable streaming hasher behind content-addressed cache keys.
+ *
+ * Two families with different contracts:
+ *  - hash_combine/hash_range wrap std::hash: fast, but the result may vary
+ *    across standard libraries and runs — only for in-process tables.
+ *  - StableHasher is FNV-1a over an explicit byte encoding: the digest of
+ *    the same logical value is identical across runs, platforms, and
+ *    processes (no pointers, no std::hash, no interning ids), which is
+ *    what the compile service's cache keys and on-disk store require.
  */
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <functional>
+#include <string>
+#include <string_view>
 
 namespace diospyros {
 
@@ -31,6 +43,104 @@ hash_range(It first, It last, std::size_t seed = 0)
         hash_combine(seed, *first);
     }
     return seed;
+}
+
+/**
+ * Byte-stable 64-bit streaming hasher (FNV-1a).
+ *
+ * Every ingest method length-prefixes or fixed-width-encodes its payload,
+ * so distinct value sequences cannot collide by concatenation ("ab","c"
+ * vs "a","bc" digest differently). Doubles are ingested by IEEE-754 bit
+ * pattern (with -0.0 normalized to +0.0 so equal values hash equal).
+ */
+class StableHasher {
+  public:
+    /** Current digest. */
+    std::uint64_t digest() const { return state_; }
+
+    StableHasher&
+    bytes(const void* data, std::size_t len)
+    {
+        const auto* p = static_cast<const unsigned char*>(data);
+        for (std::size_t i = 0; i < len; ++i) {
+            state_ ^= p[i];
+            state_ *= kPrime;
+        }
+        return *this;
+    }
+
+    StableHasher&
+    u64(std::uint64_t v)
+    {
+        unsigned char buf[8];
+        for (int i = 0; i < 8; ++i) {
+            buf[i] = static_cast<unsigned char>(v >> (8 * i));
+        }
+        return bytes(buf, sizeof buf);
+    }
+
+    StableHasher&
+    i64(std::int64_t v)
+    {
+        return u64(static_cast<std::uint64_t>(v));
+    }
+
+    StableHasher&
+    boolean(bool v)
+    {
+        return u64(v ? 1 : 0);
+    }
+
+    StableHasher&
+    f64(double v)
+    {
+        if (v == 0.0) {
+            v = 0.0;  // normalize -0.0
+        }
+        std::uint64_t bits;
+        std::memcpy(&bits, &v, sizeof bits);
+        return u64(bits);
+    }
+
+    StableHasher&
+    str(std::string_view s)
+    {
+        u64(s.size());
+        return bytes(s.data(), s.size());
+    }
+
+    /** Labeled field separator; cheap structural tagging for encoders. */
+    StableHasher&
+    tag(std::string_view label)
+    {
+        return str(label);
+    }
+
+  private:
+    static constexpr std::uint64_t kOffsetBasis = 0xcbf29ce484222325ULL;
+    static constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+
+    std::uint64_t state_ = kOffsetBasis;
+};
+
+/** One-shot stable hash of a string. */
+inline std::uint64_t
+stable_hash_string(std::string_view s)
+{
+    return StableHasher().str(s).digest();
+}
+
+/** Renders a 64-bit hash as fixed-width lowercase hex (cache filenames). */
+inline std::string
+hash_hex(std::uint64_t h)
+{
+    static const char* digits = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<std::size_t>(i)] = digits[h & 0xf];
+        h >>= 4;
+    }
+    return out;
 }
 
 }  // namespace diospyros

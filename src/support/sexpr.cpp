@@ -19,6 +19,15 @@ Sexpr::atom(std::string token)
 }
 
 Sexpr
+Sexpr::string_atom(std::string text)
+{
+    Sexpr s;
+    s.is_atom_ = true;
+    s.token_ = std::move(text);
+    return s;
+}
+
+Sexpr
 Sexpr::list(std::vector<Sexpr> children)
 {
     Sexpr s;
@@ -106,11 +115,63 @@ Sexpr::to_string() const
     return out;
 }
 
+namespace {
+
+/** True when a token must be serialized as a quoted string. */
+bool
+needs_quoting(const std::string& token)
+{
+    if (token.empty()) {
+        return true;
+    }
+    for (const char c : token) {
+        if (std::isspace(static_cast<unsigned char>(c)) || c == '(' ||
+            c == ')' || c == ';' || c == '"' || c == '\\') {
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+write_quoted(std::string& out, const std::string& token)
+{
+    out += '"';
+    for (const char c : token) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            out += c;
+        }
+    }
+    out += '"';
+}
+
+}  // namespace
+
 void
 Sexpr::write(std::string& out) const
 {
     if (is_atom_) {
-        out += token_;
+        if (needs_quoting(token_)) {
+            write_quoted(out, token_);
+        } else {
+            out += token_;
+        }
         return;
     }
     out += '(';
@@ -178,6 +239,9 @@ class Parser {
             return parse_list();
         }
         DIOS_CHECK(peek() != ')', "unexpected ')' in s-expression");
+        if (peek() == '"') {
+            return parse_string();
+        }
         return parse_atom();
     }
 
@@ -217,6 +281,43 @@ class Parser {
                 return Sexpr::list(std::move(children));
             }
             children.push_back(parse_one());
+        }
+    }
+
+    Sexpr
+    parse_string()
+    {
+        ++pos_;  // consume opening '"'
+        std::string text;
+        while (true) {
+            DIOS_CHECK(!at_end(), "unterminated string in s-expression");
+            const char c = peek();
+            ++pos_;
+            if (c == '"') {
+                return Sexpr::string_atom(std::move(text));
+            }
+            if (c != '\\') {
+                text += c;
+                continue;
+            }
+            DIOS_CHECK(!at_end(),
+                       "dangling escape at end of s-expression string");
+            const char esc = peek();
+            ++pos_;
+            switch (esc) {
+              case 'n':
+                text += '\n';
+                break;
+              case 't':
+                text += '\t';
+                break;
+              case 'r':
+                text += '\r';
+                break;
+              default:
+                // Covers \" and \\; any other escaped char is literal.
+                text += esc;
+            }
         }
     }
 

@@ -21,6 +21,15 @@ class Sexpr {
     /** Makes an atom node holding the given token text. */
     static Sexpr atom(std::string token);
 
+    /**
+     * Makes an atom holding arbitrary text (may be empty or contain
+     * whitespace, parens, quotes...). Serialized as a double-quoted
+     * string with escapes; parses back to an atom with identical
+     * token(). Used by the on-disk compile cache to embed generated C
+     * source and error messages.
+     */
+    static Sexpr string_atom(std::string text);
+
     /** Makes a list node with the given children. */
     static Sexpr list(std::vector<Sexpr> children);
 

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "machine/program.h"
@@ -49,6 +50,17 @@ class CompiledLayout {
 
     /** Appends `values` to the constant pool; returns its address. */
     int add_pool_constant(const std::vector<float>& values);
+
+    /** The constant pool contents (serialized by the compile cache). */
+    const std::vector<float>& pool() const { return pool_; }
+
+    /**
+     * Replaces the constant pool wholesale — used when reconstructing a
+     * compiled kernel from the on-disk cache, where the machine program
+     * already references pool addresses laid out by the original
+     * emission.
+     */
+    void set_pool(std::vector<float> pool) { pool_ = std::move(pool); }
 
     /**
      * Builds a simulator Memory: arrays (inputs initialized, zero-padded)

@@ -2,14 +2,19 @@
 # Sanitizer gate: build the whole tree (library, tools, tests, benches)
 # under ASan + UBSan and run the full test suite, including
 # fuzz_compiler_test and resilience_test, with sanitizer reports
-# promoted to hard failures. Run from anywhere; ~5-10 minutes.
+# promoted to hard failures. Then build the concurrency-sensitive
+# subset (the compile service and the fault registry it leans on)
+# under ThreadSanitizer and run service_test + resilience_test, so
+# data races in the worker pool fail the gate too.
+# Run from anywhere; ~5-10 minutes.
 #
-#   tools/check.sh            # ASan+UBSan build + full ctest
-#   tools/check.sh --fast     # reuse an existing build-asan without reconfigure
+#   tools/check.sh            # ASan+UBSan + TSan gates
+#   tools/check.sh --fast     # reuse existing build dirs without reconfigure
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 build="$repo/build-asan"
+build_tsan="$repo/build-tsan"
 jobs="$(nproc 2>/dev/null || echo 4)"
 
 if [[ "${1:-}" != "--fast" || ! -d "$build" ]]; then
@@ -22,3 +27,15 @@ export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
 ctest --test-dir "$build" --output-on-failure -j "$jobs"
 
 echo "check.sh: all tests passed under ASan+UBSan"
+
+# ASan and TSan cannot share a build; the threaded tests get their own.
+if [[ "${1:-}" != "--fast" || ! -d "$build_tsan" ]]; then
+    cmake --preset tsan -S "$repo"
+fi
+cmake --build "$build_tsan" -j "$jobs" --target service_test resilience_test
+
+export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
+ctest --test-dir "$build_tsan" --output-on-failure \
+      -R '^(service_test|resilience_test)$'
+
+echo "check.sh: service + resilience tests passed under TSan"

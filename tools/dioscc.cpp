@@ -33,15 +33,29 @@
  *   --json          print the compile report as a JSON object
  *   --run           run on random inputs and compare with the baselines
  *   --seed N        RNG seed for --run (default 1)
+ *
+ * Batch mode (the compile service):
+ *   --batch FILE    compile every kernel listed in FILE (one path per
+ *                   line; blank lines and '#' comments skipped) through
+ *                   the concurrent compile service. With --json, prints
+ *                   ONE JSON array with a per-kernel report. The exit
+ *                   code is non-zero only for user errors (bad manifest,
+ *                   unparsable kernel, invalid options) — degraded or
+ *                   failed compiles are reported in-band.
+ *   --jobs N        worker threads for --batch (default 1)
+ *   --cache-dir D   persistent compile cache directory (also honoured in
+ *                   single-kernel mode: a warm run is served from cache)
  */
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include <fstream>
 
 #include "compiler/driver.h"
+#include "service/compile_service.h"
 #include "egraph/runner.h"
 #include "rules/rules.h"
 #include "scalar/lower.h"
@@ -65,6 +79,9 @@ struct CliOptions {
     bool strict = false;
     std::string dot_path;
     std::uint64_t seed = 1;
+    int jobs = 1;
+    std::string cache_dir;
+    std::string batch_path;
 };
 
 [[noreturn]] void
@@ -76,7 +93,7 @@ usage(const char* argv0)
                  "[--no-vector] [--ac] [--recip] [--validate] [--strict] "
                  "[--fault SPEC] [--list-faults] [--emit-c] [--emit-asm] "
                  "[--emit-spec] [--emit-dot FILE] [--json] [--run] "
-                 "[--seed N]\n",
+                 "[--seed N] [--batch FILE] [--jobs N] [--cache-dir D]\n",
                  argv0);
     std::exit(2);
 }
@@ -148,6 +165,13 @@ parse_cli(int argc, char** argv)
             cli.dot_path = next_arg(i);
         } else if (arg == "--run") {
             cli.run = true;
+        } else if (arg == "--jobs") {
+            cli.jobs = static_cast<int>(
+                require_positive_integer(arg, next_arg(i)));
+        } else if (arg == "--cache-dir") {
+            cli.cache_dir = next_arg(i);
+        } else if (arg == "--batch") {
+            cli.batch_path = next_arg(i);
         } else if (arg == "--seed") {
             cli.seed = static_cast<std::uint64_t>(
                 require_nonnegative_integer(arg, next_arg(i)));
@@ -159,7 +183,7 @@ parse_cli(int argc, char** argv)
             usage(argv[0]);
         }
     }
-    if (cli.path.empty()) {
+    if (cli.path.empty() && cli.batch_path.empty()) {
         usage(argv[0]);
     }
     return cli;
@@ -215,18 +239,24 @@ json_escape(const std::string& s)
     return out;
 }
 
+/**
+ * One per-kernel report object (no trailing newline): the single-kernel
+ * --json payload, and one element of the --batch --json array.
+ */
 void
-print_json(const std::string& kernel_name, const CompileReport& r)
+print_json_object(const std::string& kernel_name, const CompileReport& r,
+                  const char* cache)
 {
     std::printf(
-        "{\"kernel\":\"%s\",\"total_seconds\":%.6f,"
+        "{\"kernel\":\"%s\",\"ok\":true,\"cache\":\"%s\","
+        "\"total_seconds\":%.6f,"
         "\"saturation_seconds\":%.6f,\"egraph_nodes\":%zu,"
         "\"egraph_classes\":%zu,\"iterations\":%zu,"
         "\"stop\":\"%s\",\"extracted_cost\":%.2f,"
         "\"spec_elements\":%zu,\"memory_proxy_bytes\":%zu,"
         "\"lvn_removed\":%zu,\"fallback_level\":%d,"
         "\"fallback\":\"%s\",\"error\":\"%s\",\"attempts\":[",
-        json_escape(kernel_name).c_str(), r.total_seconds,
+        json_escape(kernel_name).c_str(), cache, r.total_seconds,
         r.saturation_seconds, r.egraph_nodes, r.egraph_classes,
         r.runner_iterations, stop_reason_name(r.stop_reason),
         r.extracted_cost, r.spec_elements, r.memory_proxy_bytes,
@@ -241,7 +271,131 @@ print_json(const std::string& kernel_name, const CompileReport& r)
                     fallback_level_name(a.level), a.seconds,
                     json_escape(a.error).c_str());
     }
-    std::printf("]}\n");
+    std::printf("]}");
+}
+
+/** Report object for a kernel that produced no result at all. */
+void
+print_json_failure(const std::string& kernel_name, const std::string& error,
+                   bool user_error, const char* cache)
+{
+    std::printf("{\"kernel\":\"%s\",\"ok\":false,\"cache\":\"%s\","
+                "\"user_error\":%s,\"fallback_level\":-1,\"error\":\"%s\"}",
+                json_escape(kernel_name).c_str(), cache,
+                user_error ? "true" : "false", json_escape(error).c_str());
+}
+
+/** Reads a --batch manifest: one kernel path per line, '#' comments. */
+std::vector<std::string>
+read_manifest(const std::string& path)
+{
+    std::ifstream in(path);
+    DIOS_CHECK(in.good(), "cannot open batch manifest '" + path + "'");
+    std::vector<std::string> out;
+    std::string line;
+    while (std::getline(in, line)) {
+        const auto begin = line.find_first_not_of(" \t\r");
+        if (begin == std::string::npos || line[begin] == '#') {
+            continue;
+        }
+        const auto end = line.find_last_not_of(" \t\r");
+        out.push_back(line.substr(begin, end - begin + 1));
+    }
+    DIOS_CHECK(!out.empty(),
+               "batch manifest '" + path + "' lists no kernels");
+    return out;
+}
+
+/**
+ * --batch driver: every manifest kernel through one CompileService.
+ * Returns non-zero only when some kernel failed with a *user* error.
+ */
+int
+run_batch(const CliOptions& cli)
+{
+    DIOS_CHECK(!cli.strict && !cli.run && !cli.emit_c && !cli.emit_asm &&
+                   !cli.emit_spec && cli.dot_path.empty() &&
+                   cli.path.empty(),
+               "--batch combines only with --json, --jobs, --cache-dir, "
+               "and compiler options");
+
+    std::FILE* info = cli.json ? stderr : stdout;
+    const std::vector<std::string> paths = read_manifest(cli.batch_path);
+
+    service::CompileService::Options sopts;
+    sopts.jobs = cli.jobs;
+    sopts.cache_dir = cli.cache_dir;
+    sopts.queue_capacity = paths.size() + 1;  // submit never blocks here
+    service::CompileService svc(sopts);
+
+    struct Item {
+        std::string path;
+        std::string name;
+        service::Ticket ticket;
+        bool submitted = false;
+        std::string parse_error;
+    };
+    std::vector<Item> items;
+    items.reserve(paths.size());
+    for (const std::string& path : paths) {
+        Item item;
+        item.path = path;
+        try {
+            const scalar::Kernel kernel = scalar::parse_kernel_file(path);
+            item.name = kernel.name;
+            item.ticket = svc.submit(kernel, cli.compiler);
+            item.submitted = true;
+        } catch (const UserError& e) {
+            item.name = path;
+            item.parse_error = e.what();
+        }
+        items.push_back(std::move(item));
+    }
+
+    bool any_user_error = false;
+    if (cli.json) {
+        std::printf("[");
+    }
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        Item& item = items[i];
+        if (cli.json && i > 0) {
+            std::printf(",");
+        }
+        if (!item.submitted) {
+            any_user_error = true;
+            std::fprintf(stderr, "dioscc: error: %s: %s\n",
+                         item.path.c_str(), item.parse_error.c_str());
+            if (cli.json) {
+                print_json_failure(item.name, item.parse_error,
+                                   /*user_error=*/true, "none");
+            }
+            continue;
+        }
+        const CompileResult& result = item.ticket.get();
+        const char* cache =
+            service::cache_outcome_json_name(item.ticket.outcome());
+        if (result.ok) {
+            std::fprintf(info, "; [%s] %s\n", cache,
+                         report_row(item.name, result.report()).c_str());
+            if (cli.json) {
+                print_json_object(item.name, result.report(), cache);
+            }
+        } else {
+            any_user_error = any_user_error || result.user_error;
+            std::fprintf(stderr, "dioscc: error: %s: %s\n",
+                         item.name.c_str(), result.error.c_str());
+            if (cli.json) {
+                print_json_failure(item.name, result.error,
+                                   result.user_error, cache);
+            }
+        }
+    }
+    if (cli.json) {
+        std::printf("]\n");
+    }
+    std::fprintf(info, "; service metrics: %s\n",
+                 svc.metrics().to_json().c_str());
+    return any_user_error ? 2 : 0;
 }
 
 }  // namespace
@@ -251,6 +405,9 @@ main(int argc, char** argv)
 try {
     CliOptions cli = parse_cli(argc, argv);
     faults::arm_from_env();
+    if (!cli.batch_path.empty()) {
+        return run_batch(cli);
+    }
     const scalar::Kernel kernel = scalar::parse_kernel_file(cli.path);
 
     // With --json, stdout must stay machine-parseable: route the ';'
@@ -261,6 +418,7 @@ try {
                  cli.path.c_str());
 
     CompiledKernel compiled;
+    const char* cache = "none";
     if (cli.strict) {
         // The resilient driver arms --fault specs itself; the strict
         // path must arm them here or they would be silently ignored.
@@ -268,6 +426,30 @@ try {
             faults::arm(faults::parse_spec(spec));
         }
         compiled = compile_kernel(kernel, cli.compiler);
+    } else if (!cli.cache_dir.empty()) {
+        // Route through the compile service so a warm --cache-dir run is
+        // served from the persistent cache instead of re-saturating.
+        service::CompileService::Options sopts;
+        sopts.jobs = cli.jobs;
+        sopts.cache_dir = cli.cache_dir;
+        service::CompileService svc(sopts);
+        service::Ticket ticket = svc.submit(kernel, cli.compiler);
+        const CompileResult& result = ticket.get();
+        cache = service::cache_outcome_json_name(ticket.outcome());
+        if (!result.ok) {
+            std::fprintf(stderr, "dioscc: error: %s\n",
+                         result.error.c_str());
+            return result.user_error ? 2 : 1;
+        }
+        if (result.fallback_level > 0) {
+            std::fprintf(info, "; DEGRADED to rung %d (%s) after: %s\n",
+                         result.fallback_level,
+                         fallback_level_name(result.fallback_level),
+                         result.compiled->report.error.c_str());
+        }
+        std::fprintf(info, "; compile cache: %s\n",
+                     service::cache_outcome_name(ticket.outcome()));
+        compiled = *result.compiled;
     } else {
         CompileResult result =
             compile_kernel_resilient(kernel, cli.compiler);
@@ -295,7 +477,8 @@ try {
     std::fprintf(info, "; %s\n",
                  report_row(kernel.name, compiled.report).c_str());
     if (cli.json) {
-        print_json(kernel.name, compiled.report);
+        print_json_object(kernel.name, compiled.report, cache);
+        std::printf("\n");
     }
     if (cli.compiler.validate) {
         std::fprintf(info,
