@@ -1,0 +1,41 @@
+/**
+ * @file
+ * E-graph auditor: post-saturation structural audit plus extraction
+ * checks, reporting through the diagnostics engine instead of asserting
+ * (EGraph::check_invariants remains the hard-stop variant for tests).
+ *
+ * Structure (audit_egraph):
+ *   E101  class table key is not a canonical union-find id
+ *   E102  e-node child refers to a class that does not exist
+ *   E103  canonical e-node missing from the hashcons
+ *   E104  hashcons maps an e-node to the wrong class
+ *   E105  congruence violation: identical canonical node in two classes
+ *   E106  audit ran on a dirty graph (pending rebuild)
+ *
+ * Extraction (audit_extraction):
+ *   E201  cost model is not strictly monotonic (node cost <= 0)
+ *   E202  chosen class cost exceeds an e-node alternative's total cost
+ *   E203  extraction choices form a cycle
+ *   E204  class cost is not achieved by any e-node in the class
+ */
+#pragma once
+
+#include "analysis/diagnostics.h"
+#include "egraph/egraph.h"
+#include "egraph/extract.h"
+
+namespace diospyros::analysis {
+
+/** Audits union-find/hashcons/congruence. True when no errors added. */
+bool audit_egraph(const EGraph& graph, DiagEngine& diags);
+
+/**
+ * Audits the cost model over the graph (E201) and, when an extractor
+ * that ran on this graph is supplied, the optimality (E202, E204) and
+ * acyclicity (E203) of its choices. True when no errors added.
+ */
+bool audit_extraction(const EGraph& graph, const CostModel& cost,
+                      DiagEngine& diags,
+                      const Extractor* extractor = nullptr);
+
+}  // namespace diospyros::analysis

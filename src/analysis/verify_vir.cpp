@@ -1,0 +1,291 @@
+#include "analysis/verify_vir.h"
+
+#include <sstream>
+
+#include "scalar/interp.h"
+
+namespace diospyros::analysis {
+
+namespace {
+
+constexpr const char* kPass = "vir-verify";
+
+std::string
+describe(const vir::VInstr& instr)
+{
+    return vir::to_string(instr);
+}
+
+}  // namespace
+
+ArrayExtents
+padded_extents(const scalar::Kernel& kernel, int width)
+{
+    ArrayExtents out;
+    const std::int64_t w = width < 1 ? 1 : width;
+    for (const scalar::ArrayDecl& decl : kernel.arrays) {
+        const std::int64_t len = scalar::array_length(kernel, decl);
+        out[decl.name.str()] = (len + w - 1) / w * w;
+    }
+    return out;
+}
+
+std::vector<StoreSig>
+store_signature(const vir::VProgram& program)
+{
+    std::vector<StoreSig> out;
+    for (const vir::VInstr& i : program.instrs) {
+        if (i.op == vir::VOp::kVStore || i.op == vir::VOp::kSStore) {
+            out.push_back(StoreSig{i.op == vir::VOp::kVStore,
+                                   i.array.valid() ? i.array.str() : "",
+                                   i.offset});
+        }
+    }
+    return out;
+}
+
+bool
+verify_vprogram(const vir::VProgram& program, DiagEngine& diags,
+                const ArrayExtents& extents)
+{
+    const std::size_t errors_before = diags.error_count();
+    const int width = program.vector_width;
+    if (width < 1) {
+        diags.error(kPass, "V010",
+                    "vector_width must be >= 1, got " +
+                        std::to_string(width));
+        return false;
+    }
+    if (program.num_scalar_values < 0 || program.num_vector_values < 0) {
+        diags.error(kPass, "V010", "negative value-id range");
+        return false;
+    }
+
+    std::vector<bool> def_s(
+        static_cast<std::size_t>(program.num_scalar_values), false);
+    std::vector<bool> def_v(
+        static_cast<std::size_t>(program.num_vector_values), false);
+
+    for (std::size_t raw_idx = 0; raw_idx < program.instrs.size();
+         ++raw_idx) {
+        const int idx = static_cast<int>(raw_idx);
+        const vir::VInstr& i = program.instrs[raw_idx];
+        const bool is_store =
+            i.op == vir::VOp::kVStore || i.op == vir::VOp::kSStore;
+        const bool is_memory =
+            is_store || i.op == vir::VOp::kSLoad || i.op == vir::VOp::kVLoadA;
+        const bool is_vector_memory =
+            i.op == vir::VOp::kVLoadA || i.op == vir::VOp::kVStore;
+
+        // --- Operand uses: range, SSA, and kind agreement. ---------------
+        vir::vinstr_for_each_use(i, [&](int id, bool is_vec) {
+            const std::vector<bool>& def = is_vec ? def_v : def_s;
+            const std::vector<bool>& other_def = is_vec ? def_s : def_v;
+            const int limit = is_vec ? program.num_vector_values
+                                     : program.num_scalar_values;
+            const int other_limit = is_vec ? program.num_scalar_values
+                                           : program.num_vector_values;
+            const char* kind = is_vec ? "vector" : "scalar";
+            if (id >= 0 && id < limit &&
+                def[static_cast<std::size_t>(id)]) {
+                return;  // well-formed use
+            }
+            if (id >= 0 && id < other_limit &&
+                other_def[static_cast<std::size_t>(id)]) {
+                diags.error(kPass, "V008",
+                            std::string(kind) + " operand " +
+                                std::to_string(id) +
+                                " is only live in the " +
+                                (is_vec ? "scalar" : "vector") +
+                                " value space: " + describe(i),
+                            idx);
+                return;
+            }
+            if (id < 0 || id >= limit) {
+                diags.error(kPass, "V002",
+                            std::string(kind) + " operand id " +
+                                std::to_string(id) + " out of range [0, " +
+                                std::to_string(limit) +
+                                "): " + describe(i),
+                            idx);
+                return;
+            }
+            diags.error(kPass, "V001",
+                        std::string(kind) + " operand " +
+                            std::to_string(id) +
+                            " used before definition: " + describe(i),
+                        idx);
+        });
+
+        // --- Immediates and payloads. ------------------------------------
+        switch (i.op) {
+          case vir::VOp::kShuffle:
+          case vir::VOp::kSelect: {
+            const int bound =
+                i.op == vir::VOp::kSelect ? 2 * width : width;
+            if (static_cast<int>(i.lanes.size()) != width) {
+                diags.error(kPass, "V004",
+                            "lane table has " +
+                                std::to_string(i.lanes.size()) +
+                                " entries, expected " +
+                                std::to_string(width) + ": " + describe(i),
+                            idx);
+            }
+            for (const int l : i.lanes) {
+                if (l < 0 || l >= bound) {
+                    diags.error(kPass, "V004",
+                                "lane index " + std::to_string(l) +
+                                    " out of range [0, " +
+                                    std::to_string(bound) +
+                                    "): " + describe(i),
+                                idx);
+                }
+            }
+            break;
+          }
+          case vir::VOp::kInsert:
+          case vir::VOp::kSExtract:
+            if (i.lane < 0 || i.lane >= width) {
+                diags.error(kPass, "V005",
+                            "lane immediate " + std::to_string(i.lane) +
+                                " out of range [0, " +
+                                std::to_string(width) +
+                                "): " + describe(i),
+                            idx);
+            }
+            break;
+          case vir::VOp::kSConst:
+            if (i.values.size() != 1) {
+                diags.error(kPass, "V010",
+                            "kSConst carries " +
+                                std::to_string(i.values.size()) +
+                                " literal values, expected 1",
+                            idx);
+            }
+            break;
+          case vir::VOp::kVConst:
+            if (static_cast<int>(i.values.size()) != width) {
+                diags.error(kPass, "V010",
+                            "kVConst carries " +
+                                std::to_string(i.values.size()) +
+                                " literal lanes, expected " +
+                                std::to_string(width),
+                            idx);
+            }
+            break;
+          default:
+            break;
+        }
+
+        // --- Memory operands. --------------------------------------------
+        if (is_memory) {
+            if (!i.array.valid()) {
+                diags.error(kPass, "V010",
+                            "memory op without an array symbol: " +
+                                describe(i),
+                            idx);
+            } else {
+                if (i.offset < 0) {
+                    diags.error(kPass, "V006",
+                                "negative memory offset: " + describe(i),
+                                idx);
+                }
+                if (is_vector_memory && i.offset % width != 0) {
+                    diags.error(kPass, "V011",
+                                "vector access not aligned to width " +
+                                    std::to_string(width) + ": " +
+                                    describe(i),
+                                idx);
+                }
+                if (!extents.empty() && i.offset >= 0) {
+                    const auto it = extents.find(i.array.str());
+                    if (it == extents.end()) {
+                        diags.error(kPass, "V007",
+                                    "access to undeclared array '" +
+                                        i.array.str() +
+                                        "': " + describe(i),
+                                    idx);
+                    } else {
+                        const std::int64_t last =
+                            i.offset + (is_vector_memory ? width : 1);
+                        if (last > it->second) {
+                            diags.error(
+                                kPass, "V007",
+                                "access past extent of '" +
+                                    i.array.str() + "' (" +
+                                    std::to_string(it->second) +
+                                    " elements): " + describe(i),
+                                idx);
+                        }
+                    }
+                }
+            }
+        }
+
+        // --- Destination. -------------------------------------------------
+        if (is_store) {
+            if (i.dst != -1) {
+                diags.error(kPass, "V010",
+                            "store carries a destination id: " +
+                                describe(i),
+                            idx);
+            }
+            continue;
+        }
+        const bool writes_vec = vir::vop_writes_vector(i.op);
+        std::vector<bool>& def = writes_vec ? def_v : def_s;
+        const int limit = writes_vec ? program.num_vector_values
+                                     : program.num_scalar_values;
+        if (i.dst < 0 || i.dst >= limit) {
+            diags.error(kPass, "V002",
+                        "dst id " + std::to_string(i.dst) +
+                            " out of range [0, " + std::to_string(limit) +
+                            "): " + describe(i),
+                        idx);
+            continue;
+        }
+        if (def[static_cast<std::size_t>(i.dst)]) {
+            diags.error(kPass, "V003",
+                        "SSA violation: dst " + std::to_string(i.dst) +
+                            " redefined: " + describe(i),
+                        idx);
+        }
+        def[static_cast<std::size_t>(i.dst)] = true;
+    }
+    return diags.error_count() == errors_before;
+}
+
+bool
+check_store_order(const std::vector<StoreSig>& before,
+                  const vir::VProgram& after, DiagEngine& diags)
+{
+    const std::vector<StoreSig> now = store_signature(after);
+    if (now == before) {
+        return true;
+    }
+    std::ostringstream msg;
+    msg << "store sequence changed across LVN: " << before.size()
+        << " stores before, " << now.size() << " after";
+    for (std::size_t i = 0; i < before.size() && i < now.size(); ++i) {
+        if (!(before[i] == now[i])) {
+            msg << "; first divergence at store " << i << " ("
+                << before[i].array << "[" << before[i].offset << "] vs "
+                << now[i].array << "[" << now[i].offset << "])";
+            break;
+        }
+    }
+    diags.error(kPass, "V009", msg.str());
+    return false;
+}
+
+DiagEngine
+verify_compiled_kernel(const scalar::Kernel& kernel,
+                       const vir::VProgram& program)
+{
+    DiagEngine diags;
+    verify_vprogram(program, diags,
+                    padded_extents(kernel, program.vector_width));
+    return diags;
+}
+
+}  // namespace diospyros::analysis

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * VIR verifier: static well-formedness checks over VProgram.
+ *
+ * Runs after lowering and again after LVN (compiler/driver.cpp), and in
+ * the compile service before a result may enter the caches. The checks
+ * and their diagnostic codes:
+ *
+ *   V001  operand used before definition (SSA)
+ *   V002  value id outside [0, num_scalar_values / num_vector_values)
+ *   V003  SSA violation: destination redefined
+ *   V004  shuffle/select lane table wrong size or index out of bounds
+ *         (select indexes the 2×width concatenation)
+ *   V005  insert/extract lane immediate out of [0, width)
+ *   V006  negative memory offset
+ *   V007  access past the declared (padded) array extent, or an array
+ *         the kernel never declared
+ *   V008  operand kind mismatch: the id is live in the *other* value
+ *         space (scalar vs vector) but not the one the opcode reads
+ *   V009  store order not preserved (LVN must keep stores in sequence)
+ *   V010  malformed payload (literal count, missing array symbol,
+ *         store with a destination id)
+ *   V011  unaligned vector memory access (offset % width != 0)
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.h"
+#include "scalar/ast.h"
+#include "vir/vir.h"
+
+namespace diospyros::analysis {
+
+/** Array name -> element extent, for the memory-bounds checks. */
+using ArrayExtents = std::map<std::string, std::int64_t>;
+
+/**
+ * Extents of every kernel array, each rounded up to a multiple of the
+ * vector width — the layout emit.h actually allocates.
+ */
+ArrayExtents padded_extents(const scalar::Kernel& kernel, int width);
+
+/** One store, in program order (the sequence LVN must preserve). */
+struct StoreSig {
+    bool vector = false;
+    std::string array;
+    std::int64_t offset = 0;
+
+    bool
+    operator==(const StoreSig& o) const
+    {
+        return vector == o.vector && array == o.array && offset == o.offset;
+    }
+};
+
+/** The program's stores in order. */
+std::vector<StoreSig> store_signature(const vir::VProgram& program);
+
+/**
+ * Runs every per-instruction check (V001–V008, V010, V011) over the
+ * program. Memory-bounds checks (V007) only run when `extents` is
+ * non-empty. Returns true when no errors were added.
+ */
+bool verify_vprogram(const vir::VProgram& program, DiagEngine& diags,
+                     const ArrayExtents& extents = {});
+
+/**
+ * Diags V009 unless `after`'s store sequence equals `before` (captured
+ * via store_signature() before LVN ran). Returns true when preserved.
+ */
+bool check_store_order(const std::vector<StoreSig>& before,
+                       const vir::VProgram& after, DiagEngine& diags);
+
+/**
+ * Convenience gate used by the driver, service, and fuzzer: verifies a
+ * compiled kernel's VProgram against the kernel's padded array extents.
+ */
+DiagEngine verify_compiled_kernel(const scalar::Kernel& kernel,
+                                  const vir::VProgram& program);
+
+/**
+ * True in debug and sanitizer builds, where the pipeline gates run
+ * unconditionally; release builds opt in via CompilerOptions::verify_ir
+ * (dioscc --verify-ir).
+ */
+constexpr bool
+verify_ir_default()
+{
+#if !defined(NDEBUG) || defined(__SANITIZE_ADDRESS__) || \
+    defined(__SANITIZE_THREAD__)
+    return true;
+#else
+  #if defined(__has_feature)
+    #if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+    return true;
+    #else
+    return false;
+    #endif
+  #else
+    return false;
+  #endif
+#endif
+}
+
+}  // namespace diospyros::analysis

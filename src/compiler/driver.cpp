@@ -4,6 +4,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "analysis/audit_egraph.h"
+#include "analysis/verify_vir.h"
 #include "egraph/extract.h"
 #include "support/error.h"
 #include "support/faults.h"
@@ -44,6 +46,38 @@ pad_lifted_spec(const scalar::LiftedSpec& spec, int width)
 
 namespace {
 
+/** Whether this compile runs the static-analysis gates. */
+bool
+gates_enabled(const CompilerOptions& options)
+{
+    return options.verify_ir || analysis::verify_ir_default();
+}
+
+/** VIR verifier gate: raises InternalError with the rendered findings. */
+void
+verify_vir_or_throw(const scalar::Kernel& kernel,
+                    const vir::VProgram& program, const char* phase)
+{
+    const analysis::DiagEngine diags =
+        analysis::verify_compiled_kernel(kernel, program);
+    DIOS_ASSERT(!diags.has_errors(),
+                std::string("VIR verifier rejected the program after ") +
+                    phase + ":\n" + diags.render_text());
+}
+
+/** E-graph audit gate (structure, and extraction when one is given). */
+void
+audit_egraph_or_throw(const EGraph& graph, const CostModel& cost,
+                      const Extractor* extractor, const char* phase)
+{
+    analysis::DiagEngine diags;
+    analysis::audit_egraph(graph, diags);
+    analysis::audit_extraction(graph, cost, diags, extractor);
+    DIOS_ASSERT(!diags.has_errors(),
+                std::string("e-graph audit failed after ") + phase +
+                    ":\n" + diags.render_text());
+}
+
 /** The full pipeline, sharing the caller's compile-wide deadline. */
 CompiledKernel
 compile_with_deadline(const scalar::Kernel& kernel, CompilerOptions options,
@@ -82,24 +116,48 @@ compile_with_deadline(const scalar::Kernel& kernel, CompilerOptions options,
     out.report.egraph_nodes = graph.num_nodes();
     out.report.egraph_classes = graph.num_classes();
     out.report.memory_proxy_bytes = graph.memory_proxy_bytes();
+    const bool gates = gates_enabled(options);
 
     // Phase 3: extraction (checks the deadline per relaxation pass).
     phase.reset();
     deadline.check("extraction");
     const DiosCostModel cost(options.cost, width);
+    if (gates) {
+        audit_egraph_or_throw(graph, cost, nullptr, "saturation");
+    }
     const Extractor extractor(graph, cost, deadline);
     Extraction best = extractor.extract(graph.find(root));
     out.extracted = best.term;
     out.report.extracted_cost = best.cost;
     out.report.extract_seconds = phase.elapsed_seconds();
+    if (gates) {
+        audit_egraph_or_throw(graph, cost, &extractor, "extraction");
+    }
 
     // Phase 4: backend — lower, LVN, instruction selection, C source.
     phase.reset();
     deadline.check("lowering");
     out.vprogram = vir::lower_term(out.extracted, width, slots,
                                    options.target.has_scalar_mac);
+    if (gates) {
+        verify_vir_or_throw(kernel, out.vprogram, "lowering");
+    }
     deadline.check("lvn");
+    std::vector<analysis::StoreSig> stores_before;
+    if (gates) {
+        stores_before = analysis::store_signature(out.vprogram);
+    }
     out.report.lvn = vir::run_lvn(out.vprogram);
+    if (gates) {
+        analysis::DiagEngine diags;
+        analysis::verify_vprogram(
+            out.vprogram, diags,
+            analysis::padded_extents(kernel, width));
+        analysis::check_store_order(stores_before, out.vprogram, diags);
+        DIOS_ASSERT(!diags.has_errors(),
+                    "VIR verifier rejected the program after LVN:\n" +
+                        diags.render_text());
+    }
     out.layout = vir::CompiledLayout::make(kernel, width);
     deadline.check("emission");
     out.machine = vir::emit_machine(out.vprogram, out.layout,
@@ -153,9 +211,27 @@ compile_direct(const scalar::Kernel& kernel, CompilerOptions options)
     out.extracted = out.padded_spec;
 
     phase.reset();
+    const bool gates = gates_enabled(options);
     out.vprogram = vir::lower_term(out.extracted, width, slots,
                                    options.target.has_scalar_mac);
+    if (gates) {
+        verify_vir_or_throw(kernel, out.vprogram, "lowering");
+    }
+    std::vector<analysis::StoreSig> stores_before;
+    if (gates) {
+        stores_before = analysis::store_signature(out.vprogram);
+    }
     out.report.lvn = vir::run_lvn(out.vprogram);
+    if (gates) {
+        analysis::DiagEngine diags;
+        analysis::verify_vprogram(
+            out.vprogram, diags,
+            analysis::padded_extents(kernel, width));
+        analysis::check_store_order(stores_before, out.vprogram, diags);
+        DIOS_ASSERT(!diags.has_errors(),
+                    "VIR verifier rejected the program after LVN:\n" +
+                        diags.render_text());
+    }
     out.layout = vir::CompiledLayout::make(kernel, width);
     out.machine = vir::emit_machine(out.vprogram, out.layout,
                                     options.target);

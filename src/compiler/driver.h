@@ -81,6 +81,14 @@ struct CompilerOptions {
      * Normally empty; populated by `dioscc --fault` and tests.
      */
     std::vector<std::string> fault_specs;
+    /**
+     * Run the static-analysis gates (src/analysis/): e-graph audit after
+     * saturation and extraction, VIR verification after lowering and
+     * after LVN. Always on in debug and sanitizer builds regardless of
+     * this flag; release builds opt in here (dioscc --verify-ir).
+     * Failures raise InternalError, so the resilient driver degrades.
+     */
+    bool verify_ir = false;
 
     /** Synchronizes rule/target parameters (width, recip support). */
     void

@@ -190,6 +190,19 @@ EGraph::lookup(ENode node)
     return uf_.find(it->second);
 }
 
+std::optional<ClassId>
+EGraph::lookup_const(ENode node) const
+{
+    for (ClassId& c : node.children) {
+        c = uf_.find_const(c);
+    }
+    auto it = memo_.find(node);
+    if (it == memo_.end()) {
+        return std::nullopt;
+    }
+    return uf_.find_const(it->second);
+}
+
 std::vector<ClassId>
 EGraph::class_ids() const
 {

@@ -83,6 +83,12 @@ class EGraph {
      */
     std::optional<ClassId> lookup(ENode node);
 
+    /**
+     * Const variant of lookup() (no path compression); for read-only
+     * passes such as the analysis auditor.
+     */
+    std::optional<ClassId> lookup_const(ENode node) const;
+
     /** The class for a canonical id. */
     const EClass&
     eclass(ClassId id) const

@@ -1,5 +1,6 @@
 #include "egraph/runner.h"
 
+#include <cstdlib>
 #include <optional>
 #include <sstream>
 
@@ -145,6 +146,19 @@ Runner::run(EGraph& graph, const std::vector<Rewrite>& rules,
 
         // Phase 3: one batched congruence restoration.
         graph.rebuild();
+#ifndef NDEBUG
+        // Debug builds re-verify the e-graph invariants after every
+        // rebuild (hashcons, congruence, canonical ids); export
+        // DIOS_SKIP_EGRAPH_CHECKS=1 to opt out when iterating on huge
+        // graphs.
+        {
+            static const bool skip_checks =
+                std::getenv("DIOS_SKIP_EGRAPH_CHECKS") != nullptr;
+            if (!skip_checks) {
+                graph.check_invariants();
+            }
+        }
+#endif
 
         stats.nodes_after = graph.num_nodes();
         stats.classes_after = graph.num_classes();

@@ -4,6 +4,7 @@
 #include <limits>
 #include <utility>
 
+#include "analysis/verify_vir.h"
 #include "service/serialize.h"
 #include "support/error.h"
 #include "support/faults.h"
@@ -133,6 +134,7 @@ ServiceMetrics::to_json() const
     json_count(out, "disk_writes", disk_writes, false);
     json_count(out, "failures", failures, false);
     json_count(out, "user_errors", user_errors, false);
+    json_count(out, "verifier_rejects", verifier_rejects, false);
     json_count(out, "queue_depth", queue_depth, false);
     json_count(out, "peak_queue_depth", peak_queue_depth, false);
     json_seconds(out, "lift_seconds", lift_seconds, false);
@@ -319,7 +321,7 @@ CompileService::process(const std::shared_ptr<Job>& job)
         }
     }
 
-    ResultPtr result;
+    std::shared_ptr<CompileResult> result;
     try {
         result = std::make_shared<CompileResult>(
             compile_kernel_resilient(job->kernel, job->options));
@@ -331,12 +333,27 @@ CompileService::process(const std::shared_ptr<Job>& job)
         failed->error = e.what();
         result = std::move(failed);
     }
-    finish(job, std::move(result), /*executed=*/true);
+
+    // Last line of defense before either cache level: re-verify the
+    // compiled VIR against the kernel's declared array extents. A
+    // rejected result is still delivered to this caller (the compiler's
+    // own gates vouch for what *it* produced) but is never cached, so a
+    // corrupt artifact cannot be replayed to future requests.
+    bool verifier_ok = true;
+    if (result->ok && result->compiled) {
+        if (options_.post_compile_hook) {
+            options_.post_compile_hook(*result->compiled);
+        }
+        analysis::DiagEngine diags = analysis::verify_compiled_kernel(
+            result->compiled->kernel, result->compiled->vprogram);
+        verifier_ok = !diags.has_errors();
+    }
+    finish(job, std::move(result), /*executed=*/true, verifier_ok);
 }
 
 void
 CompileService::finish(const std::shared_ptr<Job>& job, ResultPtr result,
-                       bool executed)
+                       bool executed, bool verifier_ok)
 {
     {
         std::lock_guard<std::mutex> lock(mu_);
@@ -364,7 +381,10 @@ CompileService::finish(const std::shared_ptr<Job>& job, ResultPtr result,
                 }
             }
         }
-        if (!job->bypass && result->ok && result->compiled) {
+        if (!verifier_ok) {
+            ++metrics_.verifier_rejects;
+        }
+        if (verifier_ok && !job->bypass && result->ok && result->compiled) {
             MemEntry entry;
             entry.key = job->key;
             entry.result = result;
@@ -380,8 +400,8 @@ CompileService::finish(const std::shared_ptr<Job>& job, ResultPtr result,
 
     // Disk writes happen outside the lock (filesystem IO); failures to
     // persist are non-fatal — the entry is just recompiled next time.
-    if (executed && !job->bypass && result->ok && result->compiled &&
-        disk_) {
+    if (verifier_ok && executed && !job->bypass && result->ok &&
+        result->compiled && disk_) {
         try {
             disk_->store(
                 make_entry(job->key, job->options, *result->compiled));

@@ -42,6 +42,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <list>
 #include <memory>
@@ -86,6 +87,8 @@ struct ServiceMetrics {
     std::uint64_t disk_writes = 0;
     std::uint64_t failures = 0;    ///< compiles with !ok
     std::uint64_t user_errors = 0; ///< failures that were the caller's fault
+    /** Compiled programs the VIR verifier rejected at the cache gate. */
+    std::uint64_t verifier_rejects = 0;
     std::uint64_t queue_depth = 0; ///< jobs waiting right now
     std::uint64_t peak_queue_depth = 0;
     /** Aggregated per-phase wall time over all *executed* compiles. */
@@ -137,6 +140,13 @@ class CompileService {
         std::size_t memory_cache_capacity = 128;
         /** On-disk store directory ("" disables that level). */
         std::string cache_dir;
+        /**
+         * Test-only mutation point: runs on a freshly compiled kernel
+         * *before* the service's VIR verifier gate and cache insertion.
+         * Lets tests corrupt a program in flight and observe that the
+         * gate keeps it out of both cache levels (verifier_rejects).
+         */
+        std::function<void(CompiledKernel&)> post_compile_hook;
     };
 
     CompileService() : CompileService(Options()) {}
@@ -186,9 +196,14 @@ class CompileService {
 
     void worker_loop();
     void process(const std::shared_ptr<Job>& job);
-    /** Finishes a job: caches (unless bypass/failed), resolves waiters. */
+    /**
+     * Finishes a job: caches (unless bypass/failed/verifier-rejected),
+     * resolves waiters. `verifier_ok == false` means the post-compile
+     * VIR verifier gate rejected the program: the result is still
+     * delivered to the caller, but never enters either cache level.
+     */
     void finish(const std::shared_ptr<Job>& job, ResultPtr result,
-                bool executed);
+                bool executed, bool verifier_ok = true);
 
     /** Memory-cache lookup; must hold mu_. Touches LRU order on hit. */
     ResultPtr lookup_memory(const CacheKey& key,

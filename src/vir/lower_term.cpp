@@ -499,9 +499,49 @@ class TermLowering {
                    "extracted program width does not match output layout");
     }
 
+    /**
+     * Single construction site for every emitted instruction: rejects
+     * malformed immediates (negative memory offsets, out-of-range lane
+     * indices) instead of silently accepting them into the program.
+     */
     void
     push(VInstr instr)
     {
+        switch (instr.op) {
+          case VOp::kSLoad:
+          case VOp::kVLoadA:
+          case VOp::kVStore:
+          case VOp::kSStore:
+            DIOS_CHECK(instr.offset >= 0,
+                       "negative memory offset in lowered instruction: " +
+                           vir::to_string(instr));
+            break;
+          case VOp::kInsert:
+          case VOp::kSExtract:
+            DIOS_ASSERT(instr.lane >= 0 && instr.lane < width_,
+                        "lane immediate out of range in lowered "
+                        "instruction: " +
+                            vir::to_string(instr));
+            break;
+          case VOp::kShuffle:
+          case VOp::kSelect: {
+            const int bound =
+                instr.op == VOp::kSelect ? 2 * width_ : width_;
+            DIOS_ASSERT(static_cast<int>(instr.lanes.size()) == width_,
+                        "lane table size mismatch in lowered "
+                        "instruction: " +
+                            vir::to_string(instr));
+            for (const int l : instr.lanes) {
+                DIOS_ASSERT(l >= 0 && l < bound,
+                            "lane index out of range in lowered "
+                            "instruction: " +
+                                vir::to_string(instr));
+            }
+            break;
+          }
+          default:
+            break;
+        }
         prog_.instrs.push_back(std::move(instr));
     }
 

@@ -98,64 +98,6 @@ rename_operands(VInstr& i, const std::unordered_map<int, int>& s_rename,
     }
 }
 
-/** Collects the operand value ids (scalars and vectors) of an instr. */
-void
-for_each_use(const VInstr& i, const std::function<void(int, bool)>& fn)
-{
-    // fn(value_id, is_vector)
-    switch (i.op) {
-      case VOp::kSBinary:
-        fn(i.a, false);
-        fn(i.b, false);
-        break;
-      case VOp::kSMac:
-        fn(i.a, false);
-        fn(i.b, false);
-        fn(i.c, false);
-        break;
-      case VOp::kSUnary:
-        fn(i.a, false);
-        break;
-      case VOp::kSCall:
-        for (const int arg : i.args) {
-            fn(arg, false);
-        }
-        break;
-      case VOp::kSExtract:
-        fn(i.a, true);
-        break;
-      case VOp::kShuffle:
-      case VOp::kVUnary:
-        fn(i.a, true);
-        break;
-      case VOp::kSelect:
-      case VOp::kVBinary:
-        fn(i.a, true);
-        fn(i.b, true);
-        break;
-      case VOp::kVMac:
-        fn(i.a, true);
-        fn(i.b, true);
-        fn(i.c, true);
-        break;
-      case VOp::kInsert:
-        fn(i.a, true);
-        fn(i.b, false);
-        break;
-      case VOp::kVStore:
-        fn(i.a, true);
-        break;
-      case VOp::kSStore:
-        fn(i.a, false);
-        break;
-      case VOp::kSConst:
-      case VOp::kSLoad:
-      case VOp::kVLoadA:
-      case VOp::kVConst:
-        break;
-    }
-}
-
 bool
 is_store(const VInstr& i)
 {
@@ -219,7 +161,7 @@ run_lvn(VProgram& program)
             continue;
         }
         keep[idx] = true;
-        for_each_use(i, mark);
+        vinstr_for_each_use(i, mark);
     }
 
     std::vector<VInstr> out;

@@ -4,6 +4,64 @@
 
 namespace diospyros::vir {
 
+void
+vinstr_for_each_use(const VInstr& i,
+                    const std::function<void(int, bool)>& fn)
+{
+    // fn(value_id, is_vector)
+    switch (i.op) {
+      case VOp::kSBinary:
+        fn(i.a, false);
+        fn(i.b, false);
+        break;
+      case VOp::kSMac:
+        fn(i.a, false);
+        fn(i.b, false);
+        fn(i.c, false);
+        break;
+      case VOp::kSUnary:
+        fn(i.a, false);
+        break;
+      case VOp::kSCall:
+        for (const int arg : i.args) {
+            fn(arg, false);
+        }
+        break;
+      case VOp::kSExtract:
+        fn(i.a, true);
+        break;
+      case VOp::kShuffle:
+      case VOp::kVUnary:
+        fn(i.a, true);
+        break;
+      case VOp::kSelect:
+      case VOp::kVBinary:
+        fn(i.a, true);
+        fn(i.b, true);
+        break;
+      case VOp::kVMac:
+        fn(i.a, true);
+        fn(i.b, true);
+        fn(i.c, true);
+        break;
+      case VOp::kInsert:
+        fn(i.a, true);
+        fn(i.b, false);
+        break;
+      case VOp::kVStore:
+        fn(i.a, true);
+        break;
+      case VOp::kSStore:
+        fn(i.a, false);
+        break;
+      case VOp::kSConst:
+      case VOp::kSLoad:
+      case VOp::kVLoadA:
+      case VOp::kVConst:
+        break;
+    }
+}
+
 bool
 vop_writes_vector(VOp op)
 {
@@ -109,6 +167,142 @@ to_string(const VInstr& i)
         break;
     }
     return os.str();
+}
+
+std::string
+VProgram::validate() const
+{
+    std::ostringstream err;
+    auto fail = [&err](int idx, const VInstr& i,
+                       const std::string& why) {
+        err << "instr " << idx << " (" << vir::to_string(i)
+            << "): " << why;
+        return err.str();
+    };
+    if (vector_width < 1) {
+        err << "vector_width must be >= 1, got " << vector_width;
+        return err.str();
+    }
+    if (num_scalar_values < 0 || num_vector_values < 0) {
+        err << "negative value-id range";
+        return err.str();
+    }
+    std::vector<bool> def_s(static_cast<std::size_t>(num_scalar_values),
+                            false);
+    std::vector<bool> def_v(static_cast<std::size_t>(num_vector_values),
+                            false);
+    for (std::size_t idx = 0; idx < instrs.size(); ++idx) {
+        const VInstr& i = instrs[idx];
+        const bool is_store =
+            i.op == VOp::kVStore || i.op == VOp::kSStore;
+
+        // Operands must be in range and already defined (SSA).
+        std::string use_err;
+        vinstr_for_each_use(i, [&](int id, bool is_vec) {
+            if (!use_err.empty()) {
+                return;
+            }
+            const auto& def = is_vec ? def_v : def_s;
+            const int limit =
+                is_vec ? num_vector_values : num_scalar_values;
+            const char* kind = is_vec ? "vector" : "scalar";
+            if (id < 0 || id >= limit) {
+                use_err = std::string(kind) + " operand id " +
+                          std::to_string(id) + " out of range [0, " +
+                          std::to_string(limit) + ")";
+            } else if (!def[static_cast<std::size_t>(id)]) {
+                use_err = std::string(kind) + " operand " +
+                          std::to_string(id) + " used before definition";
+            }
+        });
+        if (!use_err.empty()) {
+            return fail(static_cast<int>(idx), i, use_err);
+        }
+
+        // Immediates.
+        switch (i.op) {
+          case VOp::kSLoad:
+          case VOp::kVLoadA:
+          case VOp::kVStore:
+          case VOp::kSStore:
+            if (!i.array.valid()) {
+                return fail(static_cast<int>(idx), i,
+                            "memory op without an array symbol");
+            }
+            if (i.offset < 0) {
+                return fail(static_cast<int>(idx), i,
+                            "negative memory offset");
+            }
+            break;
+          case VOp::kShuffle:
+          case VOp::kSelect: {
+            if (static_cast<int>(i.lanes.size()) != vector_width) {
+                return fail(static_cast<int>(idx), i,
+                            "lane table size != vector width");
+            }
+            const int bound = i.op == VOp::kSelect ? 2 * vector_width
+                                                   : vector_width;
+            for (const int l : i.lanes) {
+                if (l < 0 || l >= bound) {
+                    return fail(static_cast<int>(idx), i,
+                                "lane index " + std::to_string(l) +
+                                    " out of range [0, " +
+                                    std::to_string(bound) + ")");
+                }
+            }
+            break;
+          }
+          case VOp::kInsert:
+          case VOp::kSExtract:
+            if (i.lane < 0 || i.lane >= vector_width) {
+                return fail(static_cast<int>(idx), i,
+                            "lane immediate " + std::to_string(i.lane) +
+                                " out of range [0, " +
+                                std::to_string(vector_width) + ")");
+            }
+            break;
+          case VOp::kSConst:
+            if (i.values.size() != 1) {
+                return fail(static_cast<int>(idx), i,
+                            "kSConst needs exactly one literal value");
+            }
+            break;
+          case VOp::kVConst:
+            if (static_cast<int>(i.values.size()) != vector_width) {
+                return fail(static_cast<int>(idx), i,
+                            "kVConst literal count != vector width");
+            }
+            break;
+          default:
+            break;
+        }
+
+        // Destination.
+        if (is_store) {
+            if (i.dst != -1) {
+                return fail(static_cast<int>(idx), i,
+                            "store must have dst == -1");
+            }
+            continue;
+        }
+        const bool writes_vec = vop_writes_vector(i.op);
+        auto& def = writes_vec ? def_v : def_s;
+        const int limit =
+            writes_vec ? num_vector_values : num_scalar_values;
+        if (i.dst < 0 || i.dst >= limit) {
+            return fail(static_cast<int>(idx), i,
+                        "dst id " + std::to_string(i.dst) +
+                            " out of range [0, " + std::to_string(limit) +
+                            ")");
+        }
+        if (def[static_cast<std::size_t>(i.dst)]) {
+            return fail(static_cast<int>(idx), i,
+                        "SSA violation: dst " + std::to_string(i.dst) +
+                            " redefined");
+        }
+        def[static_cast<std::size_t>(i.dst)] = true;
+    }
+    return "";
 }
 
 std::string

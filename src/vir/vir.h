@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -72,6 +73,14 @@ struct VInstr {
 /** Whether this opcode writes a vector (vs scalar) value. */
 bool vop_writes_vector(VOp op);
 
+/**
+ * Calls fn(value_id, is_vector) for every operand value id the
+ * instruction reads. The single source of truth for operand kinds —
+ * shared by LVN, VProgram::validate(), and the analysis verifier.
+ */
+void vinstr_for_each_use(const VInstr& instr,
+                         const std::function<void(int, bool)>& fn);
+
 /** A straight-line vector-IR program. */
 struct VProgram {
     int vector_width = 4;
@@ -93,6 +102,16 @@ struct VProgram {
 
     /** Renders the program as readable IR text. */
     std::string to_string() const;
+
+    /**
+     * Cheap structural self-check: SSA def-before-use, value ids within
+     * the declared ranges, lane tables/immediates in bounds for
+     * vector_width, offsets non-negative, literal payload sizes. Returns
+     * "" when well-formed, else a description of the first violation.
+     * The full diagnostic verifier (memory extents, store order, stable
+     * codes) lives in src/analysis/verify_vir.h.
+     */
+    std::string validate() const;
 };
 
 /** Renders one instruction as IR text. */

@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include "analysis/verify_vir.h"
 #include "compiler/driver.h"
 #include "scalar/lower.h"
 #include "support/rng.h"
@@ -174,6 +175,14 @@ TEST_P(FuzzCompiler, RandomKernelsCompileCorrectly)
         ASSERT_NE(compiled.report.validation, Verdict::kNotEquivalent)
             << kernel.name;
         ASSERT_TRUE(compiled.report.random_check_passed) << kernel.name;
+
+        // The VIR verifier must accept every program the compiler emits.
+        const analysis::DiagEngine diags =
+            analysis::verify_compiled_kernel(kernel, compiled.vprogram);
+        ASSERT_FALSE(diags.has_errors())
+            << kernel.name << "\n"
+            << diags.render_text() << compiled.vprogram.to_string();
+        ASSERT_EQ(compiled.vprogram.validate(), "") << kernel.name;
 
         const auto run = compiled.run(inputs, options.target);
         const scalar::BufferMap want =

@@ -616,7 +616,64 @@ TEST(CompileService, MetricsJsonIsWellFormed)
     EXPECT_EQ(json.back(), '}');
     EXPECT_NE(json.find("\"submitted\":1"), std::string::npos);
     EXPECT_NE(json.find("\"misses\":1"), std::string::npos);
+    EXPECT_NE(json.find("\"verifier_rejects\":0"), std::string::npos);
     EXPECT_NE(json.find("\"saturation_seconds\":"), std::string::npos);
+}
+
+TEST(CompileService, VerifierGateKeepsCorruptProgramsOutOfTheCaches)
+{
+    TempDir dir("verifier_gate");
+    CompileService::Options sopts;
+    sopts.cache_dir = dir.str();
+    // Corrupt every freshly compiled program between the compiler and
+    // the cache gate: an out-of-bounds shuffle lane the VIR verifier
+    // must catch (V004).
+    sopts.post_compile_hook = [](CompiledKernel& compiled) {
+        vir::VInstr shuf;
+        shuf.op = vir::VOp::kShuffle;
+        shuf.dst = compiled.vprogram.fresh_vector();
+        shuf.a = 0;
+        shuf.lanes = {99, 0, 0, 0};
+        compiled.vprogram.instrs.push_back(shuf);
+    };
+    CompileService svc(sopts);
+
+    // The caller still gets the result (the compiler's own gates vouch
+    // for what it produced), but neither cache level may keep it.
+    service::Ticket first = svc.submit(vector_add_kernel(8), test_options());
+    EXPECT_TRUE(first.get().ok);
+    svc.wait_idle();
+    {
+        const service::ServiceMetrics m = svc.metrics();
+        EXPECT_EQ(m.verifier_rejects, 1u);
+        EXPECT_EQ(m.disk_writes, 0u);
+        EXPECT_NE(m.to_json().find("\"verifier_rejects\":1"),
+                  std::string::npos);
+    }
+
+    // Resubmission must recompile — no memory hit, no disk hit.
+    service::Ticket second =
+        svc.submit(vector_add_kernel(8), test_options());
+    EXPECT_TRUE(second.get().ok);
+    EXPECT_EQ(second.outcome(), CacheOutcome::kMiss);
+    const service::ServiceMetrics m = svc.metrics();
+    EXPECT_EQ(m.misses, 2u);
+    EXPECT_EQ(m.memory_hits, 0u);
+    EXPECT_EQ(m.disk_hits, 0u);
+    EXPECT_EQ(m.verifier_rejects, 2u);
+}
+
+TEST(CompileService, CleanCompilesPassTheVerifierGate)
+{
+    TempDir dir("verifier_clean");
+    CompileService::Options sopts;
+    sopts.cache_dir = dir.str();
+    CompileService svc(sopts);
+    svc.submit(vector_add_kernel(8), test_options()).future.wait();
+    svc.wait_idle();
+    const service::ServiceMetrics m = svc.metrics();
+    EXPECT_EQ(m.verifier_rejects, 0u);
+    EXPECT_EQ(m.disk_writes, 1u);
 }
 
 }  // namespace

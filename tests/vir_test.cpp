@@ -191,6 +191,53 @@ TEST(LowerTerm, MultipleOutputSlotsNeverStraddle)
     EXPECT_EQ(outs.at("y"), (std::vector<float>{4, 1}));
 }
 
+TEST(Validate, LoweredProgramIsWellFormed)
+{
+    std::vector<OutputSlot> slots{{"out", 4, 4}};
+    VProgram vp = lower_term(
+        Term::parse("(List (Vec (Get a 6) (Get a 1) (* (Get a 2) (Get a "
+                    "0)) 7))"),
+        4, slots);
+    EXPECT_EQ(vp.validate(), "");
+    run_lvn(vp);
+    EXPECT_EQ(vp.validate(), "");
+}
+
+TEST(Validate, ReportsTheFirstViolation)
+{
+    VProgram vp;
+    vp.vector_width = 4;
+    const int s0 = vp.fresh_scalar();
+    const int s1 = vp.fresh_scalar();
+    VInstr add{.op = VOp::kSBinary, .alu = Op::kAdd, .dst = s1, .a = s0,
+               .b = s0};
+    vp.instrs.push_back(add);  // s0 never defined
+    const std::string msg = vp.validate();
+    EXPECT_NE(msg, "");
+    EXPECT_NE(msg.find("instr 0"), std::string::npos) << msg;
+
+    VProgram shuf;
+    shuf.vector_width = 4;
+    const int v0 = shuf.fresh_vector();
+    const int v1 = shuf.fresh_vector();
+    VInstr vc{.op = VOp::kVConst, .dst = v0};
+    vc.values = {1, 2, 3, 4};
+    shuf.instrs.push_back(vc);
+    VInstr sh{.op = VOp::kShuffle, .dst = v1, .a = v0};
+    sh.lanes = {9, 0, 0, 0};
+    shuf.instrs.push_back(sh);
+    EXPECT_NE(shuf.validate(), "");
+
+    VProgram neg;
+    neg.vector_width = 4;
+    const int s = neg.fresh_scalar();
+    VInstr ld{.op = VOp::kSLoad, .dst = s};
+    ld.array = Symbol("a");
+    ld.offset = -2;
+    neg.instrs.push_back(ld);
+    EXPECT_NE(neg.validate(), "");
+}
+
 TEST(Lvn, RemovesRedundantAndDeadInstructions)
 {
     VProgram vp;

@@ -28,14 +28,31 @@ ctest --test-dir "$build" --output-on-failure -j "$jobs"
 
 echo "check.sh: all tests passed under ASan+UBSan"
 
+# Rule soundness: every registered rewrite must prove equivalent under
+# the exact validator (non-zero exit on any unsound rule).
+"$build/tools/dioscc" --lint-rules > /dev/null
+echo "check.sh: rule soundness lint passed"
+
+# clang-tidy (repo-root .clang-tidy profile) over the analysis and VIR
+# layers, using the ASan build's compile_commands.json. Optional: skipped
+# when clang-tidy is not installed.
+if command -v clang-tidy > /dev/null 2>&1; then
+    clang-tidy -p "$build" --quiet \
+        "$repo"/src/analysis/*.cpp "$repo"/src/vir/*.cpp
+    echo "check.sh: clang-tidy passed on src/analysis + src/vir"
+else
+    echo "check.sh: clang-tidy not installed; skipping lint"
+fi
+
 # ASan and TSan cannot share a build; the threaded tests get their own.
 if [[ "${1:-}" != "--fast" || ! -d "$build_tsan" ]]; then
     cmake --preset tsan -S "$repo"
 fi
-cmake --build "$build_tsan" -j "$jobs" --target service_test resilience_test
+cmake --build "$build_tsan" -j "$jobs" \
+      --target service_test resilience_test analysis_test
 
 export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
 ctest --test-dir "$build_tsan" --output-on-failure \
-      -R '^(service_test|resilience_test)$'
+      -R '^(service_test|resilience_test|analysis_test)$'
 
-echo "check.sh: service + resilience tests passed under TSan"
+echo "check.sh: service + resilience + analysis tests passed under TSan"

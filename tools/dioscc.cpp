@@ -21,6 +21,12 @@
  *   --ac            enable full associativity/commutativity (§3.3)
  *   --recip         target has a fast reciprocal (§6 extension)
  *   --validate      run exact translation validation
+ *   --verify-ir     run the static-analysis gates (e-graph audit + VIR
+ *                   verifier) inside the compile; always on in debug and
+ *                   sanitizer builds
+ *   --lint-rules    lint every registered rewrite rule for soundness
+ *                   against the exact validator and exit (no kernel
+ *                   required); non-zero exit if any rule is unsound
  *   --strict        raw pipeline: fail outright instead of walking the
  *                   degradation ladder on errors
  *   --fault SPEC    arm a fault site, SPEC = site[:nth[:count|*]]
@@ -54,6 +60,7 @@
 
 #include <fstream>
 
+#include "analysis/lint_rules.h"
 #include "compiler/driver.h"
 #include "service/compile_service.h"
 #include "egraph/runner.h"
@@ -77,6 +84,7 @@ struct CliOptions {
     bool json = false;
     bool run = false;
     bool strict = false;
+    bool lint_rules = false;
     std::string dot_path;
     std::uint64_t seed = 1;
     int jobs = 1;
@@ -90,7 +98,8 @@ usage(const char* argv0)
     std::fprintf(stderr,
                  "usage: %s <kernel.ksp> [--width N] [--iters N] "
                  "[--nodes N] [--timeout S] [--deadline S] [--memory B] "
-                 "[--no-vector] [--ac] [--recip] [--validate] [--strict] "
+                 "[--no-vector] [--ac] [--recip] [--validate] "
+                 "[--verify-ir] [--lint-rules] [--strict] "
                  "[--fault SPEC] [--list-faults] [--emit-c] [--emit-asm] "
                  "[--emit-spec] [--emit-dot FILE] [--json] [--run] "
                  "[--seed N] [--batch FILE] [--jobs N] [--cache-dir D]\n",
@@ -144,6 +153,10 @@ parse_cli(int argc, char** argv)
         } else if (arg == "--validate") {
             cli.compiler.validate = true;
             cli.compiler.random_check = true;
+        } else if (arg == "--verify-ir") {
+            cli.compiler.verify_ir = true;
+        } else if (arg == "--lint-rules") {
+            cli.lint_rules = true;
         } else if (arg == "--strict") {
             cli.strict = true;
         } else if (arg == "--fault") {
@@ -183,7 +196,7 @@ parse_cli(int argc, char** argv)
             usage(argv[0]);
         }
     }
-    if (cli.path.empty() && cli.batch_path.empty()) {
+    if (cli.path.empty() && cli.batch_path.empty() && !cli.lint_rules) {
         usage(argv[0]);
     }
     return cli;
@@ -398,6 +411,80 @@ run_batch(const CliOptions& cli)
     return any_user_error ? 2 : 0;
 }
 
+/**
+ * The maximal rule configuration at the given width: every optional rule
+ * family on, so the linter covers the whole inventory in one pass.
+ */
+RuleConfig
+maximal_rule_config(int width)
+{
+    RuleConfig config;
+    config.vector_width = width;
+    config.enable_scalar_rules = true;
+    config.enable_vector_rules = true;
+    config.full_ac = true;
+    config.target_has_recip = true;
+    return config;
+}
+
+/**
+ * --lint-rules driver: prove every registered rewrite rule sound at the
+ * CLI's vector width. Returns non-zero if any rule is unsound.
+ */
+int
+run_lint_rules(const CliOptions& cli)
+{
+    const RuleConfig config =
+        maximal_rule_config(cli.compiler.target.vector_width);
+    const std::vector<analysis::RuleLintResult> results =
+        analysis::lint_rules(config);
+    for (const analysis::RuleLintResult& r : results) {
+        const char* status = "sound";
+        if (r.verdict == Verdict::kNotEquivalent) {
+            status = "UNSOUND";
+        } else if (!r.exercised) {
+            status = "unexercised";
+        } else if (r.random_checked) {
+            status = "sound (random)";
+        }
+        std::printf("%-20s %s%s%s\n", r.rule.c_str(), status,
+                    r.detail.empty() ? "" : ": ", r.detail.c_str());
+    }
+    analysis::DiagEngine diags;
+    const bool sound = analysis::lint_to_diags(results, diags);
+    if (diags.error_count() > 0 || diags.warning_count() > 0) {
+        std::fprintf(stderr, "%s", diags.render_text().c_str());
+    }
+    std::printf("; linted %zu rules at width %d: %s\n", results.size(),
+                config.vector_width, sound ? "all sound" : "UNSOUND");
+    return sound ? 0 : 1;
+}
+
+/**
+ * Debug-build startup self-check: lint the full rule inventory before
+ * compiling anything, so an unsound rewrite is caught at the front door
+ * rather than as a miscompiled kernel. Opt out: DIOS_NO_RULE_LINT=1.
+ */
+void
+startup_rule_lint(int width)
+{
+#ifndef NDEBUG
+    if (std::getenv("DIOS_NO_RULE_LINT") != nullptr) {
+        return;
+    }
+    analysis::DiagEngine diags;
+    if (!analysis::lint_to_diags(
+            analysis::lint_rules(maximal_rule_config(width)), diags)) {
+        std::fprintf(stderr,
+                     "dioscc: rule soundness self-check failed:\n%s",
+                     diags.render_text().c_str());
+        std::exit(1);
+    }
+#else
+    (void)width;
+#endif
+}
+
 }  // namespace
 
 int
@@ -405,6 +492,10 @@ main(int argc, char** argv)
 try {
     CliOptions cli = parse_cli(argc, argv);
     faults::arm_from_env();
+    if (cli.lint_rules) {
+        return run_lint_rules(cli);
+    }
+    startup_rule_lint(cli.compiler.target.vector_width);
     if (!cli.batch_path.empty()) {
         return run_batch(cli);
     }
