@@ -76,6 +76,14 @@ struct CompilerOptions {
      */
     double deadline_seconds = 0.0;
     /**
+     * Bounded retries for transient cache-store/scan I/O failures
+     * (service/disk_cache.h IoPolicy): each store attempt may be retried
+     * this many times with deterministic backoff before the failure
+     * surfaces. Excluded from the cache key — it shapes durability, not
+     * the artifact. Load-side corruption is never retried (quarantined).
+     */
+    int io_retries = 2;
+    /**
      * Fault-injection specs ("site[:nth[:count]]"; see support/faults.h)
      * armed by compile_kernel_resilient() before the first attempt.
      * Normally empty; populated by `dioscc --fault` and tests.

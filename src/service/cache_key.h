@@ -19,7 +19,9 @@
  * to serve a cached entry whose saturation was time-bound to a request
  * with a larger budget (see CompileService), so the exclusion never
  * pins a kernel to a worse result. `fault_specs` is excluded too:
- * fault-armed compiles bypass the cache entirely.
+ * fault-armed compiles bypass the cache entirely. `io_retries` is
+ * excluded for the same reason as the budgets: it shapes how durably an
+ * artifact is persisted, never what the artifact is.
  */
 #pragma once
 

@@ -1,5 +1,6 @@
 #include "service/compile_service.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <limits>
 #include <utility>
@@ -135,6 +136,13 @@ ServiceMetrics::to_json() const
     json_count(out, "failures", failures, false);
     json_count(out, "user_errors", user_errors, false);
     json_count(out, "verifier_rejects", verifier_rejects, false);
+    json_count(out, "quarantined", quarantined, false);
+    json_count(out, "recovered_tmp", recovered_tmp, false);
+    json_count(out, "checksum_failures", checksum_failures, false);
+    json_count(out, "disk_evicted", disk_evicted, false);
+    json_count(out, "io_retries", io_retries, false);
+    json_count(out, "store_failures", store_failures, false);
+    json_count(out, "load_errors", load_errors, false);
     json_count(out, "queue_depth", queue_depth, false);
     json_count(out, "peak_queue_depth", peak_queue_depth, false);
     json_seconds(out, "lift_seconds", lift_seconds, false);
@@ -155,7 +163,13 @@ CompileService::CompileService(Options options) : options_(options)
         options_.queue_capacity = 1;
     }
     if (!options_.cache_dir.empty()) {
-        disk_.emplace(options_.cache_dir);
+        disk_.emplace(options_.cache_dir, options_.disk_budget_bytes);
+        const RecoveryStats& scan = disk_->startup_stats();
+        metrics_.quarantined += scan.quarantined;
+        metrics_.recovered_tmp += scan.recovered_tmp;
+        metrics_.checksum_failures += scan.checksum_failures;
+        metrics_.disk_evicted += scan.disk_evicted;
+        metrics_.io_retries += scan.io_retries;
     }
     workers_.reserve(static_cast<std::size_t>(options_.jobs));
     for (int i = 0; i < options_.jobs; ++i) {
@@ -299,24 +313,50 @@ CompileService::worker_loop()
 void
 CompileService::process(const std::shared_ptr<Job>& job)
 {
-    // Disk level first: a hit skips the compiler entirely.
+    // Disk level first: a hit skips the compiler entirely. A corrupt
+    // entry is quarantined (never served, never silently deleted) and
+    // the request falls through to a fresh compile that overwrites the
+    // key — self-healing at the cost of one recompile.
     if (!job->bypass && disk_) {
-        if (std::optional<CachedEntry> entry = disk_->load(job->key)) {
-            if (disk_entry_servable(*entry, job->options)) {
-                try {
-                    auto result = std::make_shared<CompileResult>();
-                    result->ok = true;
-                    result->fallback_level = entry->fallback_level;
-                    result->attempts = entry->report.attempts;
-                    result->compiled =
-                        compiled_from_entry(job->kernel, *entry);
-                    job->outcome->store(CacheOutcome::kDiskHit,
-                                        std::memory_order_release);
-                    finish(job, std::move(result), /*executed=*/false);
-                    return;
-                } catch (const std::exception&) {
-                    // Reconstruction failed: fall through and recompile.
-                }
+        LoadResult loaded;
+        bool load_failed = false;
+        try {
+            loaded = disk_->load(job->key);
+        } catch (const std::exception&) {
+            // Transient read fault (injected or real) or internal error:
+            // not corruption — do not quarantine, just recompile.
+            load_failed = true;
+        }
+        if (load_failed) {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++metrics_.load_errors;
+        } else if (loaded.status == LoadStatus::kCorrupt) {
+            try {
+                disk_->quarantine(job->key, loaded.detail);
+            } catch (const std::exception&) {
+                // Quarantine is best-effort; the entry is still never
+                // served, and the recompile below overwrites it.
+            }
+            std::lock_guard<std::mutex> lock(mu_);
+            ++metrics_.quarantined;
+            if (loaded.checksum_mismatch) {
+                ++metrics_.checksum_failures;
+            }
+        } else if (loaded.status == LoadStatus::kHit &&
+                   disk_entry_servable(*loaded.entry, job->options)) {
+            try {
+                auto result = std::make_shared<CompileResult>();
+                result->ok = true;
+                result->fallback_level = loaded.entry->fallback_level;
+                result->attempts = loaded.entry->report.attempts;
+                result->compiled =
+                    compiled_from_entry(job->kernel, *loaded.entry);
+                job->outcome->store(CacheOutcome::kDiskHit,
+                                    std::memory_order_release);
+                finish(job, std::move(result), /*executed=*/false);
+                return;
+            } catch (const std::exception&) {
+                // Reconstruction failed: fall through and recompile.
             }
         }
     }
@@ -400,14 +440,24 @@ CompileService::finish(const std::shared_ptr<Job>& job, ResultPtr result,
 
     // Disk writes happen outside the lock (filesystem IO); failures to
     // persist are non-fatal — the entry is just recompiled next time.
+    // Transient failures are retried with deterministic backoff under a
+    // small fixed wall-clock budget (the compile's own deadline has
+    // already been spent; persistence must not stall the caller).
     if (verifier_ok && executed && !job->bypass && result->ok &&
         result->compiled && disk_) {
+        IoPolicy policy;
+        policy.retries = std::max(0, job->options.io_retries);
+        policy.deadline = Deadline::after_seconds(2.0);
         try {
-            disk_->store(
-                make_entry(job->key, job->options, *result->compiled));
+            const int retried = disk_->store(
+                make_entry(job->key, job->options, *result->compiled),
+                policy);
             std::lock_guard<std::mutex> lock(mu_);
             ++metrics_.disk_writes;
+            metrics_.io_retries += static_cast<std::uint64_t>(retried);
         } catch (const std::exception&) {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++metrics_.store_failures;
         }
     }
 

@@ -29,6 +29,14 @@
  *    armed globally) bypass both cache levels *and* coalescing: injected
  *    faults are process-global hit counters, and sharing results across
  *    them would change what the fault tests observe.
+ *  - Self-healing (DESIGN.md §5e): a disk entry that fails verification
+ *    (torn, bit-rotted, misfiled) is quarantined — never served, never
+ *    silently deleted — and the request falls through to a fresh
+ *    compile whose re-verified result overwrites the key. One flipped
+ *    bit costs one recompile, not an outage. Transient load I/O errors
+ *    are likewise treated as misses (counted in `load_errors`); store
+ *    failures are retried per CompilerOptions::io_retries and, when
+ *    exhausted, absorbed (the caller still gets the compiled kernel).
  *
  * Determinism: a compile job runs single-threaded inside one worker, and
  * every stage of the pipeline is deterministic for a given (kernel,
@@ -89,6 +97,16 @@ struct ServiceMetrics {
     std::uint64_t user_errors = 0; ///< failures that were the caller's fault
     /** Compiled programs the VIR verifier rejected at the cache gate. */
     std::uint64_t verifier_rejects = 0;
+    // Durability counters (DESIGN.md §5e). The scan-time portion comes
+    // from the recovery scan the disk cache runs at startup; the
+    // serve-time portion accumulates as corrupt entries are caught.
+    std::uint64_t quarantined = 0;        ///< entries moved to quarantine/
+    std::uint64_t recovered_tmp = 0;      ///< orphaned .tmp files reclaimed
+    std::uint64_t checksum_failures = 0;  ///< checksum mismatches detected
+    std::uint64_t disk_evicted = 0;       ///< evicted for the disk budget
+    std::uint64_t io_retries = 0;         ///< transient I/O errors retried
+    std::uint64_t store_failures = 0;     ///< stores failed after retries
+    std::uint64_t load_errors = 0;        ///< loads aborted by I/O errors
     std::uint64_t queue_depth = 0; ///< jobs waiting right now
     std::uint64_t peak_queue_depth = 0;
     /** Aggregated per-phase wall time over all *executed* compiles. */
@@ -140,6 +158,13 @@ class CompileService {
         std::size_t memory_cache_capacity = 128;
         /** On-disk store directory ("" disables that level). */
         std::string cache_dir;
+        /**
+         * On-disk size budget in bytes (0 = unlimited). Enforced by the
+         * recovery scan at startup: oldest-mtime entries are evicted
+         * until the store fits, so long-running services sharing a
+         * cache directory cannot fill the disk.
+         */
+        std::uintmax_t disk_budget_bytes = 0;
         /**
          * Test-only mutation point: runs on a freshly compiled kernel
          * *before* the service's VIR verifier gate and cache insertion.

@@ -349,6 +349,59 @@ entry_from_sexpr(const Sexpr& sexpr)
     return entry;
 }
 
+Sexpr
+envelope_to_sexpr(const CachedEntry& entry)
+{
+    Sexpr payload = entry_to_sexpr(entry);
+    const std::uint64_t checksum = stable_hash_string(payload.to_string());
+    return Sexpr::list(
+        {Sexpr::atom("dios-cache-envelope"),
+         field("format-version", {u64_atom(kCacheFormatVersion)}),
+         field("rule-set-version", {u64_atom(entry.rule_set_version)}),
+         field("checksum", {hex_atom(checksum)}),
+         field("payload", {std::move(payload)})});
+}
+
+EnvelopeFields
+envelope_fields(const Sexpr& sexpr)
+{
+    EnvelopeFields env;
+    if (!(sexpr.is_list() && sexpr.size() == 5 && sexpr[0].is_atom() &&
+          sexpr[0].token() == "dios-cache-envelope")) {
+        env.error = "not a dios-cache-envelope";
+        return env;
+    }
+    bool saw_format = false, saw_rules = false, saw_checksum = false;
+    for (std::size_t i = 1; i < sexpr.size(); ++i) {
+        const Sexpr& f = sexpr[i];
+        if (is_field(f, "format-version") && f.size() == 2 &&
+            f[1].is_integer()) {
+            env.format_version = static_cast<std::uint64_t>(as_i64(f[1]));
+            saw_format = true;
+        } else if (is_field(f, "rule-set-version") && f.size() == 2 &&
+                   f[1].is_integer()) {
+            env.rule_set_version =
+                static_cast<std::uint64_t>(as_i64(f[1]));
+            saw_rules = true;
+        } else if (is_field(f, "checksum") && f.size() == 2 &&
+                   f[1].is_atom()) {
+            env.checksum = as_hex(f[1]);
+            saw_checksum = true;
+        } else if (is_field(f, "payload") && f.size() == 2) {
+            env.payload = &f[1];
+        }
+    }
+    if (!saw_format || !saw_rules || !saw_checksum ||
+        env.payload == nullptr) {
+        env.error = "missing envelope field";
+        env.payload = nullptr;
+        return env;
+    }
+    env.payload_text = env.payload->to_string();
+    env.well_formed = true;
+    return env;
+}
+
 CachedEntry
 make_entry(const CacheKey& key, const CompilerOptions& options,
            const CompiledKernel& compiled)

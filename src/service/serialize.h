@@ -56,6 +56,53 @@ Sexpr entry_to_sexpr(const CachedEntry& entry);
 /** Parses an entry; raises UserError on malformed or mis-versioned input. */
 CachedEntry entry_from_sexpr(const Sexpr& sexpr);
 
+/**
+ * Version of the on-disk *envelope* format (distinct from
+ * kRuleSetVersion, which versions the artifact semantics). Bump when
+ * the envelope layout itself changes; entries with any other value are
+ * quarantined by the recovery scan, never served.
+ */
+constexpr std::uint64_t kCacheFormatVersion = 2;
+
+/**
+ * Wraps an entry in the durable on-disk envelope:
+ *
+ *   (dios-cache-envelope
+ *     (format-version 2)
+ *     (rule-set-version N)
+ *     (checksum <16-hex StableHasher digest of the payload's canonical
+ *                to_string() rendering>)
+ *     (payload (dios-cache-entry ...)))
+ *
+ * The checksum is computed over the payload's canonical (non-pretty)
+ * serialization, so on-disk whitespace differences never matter while
+ * any content-bearing bit flip is detected.
+ */
+Sexpr envelope_to_sexpr(const CachedEntry& entry);
+
+/** Parsed envelope header; see envelope_fields(). */
+struct EnvelopeFields {
+    bool well_formed = false;
+    /** Why !well_formed ("" otherwise). */
+    std::string error;
+    std::uint64_t format_version = 0;
+    std::uint64_t rule_set_version = 0;
+    /** Stored payload checksum (compare with stable_hash_string). */
+    std::uint64_t checksum = 0;
+    /** Borrowed pointer into the inspected sexpr; null if !well_formed. */
+    const Sexpr* payload = nullptr;
+    /** Canonical rendering of the payload — the checksummed bytes. */
+    std::string payload_text;
+};
+
+/**
+ * Dissects an envelope without verifying the checksum or parsing the
+ * payload into an entry — DiskCache layers those checks (and their
+ * corruption policy) on top. Never throws; malformed input comes back
+ * as !well_formed.
+ */
+EnvelopeFields envelope_fields(const Sexpr& sexpr);
+
 /** Builds the persistable entry for a finished resilient compile. */
 CachedEntry make_entry(const CacheKey& key, const CompilerOptions& options,
                        const CompiledKernel& compiled);

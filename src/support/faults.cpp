@@ -237,11 +237,17 @@ const std::vector<std::string>&
 known_sites()
 {
     static const std::vector<std::string> sites = {
-        "runner.iter",      // start of each saturation iteration
-        "extract.build",    // extraction of the best term
-        "lower.term",       // vector-IR lowering of the extracted term
-        "emit.machine",     // instruction selection / machine emission
-        "validate.exact",   // exact translation validation
+        "runner.iter",           // start of each saturation iteration
+        "extract.build",         // extraction of the best term
+        "lower.term",            // vector-IR lowering of the extracted term
+        "emit.machine",          // instruction selection / machine emission
+        "validate.exact",        // exact translation validation
+        "cache.load.read",       // disk-cache entry read
+        "cache.load.checksum",   // disk-cache entry checksum verification
+        "cache.store.write",     // disk-cache temp-file creation/write
+        "cache.store.fsync",     // disk-cache temp-file fsync
+        "cache.store.rename",    // disk-cache atomic publish (rename)
+        "cache.scan",            // disk-cache recovery scan, per file
     };
     return sites;
 }

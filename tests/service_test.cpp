@@ -336,17 +336,19 @@ TEST(Serialization, VersionMismatchRejected)
         service::compute_cache_key(kernel, options), options,
         *result.compiled);
     entry.rule_set_version = service::kRuleSetVersion + 1;
-    const std::string text = service::entry_to_sexpr(entry).to_string();
     // The parser itself is lenient about the version; DiskCache::load is
-    // the layer that rejects it (returns a miss).
+    // the layer that rejects it. A stale rule-set version is a clean
+    // *miss* (legitimately outdated, not corrupt — no quarantine).
     TempDir dir("version");
     service::DiskCache disk(dir.str());
     disk.store(entry);
-    EXPECT_FALSE(
-        disk.load(service::compute_cache_key(kernel, options)).has_value());
+    const service::LoadResult r =
+        disk.load(service::compute_cache_key(kernel, options));
+    EXPECT_EQ(r.status, service::LoadStatus::kMiss);
+    EXPECT_FALSE(r.entry.has_value());
 }
 
-TEST(Serialization, CorruptDiskEntryIsAMiss)
+TEST(Serialization, CorruptDiskEntryIsDetected)
 {
     TempDir dir("corrupt");
     service::DiskCache disk(dir.str());
@@ -357,7 +359,10 @@ TEST(Serialization, CorruptDiskEntryIsAMiss)
         std::ofstream out(disk.path_for(key));
         out << "(this is (not a cache entry";
     }
-    EXPECT_FALSE(disk.load(key).has_value());
+    const service::LoadResult r = disk.load(key);
+    EXPECT_EQ(r.status, service::LoadStatus::kCorrupt);
+    EXPECT_FALSE(r.entry.has_value());
+    EXPECT_FALSE(r.detail.empty());
 }
 
 // ---------------------------------------------------------------------------

@@ -5,7 +5,9 @@
 # promoted to hard failures. Then build the concurrency-sensitive
 # subset (the compile service and the fault registry it leans on)
 # under ThreadSanitizer and run service_test + resilience_test, so
-# data races in the worker pool fail the gate too.
+# data races in the worker pool fail the gate too. In between, a
+# crash-consistency torture loop SIGKILLs dioscc mid-store and
+# bit-flips cache entries to prove the disk cache self-heals.
 # Run from anywhere; ~5-10 minutes.
 #
 #   tools/check.sh            # ASan+UBSan + TSan gates
@@ -33,6 +35,95 @@ echo "check.sh: all tests passed under ASan+UBSan"
 "$build/tools/dioscc" --lint-rules > /dev/null
 echo "check.sh: rule soundness lint passed"
 
+# Crash-consistency torture (DESIGN.md §5e): SIGKILL dioscc --batch
+# mid-store dozens of times via the DIOS_CACHE_KILL hook, then damage a
+# quarter-plus of the surviving entries, and prove the store self-heals:
+# warm runs serve artifacts byte-identical to a cold compile, damaged
+# entries land in quarantine/ (never served), and no torn .tmp files
+# survive recovery.
+torture="$build/torture"
+rm -rf "$torture"
+mkdir -p "$torture"
+cache="$torture/cache"
+for n in 4 8 12; do
+    cat > "$torture/vadd$n.dios" <<EOF
+(kernel vadd$n
+  (param n $n) (input A n) (input B n) (output C n)
+  (for i 0 n (store C i (+ (load A i) (load B i)))))
+EOF
+    echo "$torture/vadd$n.dios" >> "$torture/manifest"
+done
+
+# Cold (cache-less) reference artifacts; the JSON line carries wall-clock
+# timings, so only the emitted C below it is compared.
+for n in 4 8 12; do
+    DIOS_NO_RULE_LINT=1 "$build/tools/dioscc" "$torture/vadd$n.dios" \
+        --json --emit-c 2> /dev/null | tail -n +2 > "$torture/cold$n.c"
+done
+
+mkdir -p "$cache"
+kills=0
+for i in $(seq 1 60); do
+    # Evict one entry so every round performs at least one store, and
+    # cycle the kill target over both kill points of all three stores
+    # (targets past the last visit simply complete the run).
+    find "$cache" -maxdepth 1 -name '*.sexpr' | head -n 1 | xargs -r rm -f
+    status=0
+    DIOS_CACHE_KILL=$((i % 6 + 1)) DIOS_NO_RULE_LINT=1 \
+        "$build/tools/dioscc" --batch "$torture/manifest" \
+        --cache-dir "$cache" > /dev/null 2>&1 || status=$?
+    if [[ "$status" -eq 137 ]]; then
+        kills=$((kills + 1))
+    elif [[ "$status" -ne 0 ]]; then
+        echo "check.sh: torture run $i failed with status $status" >&2
+        exit 1
+    fi
+done
+if [[ "$kills" -lt 10 ]]; then
+    echo "check.sh: torture loop killed only $kills/60 runs" >&2
+    exit 1
+fi
+
+# One clean run lets the recovery scan reclaim the orphans of the 60
+# crashes and refill the store.
+DIOS_NO_RULE_LINT=1 "$build/tools/dioscc" --batch "$torture/manifest" \
+    --cache-dir "$cache" > /dev/null 2>&1
+
+# Damage 2 of the 3 entries (>25%): truncate one, zero a span in another.
+mapfile -t entries < <(find "$cache" -maxdepth 1 -name '*.sexpr' | sort)
+if [[ "${#entries[@]}" -ne 3 ]]; then
+    echo "check.sh: expected 3 cache entries, found ${#entries[@]}" >&2
+    exit 1
+fi
+size=$(stat -c %s "${entries[0]}")
+head -c $((size / 2)) "${entries[0]}" > "${entries[0]}.trunc"
+mv "${entries[0]}.trunc" "${entries[0]}"
+size=$(stat -c %s "${entries[1]}")
+dd if=/dev/zero of="${entries[1]}" bs=1 seek=$((size / 2)) count=16 \
+    conv=notrunc status=none
+
+# The warm runs over the damaged store must still be byte-identical to
+# the cold reference — corrupt entries are quarantined and recompiled,
+# never served.
+for n in 4 8 12; do
+    DIOS_NO_RULE_LINT=1 "$build/tools/dioscc" "$torture/vadd$n.dios" \
+        --json --emit-c --cache-dir "$cache" 2> /dev/null \
+        | tail -n +2 > "$torture/warm$n.c"
+    cmp "$torture/cold$n.c" "$torture/warm$n.c"
+done
+
+if find "$cache" -name '*.tmp.*' | grep -q .; then
+    echo "check.sh: torn .tmp files survived recovery" >&2
+    exit 1
+fi
+quarantined=$(find "$cache/quarantine" -name '*.sexpr' 2> /dev/null | wc -l)
+if [[ "$quarantined" -lt 2 ]]; then
+    echo "check.sh: expected >=2 quarantined entries, got $quarantined" >&2
+    exit 1
+fi
+echo "check.sh: crash-consistency torture passed" \
+     "($kills/60 runs killed mid-store, $quarantined entries quarantined)"
+
 # clang-tidy (repo-root .clang-tidy profile) over the analysis and VIR
 # layers, using the ASan build's compile_commands.json. Optional: skipped
 # when clang-tidy is not installed.
@@ -49,10 +140,11 @@ if [[ "${1:-}" != "--fast" || ! -d "$build_tsan" ]]; then
     cmake --preset tsan -S "$repo"
 fi
 cmake --build "$build_tsan" -j "$jobs" \
-      --target service_test resilience_test analysis_test
+      --target service_test resilience_test analysis_test durability_test
 
 export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
 ctest --test-dir "$build_tsan" --output-on-failure \
-      -R '^(service_test|resilience_test|analysis_test)$'
+      -R '^(service_test|resilience_test|analysis_test|durability_test)$'
 
-echo "check.sh: service + resilience + analysis tests passed under TSan"
+echo "check.sh: service + resilience + analysis + durability tests" \
+     "passed under TSan"

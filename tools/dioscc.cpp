@@ -51,7 +51,14 @@
  *   --jobs N        worker threads for --batch (default 1)
  *   --cache-dir D   persistent compile cache directory (also honoured in
  *                   single-kernel mode: a warm run is served from cache)
+ *   --cache-disk-budget BYTES
+ *                   on-disk cache size budget: the recovery scan evicts
+ *                   oldest entries (mtime LRU) past this many bytes
+ *                   (0 = unlimited, the default)
+ *   --io-retries N  bounded retries (deterministic backoff) for
+ *                   transient cache-store I/O failures (default 2)
  */
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -89,6 +96,7 @@ struct CliOptions {
     std::uint64_t seed = 1;
     int jobs = 1;
     std::string cache_dir;
+    std::uintmax_t cache_disk_budget = 0;
     std::string batch_path;
 };
 
@@ -102,7 +110,8 @@ usage(const char* argv0)
                  "[--verify-ir] [--lint-rules] [--strict] "
                  "[--fault SPEC] [--list-faults] [--emit-c] [--emit-asm] "
                  "[--emit-spec] [--emit-dot FILE] [--json] [--run] "
-                 "[--seed N] [--batch FILE] [--jobs N] [--cache-dir D]\n",
+                 "[--seed N] [--batch FILE] [--jobs N] [--cache-dir D] "
+                 "[--cache-disk-budget BYTES] [--io-retries N]\n",
                  argv0);
     std::exit(2);
 }
@@ -183,6 +192,12 @@ parse_cli(int argc, char** argv)
                 require_positive_integer(arg, next_arg(i)));
         } else if (arg == "--cache-dir") {
             cli.cache_dir = next_arg(i);
+        } else if (arg == "--cache-disk-budget") {
+            cli.cache_disk_budget = static_cast<std::uintmax_t>(
+                require_nonnegative_integer(arg, next_arg(i)));
+        } else if (arg == "--io-retries") {
+            cli.compiler.io_retries = static_cast<int>(
+                require_nonnegative_integer(arg, next_arg(i)));
         } else if (arg == "--batch") {
             cli.batch_path = next_arg(i);
         } else if (arg == "--seed") {
@@ -330,7 +345,7 @@ run_batch(const CliOptions& cli)
                    !cli.emit_spec && cli.dot_path.empty() &&
                    cli.path.empty(),
                "--batch combines only with --json, --jobs, --cache-dir, "
-               "and compiler options");
+               "--cache-disk-budget, and compiler options");
 
     std::FILE* info = cli.json ? stderr : stdout;
     const std::vector<std::string> paths = read_manifest(cli.batch_path);
@@ -338,6 +353,7 @@ run_batch(const CliOptions& cli)
     service::CompileService::Options sopts;
     sopts.jobs = cli.jobs;
     sopts.cache_dir = cli.cache_dir;
+    sopts.disk_budget_bytes = cli.cache_disk_budget;
     sopts.queue_capacity = paths.size() + 1;  // submit never blocks here
     service::CompileService svc(sopts);
 
@@ -523,6 +539,7 @@ try {
         service::CompileService::Options sopts;
         sopts.jobs = cli.jobs;
         sopts.cache_dir = cli.cache_dir;
+        sopts.disk_budget_bytes = cli.cache_disk_budget;
         service::CompileService svc(sopts);
         service::Ticket ticket = svc.submit(kernel, cli.compiler);
         const CompileResult& result = ticket.get();
