@@ -102,6 +102,97 @@ bm_saturation_iteration(benchmark::State& state)
     }
 }
 
+/**
+ * Cold saturation of an n×n×n matmul spec — graph build plus the full
+ * run to quiescence — through the op-indexed searchers. Paired with
+ * bm_saturation_cold_naive below; the ratio is the e-matching fast
+ * path's end-to-end win, and tools/check.sh gates on this benchmark
+ * regressing against bench/BENCH_ematch_baseline.json.
+ */
+void
+bm_saturation_cold_indexed(benchmark::State& state)
+{
+    const TermRef spec = matmul_spec(static_cast<int>(state.range(0)));
+    RuleConfig config;
+    const std::vector<Rewrite> rules = build_rules(config);
+    for (auto _ : state) {
+        EGraph g;
+        g.add_term(spec);
+        g.rebuild();
+        Runner(RunnerLimits{.node_limit = 1'000'000,
+                            .iter_limit = 6,
+                            .time_limit_seconds = 60.0})
+            .run(g, rules);
+        benchmark::DoNotOptimize(g.num_nodes());
+    }
+}
+
+/** The same workload forced down the naive full-scan search path. */
+void
+bm_saturation_cold_naive(benchmark::State& state)
+{
+    const TermRef spec = matmul_spec(static_cast<int>(state.range(0)));
+    RuleConfig config;
+    std::vector<Rewrite> rules;
+    for (const Rewrite& r : build_rules(config)) {
+        rules.push_back(r.with_naive_search());
+    }
+    for (auto _ : state) {
+        EGraph g;
+        g.add_term(spec);
+        g.rebuild();
+        Runner(RunnerLimits{.node_limit = 1'000'000,
+                            .iter_limit = 6,
+                            .time_limit_seconds = 60.0})
+            .run(g, rules);
+        benchmark::DoNotOptimize(g.num_nodes());
+    }
+}
+
+/** One search pass of every rule over a pre-saturated graph (indexed). */
+void
+bm_search_all_rules_indexed(benchmark::State& state)
+{
+    EGraph g;
+    g.add_term(matmul_spec(static_cast<int>(state.range(0))));
+    g.rebuild();
+    RuleConfig config;
+    const std::vector<Rewrite> rules = build_rules(config);
+    Runner(RunnerLimits{.node_limit = 1'000'000,
+                        .iter_limit = 4,
+                        .time_limit_seconds = 60.0})
+        .run(g, rules);
+    for (auto _ : state) {
+        std::size_t matches = 0;
+        for (const Rewrite& r : rules) {
+            matches += r.searcher().search(g).size();
+        }
+        benchmark::DoNotOptimize(matches);
+    }
+}
+
+/** Same search pass through the full-scan reference path. */
+void
+bm_search_all_rules_naive(benchmark::State& state)
+{
+    EGraph g;
+    g.add_term(matmul_spec(static_cast<int>(state.range(0))));
+    g.rebuild();
+    RuleConfig config;
+    const std::vector<Rewrite> rules = build_rules(config);
+    Runner(RunnerLimits{.node_limit = 1'000'000,
+                        .iter_limit = 4,
+                        .time_limit_seconds = 60.0})
+        .run(g, rules);
+    for (auto _ : state) {
+        std::size_t matches = 0;
+        for (const Rewrite& r : rules) {
+            matches += r.searcher().search_naive(g).size();
+        }
+        benchmark::DoNotOptimize(matches);
+    }
+}
+
 void
 bm_extract(benchmark::State& state)
 {
@@ -136,6 +227,18 @@ BENCHMARK(bm_saturation_iteration)
     ->Arg(4)
     ->Arg(8)
     ->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_saturation_cold_indexed)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_saturation_cold_naive)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_search_all_rules_indexed)
+    ->Arg(4)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(bm_search_all_rules_naive)
+    ->Arg(4)
+    ->Unit(benchmark::kMicrosecond);
 BENCHMARK(bm_extract)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

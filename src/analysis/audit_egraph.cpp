@@ -84,6 +84,59 @@ audit_egraph(const EGraph& graph, DiagEngine& diags)
             }
         }
     }
+
+    // E107 / E108: the e-matching op-index must agree exactly with the
+    // class table — complete (every class holding op P is listed under P,
+    // else indexed search silently skips matches) and sound (every listed
+    // class is canonical, listed once, and really holds a node with P).
+    for (int op_i = 0; op_i < kNumOps; ++op_i) {
+        const Op op = static_cast<Op>(op_i);
+        const std::vector<ClassId>& indexed = graph.classes_with_op(op);
+        const std::unordered_set<ClassId> indexed_set(indexed.begin(),
+                                                      indexed.end());
+        if (indexed_set.size() != indexed.size()) {
+            diags.error(kPass, "E108",
+                        std::string("op-index for ") + op_name(op) +
+                            " contains duplicate entries");
+        }
+        for (const ClassId id : indexed) {
+            bool has_op = false;
+            if (graph.find_const(id) != id || !id_set.count(id)) {
+                diags.error(kPass, "E108",
+                            std::string("op-index for ") + op_name(op) +
+                                " lists non-canonical or dead class",
+                            -1, id);
+                continue;
+            }
+            for (const ENode& n : graph.eclass(id).nodes) {
+                if (n.op == op) {
+                    has_op = true;
+                    break;
+                }
+            }
+            if (!has_op) {
+                diags.error(kPass, "E108",
+                            std::string("op-index for ") + op_name(op) +
+                                " lists a class with no such node",
+                            -1, id);
+            }
+        }
+        for (const ClassId id : ids) {
+            bool has_op = false;
+            for (const ENode& n : graph.eclass(id).nodes) {
+                if (n.op == op) {
+                    has_op = true;
+                    break;
+                }
+            }
+            if (has_op && !indexed_set.count(id)) {
+                diags.error(kPass, "E107",
+                            std::string("op-index for ") + op_name(op) +
+                                " is missing a class that holds the op",
+                            -1, id);
+            }
+        }
+    }
     return diags.error_count() == errors_before;
 }
 

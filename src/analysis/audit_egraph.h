@@ -11,6 +11,10 @@
  *   E104  hashcons maps an e-node to the wrong class
  *   E105  congruence violation: identical canonical node in two classes
  *   E106  audit ran on a dirty graph (pending rebuild)
+ *   E107  op-index incomplete: class has a node with op P but is missing
+ *         from classes_with_op(P) — indexed search would skip real matches
+ *   E108  op-index unsound: classes_with_op(P) lists a class with no node
+ *         of op P, or a non-canonical/duplicate entry
  *
  * Extraction (audit_extraction):
  *   E201  cost model is not strictly monotonic (node cost <= 0)

@@ -113,6 +113,7 @@ compile_with_deadline(const scalar::Kernel& kernel, CompilerOptions options,
     out.report.saturation_seconds = phase.elapsed_seconds();
     out.report.stop_reason = rr.stop_reason;
     out.report.runner_iterations = rr.iterations.size();
+    out.report.rule_stats = rr.rule_stats;
     out.report.egraph_nodes = graph.num_nodes();
     out.report.egraph_classes = graph.num_classes();
     out.report.memory_proxy_bytes = graph.memory_proxy_bytes();

@@ -133,6 +133,12 @@ struct CompileReport {
     std::size_t egraph_classes = 0;
     StopReason stop_reason = StopReason::kSaturated;
     std::size_t runner_iterations = 0;
+    /**
+     * Per-rule e-matching totals across the saturation run (rule-set
+     * order): matches found, applications that changed the graph, and
+     * search/apply wall-clock. Surfaced via `dioscc --json`.
+     */
+    std::vector<RuleStats> rule_stats;
     double extracted_cost = 0.0;
     vir::LvnStats lvn;
     /** Estimated peak e-graph memory (bytes), the Table 1 "Memory" proxy. */

@@ -24,10 +24,12 @@ EGraph::add(ENode node)
     for (const ClassId child : node.children) {
         classes_.at(child).parents.emplace_back(node, id);
     }
+    const Op op = node.op;
     cls.nodes.push_back(node);
     memo_.emplace(std::move(node), id);
     classes_.emplace(id, std::move(cls));
     creation_order_.push_back(id);
+    index_op(op, id);
     modify(id);
     return uf_.find(id);
 }
@@ -95,6 +97,10 @@ EGraph::merge(ClassId a, ClassId b)
     const ClassId root = uf_.merge(a, b);
     const ClassId absorbed = (root == a) ? b : a;
     ++union_count_;
+    // Canonical ids changed: compacted op-index caches are stale. The
+    // journal itself stays valid — absorbed-id entries re-canonicalize to
+    // the root, which inherits every operator of both classes.
+    ++index_version_;
 
     // Join analysis data and splice the absorbed class into the root.
     {
@@ -218,6 +224,35 @@ EGraph::class_ids() const
     return out;
 }
 
+const std::vector<ClassId>&
+EGraph::classes_with_op(Op op) const
+{
+    DIOS_ASSERT(dirty_.empty(), "classes_with_op() on a dirty e-graph");
+    const auto slot = static_cast<std::size_t>(op);
+    std::vector<ClassId>& entry = op_index_[slot];
+    if (op_index_clean_[slot] == index_version_) {
+        return entry;
+    }
+    // Compact the journal: canonicalize, dedup, and sort by the class's
+    // creation ordinal (its smallest member id) so candidates come back
+    // in exactly the order a naive class_ids() scan visits them.
+    std::unordered_set<ClassId> seen;
+    seen.reserve(entry.size());
+    std::size_t keep = 0;
+    for (const ClassId raw : entry) {
+        const ClassId id = uf_.find_const(raw);
+        if (seen.insert(id).second) {
+            entry[keep++] = id;
+        }
+    }
+    entry.resize(keep);
+    std::sort(entry.begin(), entry.end(), [this](ClassId a, ClassId b) {
+        return uf_.min_member(a) < uf_.min_member(b);
+    });
+    op_index_clean_[slot] = index_version_;
+    return entry;
+}
+
 std::size_t
 EGraph::num_nodes() const
 {
@@ -314,6 +349,7 @@ EGraph::modify(ClassId id)
     }
     memo_.emplace(cn, id);
     cls.nodes.push_back(std::move(cn));
+    index_op(Op::kConst, id);
 }
 
 void

@@ -13,6 +13,8 @@
  */
 #pragma once
 
+#include <array>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -101,6 +103,21 @@ class EGraph {
     /** All canonical class ids (stable order of creation). */
     std::vector<ClassId> class_ids() const;
 
+    /**
+     * Op-index: the canonical classes containing at least one e-node with
+     * operator `op`, in class_ids() order — the e-matching fast path. A
+     * searcher whose pattern root is a fixed operator visits only these
+     * classes instead of scanning the whole graph, with identical results
+     * (an e-class only ever *gains* operators, so the index has no false
+     * negatives, and entries are re-canonicalized before being returned).
+     *
+     * The underlying journal is append-only on add(); queries compact it
+     * lazily (canonicalize, dedup, sort by creation ordinal) and cache
+     * the compacted form until the next graph mutation. Requires a clean
+     * (rebuilt) graph so canonical ids are stable.
+     */
+    const std::vector<ClassId>& classes_with_op(Op op) const;
+
     /** Total number of e-nodes across canonical classes. */
     std::size_t num_nodes() const;
 
@@ -167,6 +184,14 @@ class EGraph {
     /** Applies analysis consequences (inject Const node) to a class. */
     void modify(ClassId id);
 
+    /** Records `id` in the op-index journal for `op`. */
+    void
+    index_op(Op op, ClassId id)
+    {
+        op_index_[static_cast<std::size_t>(op)].push_back(id);
+        ++index_version_;
+    }
+
     UnionFind uf_;
     std::unordered_map<ENode, ClassId, ENodeHash> memo_;
     std::unordered_map<ClassId, EClass> classes_;
@@ -174,6 +199,16 @@ class EGraph {
     std::vector<ClassId> creation_order_;
     std::size_t union_count_ = 0;
     bool fold_constants_;
+
+    /**
+     * Op → classes journal (see classes_with_op). Mutable: queries
+     * compact in place under const, like union-find path compression.
+     * `op_index_clean_[op]` caches which `index_version_` the entry was
+     * last compacted at; any mutation bumps the version and invalidates.
+     */
+    mutable std::array<std::vector<ClassId>, kNumOps> op_index_;
+    mutable std::array<std::uint64_t, kNumOps> op_index_clean_{};
+    std::uint64_t index_version_ = 1;
 };
 
 /**

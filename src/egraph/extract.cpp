@@ -77,23 +77,50 @@ TermRef
 Extractor::build(ClassId id,
                  std::unordered_map<ClassId, TermRef>& memo) const
 {
-    id = graph_.find_const(id);
-    auto found = memo.find(id);
-    if (found != memo.end()) {
-        return found->second;
+    // Explicit worklist instead of recursion: the extracted term's depth
+    // is bounded only by the e-graph (a chain of n adds extracts as a
+    // depth-n term), and deep kernels used to overflow the call stack
+    // here. Each frame visits its chosen node's children first (post-order
+    // via the `expanded` flag), then materializes the term.
+    struct Frame {
+        ClassId id;
+        bool expanded;
+    };
+    std::vector<Frame> stack;
+    stack.push_back(Frame{graph_.find_const(id), false});
+    while (!stack.empty()) {
+        Frame& frame = stack.back();
+        const ClassId cur = frame.id;
+        if (memo.count(cur) != 0) {
+            stack.pop_back();
+            continue;
+        }
+        const Choice& choice = best_.at(cur);
+        DIOS_ASSERT(choice.node >= 0, "building an unrealizable class");
+        const ENode& node =
+            graph_.eclass(cur).nodes[static_cast<std::size_t>(choice.node)];
+        if (!frame.expanded) {
+            frame.expanded = true;
+            // Push children in reverse so they build left-to-right,
+            // matching the old recursive order.
+            for (auto it = node.children.rbegin();
+                 it != node.children.rend(); ++it) {
+                const ClassId child = graph_.find_const(*it);
+                if (memo.count(child) == 0) {
+                    stack.push_back(Frame{child, false});
+                }
+            }
+            continue;
+        }
+        std::vector<TermRef> kids;
+        kids.reserve(node.children.size());
+        for (const ClassId child : node.children) {
+            kids.push_back(memo.at(graph_.find_const(child)));
+        }
+        memo.emplace(cur, enode_to_term(node, kids));
+        stack.pop_back();
     }
-    const Choice& choice = best_.at(id);
-    DIOS_ASSERT(choice.node >= 0, "building an unrealizable class");
-    const ENode& node =
-        graph_.eclass(id).nodes[static_cast<std::size_t>(choice.node)];
-    std::vector<TermRef> kids;
-    kids.reserve(node.children.size());
-    for (const ClassId child : node.children) {
-        kids.push_back(build(child, memo));
-    }
-    TermRef term = enode_to_term(node, kids);
-    memo.emplace(id, term);
-    return term;
+    return memo.at(graph_.find_const(id));
 }
 
 }  // namespace diospyros

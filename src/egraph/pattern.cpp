@@ -1,5 +1,6 @@
 #include "egraph/pattern.h"
 
+#include <array>
 #include <utility>
 
 #include "support/error.h"
@@ -135,52 +136,69 @@ prototype_matches(const ENode& proto, const ENode& node,
     }
 }
 
-void
-match_node(const EGraph& graph, const PatternRef& pattern, ClassId id,
-           const Subst& subst, std::vector<Subst>& out);
+/**
+ * Backtracking e-matcher. Goals still to be solved form an intrusive
+ * stack-allocated list (`Pending`); a single mutable Subst is threaded
+ * through the whole search, bindings undone via truncate() when a branch
+ * is exhausted. The Subst is copied exactly once per emitted match,
+ * instead of once per pattern level as the previous cross-product
+ * matcher did. Enumeration order (depth-first, children left to right,
+ * class nodes in storage order) matches the old matcher exactly.
+ */
+struct Pending {
+    const PatternNode* pattern;
+    ClassId cls;
+    const Pending* rest;
+};
 
-/** Extends `prefix` by matching pattern children against node children. */
 void
-match_children(const EGraph& graph, const PatternNode& pattern,
-               const ENode& node, const Subst& prefix, std::size_t i,
-               std::vector<Subst>& out)
+solve(const EGraph& graph, const Pending* goals, Subst& subst,
+      std::vector<Subst>& out)
 {
-    if (i == pattern.children().size()) {
-        out.push_back(prefix);
+    if (goals == nullptr) {
+        out.push_back(subst);
         return;
     }
-    std::vector<Subst> partial;
-    match_node(graph, pattern.children()[i], node.children[i], prefix,
-               partial);
-    for (const Subst& s : partial) {
-        match_children(graph, pattern, node, s, i + 1, out);
-    }
-}
-
-void
-match_node(const EGraph& graph, const PatternRef& pattern, ClassId id,
-           const Subst& subst, std::vector<Subst>& out)
-{
-    id = graph.find_const(id);
-    if (pattern->kind() == PatternNode::Kind::kVar) {
-        if (auto bound = subst.find(pattern->var_name())) {
+    const PatternNode& pattern = *goals->pattern;
+    const ClassId id = graph.find_const(goals->cls);
+    if (pattern.kind() == PatternNode::Kind::kVar) {
+        if (auto bound = subst.find(pattern.var_name())) {
             if (graph.find_const(*bound) == id) {
-                out.push_back(subst);
+                solve(graph, goals->rest, subst, out);
             }
             return;
         }
-        Subst extended = subst;
-        extended.bind(pattern->var_name(), id);
-        out.push_back(std::move(extended));
+        const std::size_t mark = subst.size();
+        subst.bind(pattern.var_name(), id);
+        solve(graph, goals->rest, subst, out);
+        subst.truncate(mark);
         return;
+    }
+    const std::size_t arity = pattern.children().size();
+    // Continuation frames for this operator's children; reused across the
+    // node loop (each recursive solve() completes before the next node).
+    std::array<Pending, 8> frame_buf;
+    std::vector<Pending> frame_heap;
+    Pending* frames = frame_buf.data();
+    if (arity > frame_buf.size()) {
+        frame_heap.resize(arity);
+        frames = frame_heap.data();
     }
     const EClass& cls = graph.eclass(id);
     for (const ENode& node : cls.nodes) {
-        if (!prototype_matches(pattern->prototype(), node,
-                               pattern->children().size())) {
+        if (!prototype_matches(pattern.prototype(), node, arity)) {
             continue;
         }
-        match_children(graph, *pattern, node, subst, 0, out);
+        if (arity == 0) {
+            solve(graph, goals->rest, subst, out);
+            continue;
+        }
+        for (std::size_t i = 0; i < arity; ++i) {
+            frames[i].pattern = pattern.children()[i].get();
+            frames[i].cls = node.children[i];
+            frames[i].rest = i + 1 < arity ? &frames[i + 1] : goals->rest;
+        }
+        solve(graph, frames, subst, out);
     }
 }
 
@@ -218,7 +236,9 @@ std::vector<Subst>
 Pattern::match_class(const EGraph& graph, ClassId id) const
 {
     std::vector<Subst> out;
-    match_node(graph, root_, id, Subst{}, out);
+    Subst subst;
+    const Pending root_goal{root_.get(), id, nullptr};
+    solve(graph, &root_goal, subst, out);
     return out;
 }
 

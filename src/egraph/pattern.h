@@ -10,25 +10,39 @@
  */
 #pragma once
 
+#include <array>
+#include <cstddef>
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "egraph/egraph.h"
 
 namespace diospyros {
 
-/** A substitution from pattern variables to e-classes. */
+/**
+ * A substitution from pattern variables to e-classes.
+ *
+ * Substitutions are tiny (a handful of variables), so bindings live in a
+ * fixed inline array — no heap allocation on the e-matching hot path —
+ * with a heap overflow only for pathological patterns. The matcher binds
+ * and unbinds in LIFO order (backtracking), so truncate() suffices to
+ * undo.
+ */
 class Subst {
   public:
+    using Binding = std::pair<Symbol, ClassId>;
+
     /** Class bound to a variable, or nullopt. */
     std::optional<ClassId>
     find(Symbol var) const
     {
-        for (const auto& [v, id] : bindings_) {
-            if (v == var) {
-                return id;
+        for (std::size_t i = 0; i < size_; ++i) {
+            const Binding& b = (*this)[i];
+            if (b.first == var) {
+                return b.second;
             }
         }
         return std::nullopt;
@@ -37,19 +51,51 @@ class Subst {
     void
     bind(Symbol var, ClassId id)
     {
-        bindings_.emplace_back(var, id);
+        if (size_ < kInline) {
+            inline_[size_] = Binding{var, id};
+        } else {
+            overflow_.emplace_back(var, id);
+        }
+        ++size_;
     }
 
-    const std::vector<std::pair<Symbol, ClassId>>&
+    /** Drops bindings back to a previous size() (backtracking undo). */
+    void
+    truncate(std::size_t n)
+    {
+        if (size_ > kInline) {
+            overflow_.resize(n > kInline ? n - kInline : 0);
+        }
+        size_ = n;
+    }
+
+    std::size_t size() const { return size_; }
+
+    const Binding&
+    operator[](std::size_t i) const
+    {
+        return i < kInline ? inline_[i] : overflow_[i - kInline];
+    }
+
+    /** Materialized copy of all bindings, in binding order. */
+    std::vector<Binding>
     bindings() const
     {
-        return bindings_;
+        std::vector<Binding> out;
+        out.reserve(size_);
+        for (std::size_t i = 0; i < size_; ++i) {
+            out.push_back((*this)[i]);
+        }
+        return out;
     }
 
   private:
-    // Substitutions are tiny (a handful of variables), so a flat vector
-    // beats a hash map here.
-    std::vector<std::pair<Symbol, ClassId>> bindings_;
+    /** Covers every shipped pattern (≤3 variables) without spilling. */
+    static constexpr std::size_t kInline = 4;
+
+    std::array<Binding, kInline> inline_{};
+    std::vector<Binding> overflow_;
+    std::size_t size_ = 0;
 };
 
 class PatternNode;

@@ -4,16 +4,36 @@
 
 namespace diospyros {
 
+namespace {
+
 std::vector<RuleMatch>
-Searcher::search(const EGraph& graph) const
+search_over(const Searcher& searcher, const EGraph& graph,
+            const std::vector<ClassId>& ids)
 {
     std::vector<RuleMatch> out;
-    for (const ClassId id : graph.class_ids()) {
-        std::vector<RuleMatch> matches = search_class(graph, id);
+    for (const ClassId id : ids) {
+        std::vector<RuleMatch> matches = searcher.search_class(graph, id);
         out.insert(out.end(), std::make_move_iterator(matches.begin()),
                    std::make_move_iterator(matches.end()));
     }
     return out;
+}
+
+}  // namespace
+
+std::vector<RuleMatch>
+Searcher::search(const EGraph& graph) const
+{
+    if (const std::optional<Op> op = root_op()) {
+        return search_over(*this, graph, graph.classes_with_op(*op));
+    }
+    return search_over(*this, graph, graph.class_ids());
+}
+
+std::vector<RuleMatch>
+Searcher::search_naive(const EGraph& graph) const
+{
+    return search_over(*this, graph, graph.class_ids());
 }
 
 std::vector<RuleMatch>
@@ -26,11 +46,52 @@ PatternSearcher::search_class(const EGraph& graph, ClassId id) const
     return out;
 }
 
+std::optional<Op>
+PatternSearcher::root_op() const
+{
+    if (pattern_.root()->kind() == PatternNode::Kind::kOperator) {
+        return pattern_.root()->prototype().op;
+    }
+    return std::nullopt;
+}
+
 bool
 PatternApplier::apply(EGraph& graph, const RuleMatch& match) const
 {
     const ClassId rhs = pattern_.instantiate(graph, match.subst);
     return graph.merge(match.root, rhs);
+}
+
+namespace {
+
+/**
+ * Forwards to an inner searcher but reports no root op, forcing search()
+ * down the full-scan path regardless of what the inner searcher indexes.
+ */
+class NaiveSearchAdapter : public Searcher {
+  public:
+    explicit NaiveSearchAdapter(std::shared_ptr<const Searcher> inner)
+        : inner_(std::move(inner))
+    {
+    }
+
+    std::vector<RuleMatch>
+    search_class(const EGraph& graph, ClassId id) const override
+    {
+        return inner_->search_class(graph, id);
+    }
+
+  private:
+    std::shared_ptr<const Searcher> inner_;
+};
+
+}  // namespace
+
+Rewrite
+Rewrite::with_naive_search() const
+{
+    return Rewrite(name_, std::make_shared<NaiveSearchAdapter>(searcher_),
+                   applier_);
 }
 
 Rewrite

@@ -12,6 +12,7 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -34,8 +35,28 @@ class Searcher {
     virtual std::vector<RuleMatch> search_class(const EGraph& graph,
                                                 ClassId id) const = 0;
 
-    /** Matches across the whole graph (default: every class). */
-    virtual std::vector<RuleMatch> search(const EGraph& graph) const;
+    /**
+     * Operator that any matched class must contain at its root, or
+     * nullopt when no single operator gates the match. When present,
+     * search() consults the e-graph's op-index and visits only
+     * EGraph::classes_with_op(*root_op()) — the e-matching fast path —
+     * instead of scanning every class. The index preserves class_ids()
+     * order and has no false negatives, so the match set is identical to
+     * a full scan.
+     */
+    virtual std::optional<Op> root_op() const { return std::nullopt; }
+
+    /**
+     * Matches across the whole graph: the op-indexed subset when
+     * root_op() names one, else every class.
+     */
+    std::vector<RuleMatch> search(const EGraph& graph) const;
+
+    /**
+     * Full-scan reference search: every class, ignoring the op-index.
+     * Kept for differential testing and benchmarking against search().
+     */
+    std::vector<RuleMatch> search_naive(const EGraph& graph) const;
 };
 
 /** Applies a rule's right-hand side at a match site. */
@@ -60,6 +81,9 @@ class PatternSearcher : public Searcher {
 
     std::vector<RuleMatch> search_class(const EGraph& graph,
                                         ClassId id) const override;
+
+    /** The root prototype's operator, when the root is not a variable. */
+    std::optional<Op> root_op() const override;
 
     const Pattern& pattern() const { return pattern_; }
 
@@ -106,6 +130,13 @@ class Rewrite {
     const std::string& name() const { return name_; }
     const Searcher& searcher() const { return *searcher_; }
     const Applier& applier() const { return *applier_; }
+
+    /**
+     * A copy of this rule whose searcher ignores the op-index (reports no
+     * root_op(), so search() takes the full-scan path). For differential
+     * tests and the naive-vs-indexed benchmarks; semantics are identical.
+     */
+    Rewrite with_naive_search() const;
 
   private:
     std::string name_;

@@ -81,6 +81,11 @@ Runner::run(EGraph& graph, const std::vector<Rewrite>& rules,
     std::vector<int> banned_until(rules.size(), 0);
     std::vector<int> ban_count(rules.size(), 0);
 
+    report.rule_stats.resize(rules.size());
+    for (std::size_t r = 0; r < rules.size(); ++r) {
+        report.rule_stats[r].name = rules[r].name();
+    }
+
     for (int iter = 0; iter < limits_.iter_limit; ++iter) {
         DIOS_FAULT_POINT("runner.iter");
         Timer iter_timer;
@@ -90,6 +95,10 @@ Runner::run(EGraph& graph, const std::vector<Rewrite>& rules,
 
         // Phase 1: search every rule against the clean graph, so all rules
         // see the same snapshot (no phase ordering within an iteration).
+        // `search_truncated` records that the time budget or deadline cut
+        // this phase short — an iteration that then changes nothing must
+        // NOT be reported as saturation (unsearched rules may still match).
+        bool search_truncated = false;
         std::vector<std::vector<RuleMatch>> all_matches;
         all_matches.reserve(rules.size());
         for (std::size_t r = 0; r < rules.size(); ++r) {
@@ -98,8 +107,12 @@ Runner::run(EGraph& graph, const std::vector<Rewrite>& rules,
                 all_matches.emplace_back();
                 continue;
             }
+            Timer search_timer;
             std::vector<RuleMatch> matches =
                 rules[r].searcher().search(graph);
+            const double search_s = search_timer.elapsed_seconds();
+            stats.search_seconds += search_s;
+            report.rule_stats[r].search_seconds += search_s;
             if (limits_.backoff_threshold != 0 &&
                 matches.size() > limits_.backoff_threshold) {
                 // Ban for a geometrically growing window and keep only
@@ -113,9 +126,11 @@ Runner::run(EGraph& graph, const std::vector<Rewrite>& rules,
                 matches.resize(limits_.match_limit_per_rule);
             }
             stats.matches += matches.size();
+            report.rule_stats[r].matches += matches.size();
             all_matches.push_back(std::move(matches));
             if (total.elapsed_seconds() > limits_.time_limit_seconds ||
                 deadline.expired()) {
+                search_truncated = r + 1 < rules.size();
                 break;
             }
         }
@@ -123,10 +138,12 @@ Runner::run(EGraph& graph, const std::vector<Rewrite>& rules,
         // Phase 2: apply everything that was found.
         bool tripped = false;
         for (std::size_t r = 0; r < all_matches.size() && !tripped; ++r) {
+            Timer apply_timer;
             std::size_t since_check = 0;
             for (const RuleMatch& match : all_matches[r]) {
                 if (rules[r].applier().apply(graph, match)) {
                     ++stats.applications;
+                    ++report.rule_stats[r].applications;
                 }
                 if (++since_check >= kWatchdogStride) {
                     since_check = 0;
@@ -139,12 +156,16 @@ Runner::run(EGraph& graph, const std::vector<Rewrite>& rules,
                     }
                 }
             }
+            const double apply_s = apply_timer.elapsed_seconds();
+            stats.apply_seconds += apply_s;
+            report.rule_stats[r].apply_seconds += apply_s;
             if (over_budget()) {
                 break;
             }
         }
 
         // Phase 3: one batched congruence restoration.
+        Timer rebuild_timer;
         graph.rebuild();
 #ifndef NDEBUG
         // Debug builds re-verify the e-graph invariants after every
@@ -160,6 +181,7 @@ Runner::run(EGraph& graph, const std::vector<Rewrite>& rules,
         }
 #endif
 
+        stats.rebuild_seconds = rebuild_timer.elapsed_seconds();
         stats.nodes_after = graph.num_nodes();
         stats.classes_after = graph.num_classes();
         stats.seconds = iter_timer.elapsed_seconds();
@@ -167,12 +189,25 @@ Runner::run(EGraph& graph, const std::vector<Rewrite>& rules,
 
         const bool changed = graph.union_count() != unions_before ||
                              graph.num_nodes() != nodes_before;
-        if (!changed && stats.banned_rules == 0) {
+        // A budget trip outranks saturation: when the time limit or the
+        // deadline cut phase 1 short, "nothing changed" only means the
+        // *searched* prefix of the rule set found nothing — unsearched
+        // rules may still match, so reporting kSaturated here would be a
+        // lie the caller acts on (it skips degradation for "complete"
+        // runs). Check the budget first.
+        if (const auto reason = over_budget()) {
+            report.stop_reason = *reason;
+            break;
+        }
+        if (!changed && !search_truncated && stats.banned_rules == 0) {
             report.stop_reason = StopReason::kSaturated;
             break;
         }
-        if (const auto reason = over_budget()) {
-            report.stop_reason = *reason;
+        if (search_truncated) {
+            // Defensive backstop: phase 1 tripped on time/deadline, yet
+            // over_budget() no longer agrees (unreachable while both
+            // signals stay monotone). Still not saturation.
+            report.stop_reason = StopReason::kTimeLimit;
             break;
         }
         if (iter + 1 == limits_.iter_limit) {

@@ -69,12 +69,33 @@ struct IterationStats {
     /** Rules skipped this iteration because of backoff bans. */
     std::size_t banned_rules = 0;
     double seconds = 0.0;
+    /** Phase breakdown of `seconds` (search / apply / rebuild). */
+    double search_seconds = 0.0;
+    double apply_seconds = 0.0;
+    double rebuild_seconds = 0.0;
+};
+
+/**
+ * Per-rule totals accumulated across all iterations: where e-matching
+ * time goes and which rules actually fire. Surfaced through the compile
+ * report (`dioscc --json`) and the service metrics.
+ */
+struct RuleStats {
+    std::string name;
+    /** Matches found (after backoff / match-limit caps). */
+    std::size_t matches = 0;
+    /** Applications that changed the e-graph. */
+    std::size_t applications = 0;
+    double search_seconds = 0.0;
+    double apply_seconds = 0.0;
 };
 
 /** Overall saturation report. */
 struct RunnerReport {
     StopReason stop_reason = StopReason::kSaturated;
     std::vector<IterationStats> iterations;
+    /** One entry per rule, in rule-set order. */
+    std::vector<RuleStats> rule_stats;
     double total_seconds = 0.0;
     std::size_t final_nodes = 0;
     std::size_t final_classes = 0;

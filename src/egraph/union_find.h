@@ -27,6 +27,7 @@ class UnionFind {
     {
         const ClassId id = static_cast<ClassId>(parents_.size());
         parents_.push_back(id);
+        min_.push_back(id);
         return id;
     }
 
@@ -65,14 +66,32 @@ class UnionFind {
         const ClassId ra = find(a);
         const ClassId rb = find(b);
         parents_[rb] = ra;
+        if (min_[rb] < min_[ra]) {
+            min_[ra] = min_[rb];
+        }
         return ra;
     }
 
     /** True when a and b are in the same set. */
     bool same(ClassId a, ClassId b) { return find(a) == find(b); }
 
+    /**
+     * Smallest member id of `id`'s set. Because ids are handed out
+     * sequentially, this is the set's creation ordinal — the position its
+     * class occupies in EGraph::class_ids(). The op-index sorts candidate
+     * classes by this key so an indexed search visits classes in exactly
+     * the order a naive full scan would.
+     */
+    ClassId
+    min_member(ClassId id) const
+    {
+        return min_[find_const(id)];
+    }
+
   private:
     std::vector<ClassId> parents_;
+    /** Per root: the smallest id in the set (valid at roots only). */
+    std::vector<ClassId> min_;
 };
 
 }  // namespace diospyros

@@ -103,6 +103,33 @@ op_is_vector(Op op)
     return !op_is_scalar(op) && op != Op::kList;
 }
 
+Term::~Term()
+{
+    // Drain sole-owner descendants through an explicit worklist. Without
+    // this, destroying the head of an unshared depth-n chain recurses n
+    // shared_ptr destructors deep and overflows the stack for the ~50k-
+    // deep accumulation terms extraction can produce.
+    std::vector<TermRef> pending;
+    pending.reserve(children_.size());
+    for (TermRef& c : children_) {
+        pending.push_back(std::move(c));
+    }
+    children_.clear();
+    while (!pending.empty()) {
+        TermRef t = std::move(pending.back());
+        pending.pop_back();
+        if (t && t.use_count() == 1) {
+            // Last reference: steal its children before its destructor
+            // runs, so teardown stays one level deep.
+            auto& kids = const_cast<Term&>(*t).children_;
+            for (TermRef& c : kids) {
+                pending.push_back(std::move(c));
+            }
+            kids.clear();
+        }
+    }
+}
+
 TermRef
 Term::constant(Rational v)
 {

@@ -137,6 +137,15 @@ class Term {
     /** Parses a term from s-expression text. */
     static TermRef parse(const std::string& text);
 
+    /**
+     * Iterative teardown: the default (recursive) shared_ptr destruction
+     * overflows the stack on deep unshared chains — e.g. the ~50k-deep
+     * accumulation terms extraction can produce — so children whose
+     * refcount is about to reach zero are drained through an explicit
+     * worklist instead.
+     */
+    ~Term();
+
   private:
     Term() = default;
 

@@ -23,9 +23,20 @@ DiosCostModel::classify_vec(const EGraph& graph, const ENode& vec) const
             contiguous = false;
             continue;
         }
+        // Prefer a Get on the array this Vec is already tracking: after
+        // rewrites merge classes, a lane class can alias elements of
+        // several arrays (e.g. hold both (Get b 9) and (Get a 1)), and
+        // taking whichever Get happens to be stored first would classify
+        // by the alias instead of the run the vector is actually reading.
         const ENode* get = nullptr;
         for (const ENode& n : graph.eclass(id).nodes) {
-            if (n.op == Op::kGet) {
+            if (n.op != Op::kGet) {
+                continue;
+            }
+            if (get == nullptr) {
+                get = &n;
+            }
+            if (saw_array && n.symbol == array) {
                 get = &n;
                 break;
             }
@@ -38,9 +49,14 @@ DiosCostModel::classify_vec(const EGraph& graph, const ENode& vec) const
             array = get->symbol;
             expect_index = get->index;
         } else if (get->symbol != array) {
+            // Foreign-array lane: a cross-array select, never part of the
+            // tracked array's run — do not advance expect_index, so the
+            // tracked run is judged only against its own lanes.
             multi_array = true;
+            contiguous = false;
+            continue;
         }
-        if (get->symbol == array && get->index != expect_index) {
+        if (get->index != expect_index) {
             contiguous = false;
         }
         ++expect_index;
@@ -49,12 +65,14 @@ DiosCostModel::classify_vec(const EGraph& graph, const ENode& vec) const
         return VecKind::kMultiArraySelect;
     }
     // A fully-aligned run starting at a multiple of the width is a plain
-    // vector load.
+    // vector load. The lookup must name the tracked array: lane 0's class
+    // may also alias a foreign array's element, and an unqualified "first
+    // Get" could report that alias's index here.
     if (saw_array && contiguous) {
         const ENode* first_get = nullptr;
         for (const ENode& n :
              graph.eclass(graph.find_const(vec.children[0])).nodes) {
-            if (n.op == Op::kGet) {
+            if (n.op == Op::kGet && n.symbol == array) {
                 first_get = &n;
                 break;
             }

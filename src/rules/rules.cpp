@@ -47,6 +47,8 @@ class ListChunkSearcher : public Searcher {
         }
         return {};
     }
+
+    std::optional<Op> root_op() const override { return Op::kList; }
 };
 
 class ListChunkApplier : public Applier {
@@ -161,6 +163,8 @@ class VecBinaryLiftSearcher : public Searcher {
         }
         return {};
     }
+
+    std::optional<Op> root_op() const override { return Op::kVec; }
 
     /** Sentinel meaning "materialize the appropriate constant here". */
     static constexpr ClassId kZeroMarker = 0xffffffffu;
@@ -293,6 +297,8 @@ class VecUnaryLiftSearcher : public Searcher {
         }
         return {};
     }
+
+    std::optional<Op> root_op() const override { return Op::kVec; }
 
     Op scalar_op() const { return scalar_op_; }
     int width() const { return width_; }
@@ -439,6 +445,8 @@ class VecMacSearcher : public Searcher {
         }
         return {};
     }
+
+    std::optional<Op> root_op() const override { return Op::kVec; }
 
     static constexpr ClassId kZeroMarker = 0xffffffffu;
 

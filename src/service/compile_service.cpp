@@ -145,6 +145,10 @@ ServiceMetrics::to_json() const
     json_count(out, "load_errors", load_errors, false);
     json_count(out, "queue_depth", queue_depth, false);
     json_count(out, "peak_queue_depth", peak_queue_depth, false);
+    json_count(out, "ematch_matches", ematch_matches, false);
+    json_count(out, "ematch_applications", ematch_applications, false);
+    json_seconds(out, "ematch_search_seconds", ematch_search_seconds, false);
+    json_seconds(out, "ematch_apply_seconds", ematch_apply_seconds, false);
     json_seconds(out, "lift_seconds", lift_seconds, false);
     json_seconds(out, "saturation_seconds", saturation_seconds, false);
     json_seconds(out, "extract_seconds", extract_seconds, false);
@@ -411,6 +415,12 @@ CompileService::finish(const std::shared_ptr<Job>& job, ResultPtr result,
                 metrics_.extract_seconds += r.extract_seconds;
                 metrics_.backend_seconds += r.backend_seconds;
                 metrics_.total_seconds += r.total_seconds;
+                for (const RuleStats& rs : r.rule_stats) {
+                    metrics_.ematch_matches += rs.matches;
+                    metrics_.ematch_applications += rs.applications;
+                    metrics_.ematch_search_seconds += rs.search_seconds;
+                    metrics_.ematch_apply_seconds += rs.apply_seconds;
+                }
             } else {
                 ++metrics_.failures;
                 if (result->user_error) {

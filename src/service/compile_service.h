@@ -115,6 +115,12 @@ struct ServiceMetrics {
     double extract_seconds = 0.0;
     double backend_seconds = 0.0;
     double total_seconds = 0.0;
+    /** Aggregated e-matching totals (summed over every rule of every
+     *  executed compile's saturation run). */
+    std::uint64_t ematch_matches = 0;
+    std::uint64_t ematch_applications = 0;
+    double ematch_search_seconds = 0.0;
+    double ematch_apply_seconds = 0.0;
 
     /** One JSON object with every field above. */
     std::string to_json() const;

@@ -452,6 +452,22 @@ TEST(AuditEGraph, FlagsDirtyGraph)
     EXPECT_TRUE(diags.has_code("E106")) << diags.render_text();
 }
 
+TEST(AuditEGraph, OpIndexInvariantHoldsAfterMerges)
+{
+    // The auditor's E107/E108 checks recompute the op-index from the
+    // class table; a merged-then-rebuilt graph must pass both directions
+    // (no class missing from its op's list, no stale entry surviving).
+    EGraph graph;
+    const ClassId a = graph.add_term(Term::parse("(+ (Get a 0) (Get a 1))"));
+    const ClassId b = graph.add_term(Term::parse("(* (Get a 0) (Get a 1))"));
+    graph.merge(a, b);
+    graph.rebuild();
+    DiagEngine diags;
+    EXPECT_TRUE(audit_egraph(graph, diags)) << diags.render_text();
+    EXPECT_FALSE(diags.has_code("E107"));
+    EXPECT_FALSE(diags.has_code("E108"));
+}
+
 TEST(AuditExtraction, FlagsNonMonotonicCostModel)
 {
     struct ZeroCost : CostModel {

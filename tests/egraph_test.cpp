@@ -12,6 +12,7 @@
 #include "egraph/rewrite.h"
 #include "egraph/runner.h"
 #include "ir/eval.h"
+#include "rules/rules.h"
 #include "support/rng.h"
 
 namespace diospyros {
@@ -523,6 +524,293 @@ TEST(EGraph, AddTermHandlesLargeSharedDags)
     g.rebuild();
     EXPECT_EQ(g.num_classes(), 203u);
     g.check_invariants();
+}
+
+// ---------------------------------------------------------------------------
+// Op-index: the e-matching fast path (classes_with_op).
+
+/** Ground truth for classes_with_op: full scan in class_ids() order. */
+std::vector<ClassId>
+classes_holding(const EGraph& g, Op op)
+{
+    std::vector<ClassId> out;
+    for (const ClassId id : g.class_ids()) {
+        for (const ENode& n : g.eclass(id).nodes) {
+            if (n.op == op) {
+                out.push_back(id);
+                break;
+            }
+        }
+    }
+    return out;
+}
+
+TEST(OpIndex, ListsClassesInCreationOrder)
+{
+    EGraph g(false);
+    const ClassId g0 = g.add_get(Symbol("a"), 0);
+    const ClassId g1 = g.add_get(Symbol("a"), 1);
+    const ClassId sum = g.add_op(Op::kAdd, {g0, g1});
+    const ClassId prod = g.add_op(Op::kMul, {g0, g1});
+    g.rebuild();
+    EXPECT_EQ(g.classes_with_op(Op::kGet), (std::vector<ClassId>{g0, g1}));
+    EXPECT_EQ(g.classes_with_op(Op::kAdd), std::vector<ClassId>{sum});
+    EXPECT_EQ(g.classes_with_op(Op::kMul), std::vector<ClassId>{prod});
+    EXPECT_TRUE(g.classes_with_op(Op::kVec).empty());
+}
+
+TEST(OpIndex, StaysCanonicalAndCompleteAcrossMerges)
+{
+    // After a merge the absorbed class's journal entries must
+    // re-canonicalize to the surviving id, deduplicated, and the merged
+    // class must be listed under every op either side contributed.
+    EGraph g(false);
+    const ClassId g0 = g.add_get(Symbol("a"), 0);
+    const ClassId g1 = g.add_get(Symbol("a"), 1);
+    const ClassId sum = g.add_op(Op::kAdd, {g0, g1});
+    g.merge(sum, g0);  // pretend a rule proved (+ a0 a1) = a0
+    g.rebuild();
+    const ClassId root = g.find(sum);
+    EXPECT_EQ(g.classes_with_op(Op::kAdd), std::vector<ClassId>{root});
+    EXPECT_EQ(g.classes_with_op(Op::kGet),
+              (std::vector<ClassId>{root, g.find(g1)}));
+}
+
+TEST(OpIndex, AgreesWithFullScanOnRandomGraphs)
+{
+    // Property: under arbitrary interleavings of adds, merges, and
+    // rebuilds, the op-index equals a recomputed full scan for every op.
+    Rng rng(17);
+    for (int trial = 0; trial < 10; ++trial) {
+        EGraph g(false);
+        std::vector<ClassId> ids;
+        for (int i = 0; i < 6; ++i) {
+            ids.push_back(g.add_get(Symbol("a"), i));
+            ids.push_back(g.add_get(Symbol("b"), i));
+        }
+        for (int step = 0; step < 80; ++step) {
+            const auto pick = [&] {
+                return ids[static_cast<std::size_t>(rng.uniform_int(
+                    0, static_cast<int>(ids.size()) - 1))];
+            };
+            switch (rng.uniform_int(0, 4)) {
+              case 0:
+                g.merge(pick(), pick());
+                break;
+              case 1:
+                ids.push_back(g.add_op(Op::kAdd, {pick(), pick()}));
+                break;
+              case 2:
+                ids.push_back(g.add_op(Op::kMul, {pick(), pick()}));
+                break;
+              case 3:
+                ids.push_back(g.add_op(Op::kNeg, {pick()}));
+                break;
+              default:
+                g.rebuild();
+                for (int op_i = 0; op_i < kNumOps; ++op_i) {
+                    const Op op = static_cast<Op>(op_i);
+                    EXPECT_EQ(g.classes_with_op(op), classes_holding(g, op));
+                }
+                break;
+            }
+        }
+        g.rebuild();
+        g.check_invariants();
+        for (int op_i = 0; op_i < kNumOps; ++op_i) {
+            const Op op = static_cast<Op>(op_i);
+            EXPECT_EQ(g.classes_with_op(op), classes_holding(g, op));
+        }
+    }
+}
+
+TEST(OpIndex, TracksConstantsInjectedByAnalysis)
+{
+    // The constant-folding analysis injects Const nodes via modify(),
+    // not add(); those classes must still appear under kConst.
+    EGraph g;
+    const ClassId id = g.add_term(Term::parse("(+ 2 (* 3 4))"));
+    g.rebuild();
+    const std::vector<ClassId>& consts = g.classes_with_op(Op::kConst);
+    EXPECT_NE(std::find(consts.begin(), consts.end(), g.find(id)),
+              consts.end());
+    EXPECT_EQ(consts, classes_holding(g, Op::kConst));
+}
+
+// ---------------------------------------------------------------------------
+// Differential: indexed search must equal the naive full scan, for every
+// registered rule (pattern searchers and the custom vectorization
+// searchers alike), and saturation must produce identical graphs.
+
+/**
+ * A random vectorizable e-graph: scalar expressions over two arrays,
+ * width-4 Vec roots and vector ops over them, plus a few merges to create
+ * aliased classes. Constant folding off so random merges cannot trip the
+ * analysis soundness assert.
+ */
+EGraph
+random_vec_graph(Rng& rng)
+{
+    EGraph g(false);
+    std::vector<ClassId> scalars;
+    for (int i = 0; i < 4; ++i) {
+        scalars.push_back(g.add_get(Symbol("a"), i));
+        scalars.push_back(g.add_get(Symbol("b"), i));
+    }
+    scalars.push_back(g.add_const(Rational(0)));
+    scalars.push_back(g.add_const(Rational(1)));
+    const auto pick = [&] {
+        return scalars[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<int>(scalars.size()) - 1))];
+    };
+    for (int step = 0; step < 24; ++step) {
+        switch (rng.uniform_int(0, 3)) {
+          case 0:
+            scalars.push_back(g.add_op(Op::kAdd, {pick(), pick()}));
+            break;
+          case 1:
+            scalars.push_back(g.add_op(Op::kMul, {pick(), pick()}));
+            break;
+          case 2:
+            scalars.push_back(g.add_op(Op::kNeg, {pick()}));
+            break;
+          default:
+            scalars.push_back(g.add_op(Op::kDiv, {pick(), pick()}));
+            break;
+        }
+    }
+    std::vector<ClassId> vecs;
+    for (int v = 0; v < 4; ++v) {
+        vecs.push_back(
+            g.add_op(Op::kVec, {pick(), pick(), pick(), pick()}));
+    }
+    g.add_op(Op::kVecAdd, {vecs[0], vecs[1]});
+    g.add_op(Op::kVecMul, {vecs[2], vecs[3]});
+    g.add_op(Op::kList, {vecs[0], vecs[2]});
+    for (int m = 0; m < 3; ++m) {
+        g.merge(pick(), pick());
+    }
+    g.rebuild();
+    return g;
+}
+
+TEST(OpIndex, IndexedSearchEqualsNaiveForEveryRule)
+{
+    RuleConfig config;
+    config.target_has_recip = true;
+    const std::vector<Rewrite> rules = build_rules(config);
+    Rng rng(42);
+    for (int trial = 0; trial < 6; ++trial) {
+        const EGraph g = random_vec_graph(rng);
+        for (const Rewrite& rule : rules) {
+            const std::vector<RuleMatch> indexed =
+                rule.searcher().search(g);
+            const std::vector<RuleMatch> naive =
+                rule.searcher().search_naive(g);
+            ASSERT_EQ(indexed.size(), naive.size())
+                << "rule " << rule.name() << ", trial " << trial;
+            for (std::size_t i = 0; i < indexed.size(); ++i) {
+                EXPECT_EQ(g.find_const(indexed[i].root),
+                          g.find_const(naive[i].root))
+                    << "rule " << rule.name();
+                EXPECT_TRUE(indexed[i].subst.bindings() ==
+                            naive[i].subst.bindings())
+                    << "rule " << rule.name();
+            }
+        }
+    }
+}
+
+TEST(OpIndex, SaturationWithIndexMatchesNaiveByteForByte)
+{
+    // End to end: saturate two copies of the same graph, one through the
+    // op-indexed searchers and one forced down the full-scan path. The
+    // final graphs and the extracted programs must agree exactly.
+    RuleConfig config;
+    const std::vector<Rewrite> rules = build_rules(config);
+    std::vector<Rewrite> naive_rules;
+    naive_rules.reserve(rules.size());
+    for (const Rewrite& r : rules) {
+        naive_rules.push_back(r.with_naive_search());
+    }
+    const RunnerLimits limits{.node_limit = 50'000,
+                              .iter_limit = 6,
+                              .time_limit_seconds = 30.0};
+    Rng rng_a(7), rng_b(7);
+    for (int trial = 0; trial < 4; ++trial) {
+        EGraph ga = random_vec_graph(rng_a);
+        EGraph gb = random_vec_graph(rng_b);
+        const ClassId roota = ga.class_ids().back();
+        const ClassId rootb = gb.class_ids().back();
+        ASSERT_EQ(roota, rootb);
+        const RunnerReport ra = Runner(limits).run(ga, rules);
+        const RunnerReport rb = Runner(limits).run(gb, naive_rules);
+        EXPECT_EQ(ra.stop_reason, rb.stop_reason);
+        EXPECT_EQ(ga.num_nodes(), gb.num_nodes());
+        EXPECT_EQ(ga.num_classes(), gb.num_classes());
+        std::size_t matches_a = 0, matches_b = 0;
+        for (const RuleStats& s : ra.rule_stats) {
+            matches_a += s.matches;
+        }
+        for (const RuleStats& s : rb.rule_stats) {
+            matches_b += s.matches;
+        }
+        EXPECT_EQ(matches_a, matches_b);
+        const TreeSizeCost cost;
+        const Extractor ea(ga, cost), eb(gb, cost);
+        const Extraction besta = ea.extract(ga.find(roota));
+        const Extraction bestb = eb.extract(gb.find(rootb));
+        EXPECT_EQ(Term::to_string(besta.term), Term::to_string(bestb.term));
+        EXPECT_DOUBLE_EQ(besta.cost, bestb.cost);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stop-reason regression (S1).
+
+TEST(Runner, DeadlineMidSearchIsNotReportedAsSaturation)
+{
+    // An expired deadline makes phase 1 stop after the *first* rule. That
+    // rule finds nothing, so the iteration changes nothing — but the
+    // second rule was never searched and would have matched, so reporting
+    // kSaturated here would be false. Must report kDeadline.
+    EGraph g(false);
+    g.add_term(Term::parse("(+ (Get a 0) (Get a 1))"));
+    g.rebuild();
+    std::vector<Rewrite> rules;
+    rules.push_back(
+        Rewrite::make("never", "(sqrt (sqrt ?x))", "(sqrt (sqrt ?x))"));
+    rules.push_back(Rewrite::make("comm", "(+ ?a ?b)", "(+ ?b ?a)"));
+    Runner runner(RunnerLimits{.node_limit = 100'000,
+                               .iter_limit = 100,
+                               .time_limit_seconds = 60.0});
+    const RunnerReport report =
+        runner.run(g, rules, Deadline::after_seconds(0.0));
+    EXPECT_EQ(report.stop_reason, StopReason::kDeadline);
+    EXPECT_TRUE(g.is_clean());
+}
+
+// ---------------------------------------------------------------------------
+// Deep-chain extraction regression.
+
+TEST(Extract, DeepChainDoesNotOverflowTheStack)
+{
+    // A ~50k-deep unshared accumulation chain: extraction (and the
+    // resulting term's destruction) must both run iteratively.
+    constexpr int kDepth = 50'000;
+    TermRef t = t_get("a", 0);
+    for (int i = 0; i < kDepth; ++i) {
+        t = t_add(t, t_get("a", i % 4));
+    }
+    EGraph g(false);
+    const ClassId root = g.add_term(t);
+    g.rebuild();
+    const TreeSizeCost cost;
+    const Extractor ex(g, cost);
+    const Extraction best = ex.extract(g.find(root));
+    ASSERT_NE(best.term, nullptr);
+    EXPECT_EQ(Term::dag_size(best.term), static_cast<std::size_t>(kDepth) + 4);
+    t.reset();  // the original chain's teardown must be iterative too
 }
 
 }  // namespace

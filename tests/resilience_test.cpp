@@ -410,6 +410,30 @@ TEST_F(Resilience, ExpiredDeadlineDegradesToDirectScalar)
     expect_correct(result, kernel, 19);
 }
 
+TEST_F(Resilience, DeadlineExpiringMidSearchIsNotSaturation)
+{
+    // Regression: when the compile-wide deadline expires during the
+    // runner's search phase, the iteration may change nothing — because
+    // later rules were never searched, not because the graph saturated.
+    // The runner used to declare kSaturated before consulting the budget.
+    EGraph graph(false);
+    graph.add_term(Term::parse("(+ (Get a 0) (Get a 1))"));
+    graph.rebuild();
+    std::vector<Rewrite> rules;
+    rules.push_back(
+        Rewrite::make("never-fires", "(sqrt (sqrt ?x))", "(sqrt (sqrt ?x))"));
+    rules.push_back(
+        Rewrite::make("would-fire", "(+ ?a ?b)", "(+ ?b ?a)"));
+    const Runner runner(RunnerLimits{.node_limit = 100'000,
+                                     .iter_limit = 100,
+                                     .time_limit_seconds = 60.0});
+    const RunnerReport report =
+        runner.run(graph, rules, Deadline::after_seconds(0.0));
+    EXPECT_EQ(report.stop_reason, StopReason::kDeadline);
+    // The graph is still clean and usable for partial extraction.
+    EXPECT_TRUE(graph.is_clean());
+}
+
 TEST_F(Resilience, StrictCompileThrowsOnDeadline)
 {
     CompilerOptions options = test_options();

@@ -328,6 +328,79 @@ TEST(CostModel, ClassifiesVecDataMovement)
         DiosCostModel::VecKind::kHasScalarComputation);
 }
 
+TEST(CostModel, AliasedLanesClassifyByTheTrackedArray)
+{
+    // Regression: after rewrites merge classes, a lane class can hold
+    // Gets from several arrays — here (Get b 9) is stored *before*
+    // (Get a 1) in the merged class. Classification must follow the
+    // array the vector is tracking (a), not whichever Get happens to be
+    // first; the old code classified this aligned a[0..3] load as a
+    // multi-array select.
+    const DiosCostModel cost({}, 4);
+    EGraph g(false);
+    const ClassId b9 = g.add_get(Symbol("b"), 9);
+    const ClassId a1 = g.add_get(Symbol("a"), 1);
+    g.merge(b9, a1);  // b9 survives, so its Get is stored first
+    const ClassId a0 = g.add_get(Symbol("a"), 0);
+    const ClassId a2 = g.add_get(Symbol("a"), 2);
+    const ClassId a3 = g.add_get(Symbol("a"), 3);
+    const ClassId vec = g.add_op(Op::kVec, {a0, g.find(b9), a2, a3});
+    g.rebuild();
+    bool checked = false;
+    for (const ENode& n : g.eclass(g.find(vec)).nodes) {
+        if (n.op == Op::kVec) {
+            EXPECT_EQ(cost.classify_vec(g, n),
+                      DiosCostModel::VecKind::kContiguousLoad);
+            checked = true;
+        }
+    }
+    EXPECT_TRUE(checked);
+}
+
+TEST(CostModel, MultiArrayVecNeverCostsContiguous)
+{
+    // A cross-array gather must never be priced as a contiguous load,
+    // wherever the foreign lane sits relative to the tracked run.
+    const DiosCostModel cost({}, 4);
+    for (const char* text :
+         {"(Vec (Get a 0) (Get b 1) (Get a 1) (Get a 2))",
+          "(Vec (Get a 0) (Get a 1) (Get a 2) (Get b 3))",
+          "(Vec (Get b 0) (Get a 1) (Get a 2) (Get a 3))"}) {
+        EGraph g;
+        const ClassId id = g.add_term(Term::parse(text));
+        g.rebuild();
+        bool checked = false;
+        for (const ENode& n : g.eclass(g.find(id)).nodes) {
+            if (n.op == Op::kVec) {
+                EXPECT_EQ(cost.classify_vec(g, n),
+                          DiosCostModel::VecKind::kMultiArraySelect)
+                    << text;
+                checked = true;
+            }
+        }
+        EXPECT_TRUE(checked) << text;
+    }
+}
+
+TEST(CostModel, ForeignLanesDoNotBreakTheTrackedRun)
+{
+    // The foreign lane must not advance the tracked array's expected
+    // index: a[0], b[5], a[1], a[2] is a's run 0,1,2 with one foreign
+    // element — a multi-array select, but critically not a misaligned
+    // mess that extraction would price as if a's run were broken.
+    const DiosCostModel cost({}, 4);
+    EGraph g;
+    const ClassId id = g.add_term(
+        Term::parse("(Vec (Get a 0) (Get b 5) (Get a 1) (Get a 2))"));
+    g.rebuild();
+    for (const ENode& n : g.eclass(g.find(id)).nodes) {
+        if (n.op == Op::kVec) {
+            EXPECT_EQ(cost.classify_vec(g, n),
+                      DiosCostModel::VecKind::kMultiArraySelect);
+        }
+    }
+}
+
 TEST(CostModel, SingleArrayShufflesCheaperThanCrossArray)
 {
     // The paper's §3.4 statement, directly.

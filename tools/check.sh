@@ -148,3 +148,60 @@ ctest --test-dir "$build_tsan" --output-on-failure \
 
 echo "check.sh: service + resilience + analysis + durability tests" \
      "passed under TSan"
+
+# E-matching benchmark gate: run the matcher microbenchmarks from the
+# default (non-sanitized, RelWithDebInfo) build so timings are
+# representative, write BENCH_ematch.json (cold saturation + search wall
+# time, naive and op-indexed — the before/after pair), and fail when an
+# op-indexed benchmark regresses more than 20% against the checked-in
+# baseline (bench/BENCH_ematch_baseline.json). The naive entries are
+# recorded for the speedup ratio but not gated — they are the "before".
+build_bench="$repo/build"
+if [[ "${1:-}" != "--fast" || ! -d "$build_bench" ]]; then
+    cmake --preset default -S "$repo"
+fi
+cmake --build "$build_bench" -j "$jobs" --target egraph_micro
+bench_json="$build_bench/BENCH_ematch.json"
+"$build_bench/bench/egraph_micro" \
+    --benchmark_filter='bm_(saturation_cold|search_all_rules)_' \
+    --benchmark_out="$bench_json" --benchmark_out_format=json \
+    > /dev/null
+baseline="$repo/bench/BENCH_ematch_baseline.json"
+awk '
+    $0 ~ /"name":/ { split($0, q, "\""); name = q[4] }
+    $0 ~ /"real_time":/ {
+        v = $0; sub(/.*"real_time": */, "", v); sub(/,.*/, "", v)
+        if (FILENAME == ARGV[1]) { base[name] = v + 0 }
+        else                     { cur[name] = v + 0 }
+    }
+    END {
+        status = 0
+        for (n in base) {
+            if (n !~ /indexed/) { continue }
+            if (!(n in cur)) {
+                printf "check.sh: benchmark %s missing from run\n", n
+                status = 1
+                continue
+            }
+            if (cur[n] > base[n] * 1.20) {
+                printf "check.sh: BENCH REGRESSION %s: %.3f vs baseline %.3f (+%d%%)\n", \
+                    n, cur[n], base[n], int((cur[n] / base[n] - 1) * 100)
+                status = 1
+            } else {
+                printf "check.sh: bench ok %s: %.3f (baseline %.3f)\n", \
+                    n, cur[n], base[n]
+            }
+        }
+        sat_n = cur["bm_saturation_cold_naive/4"]
+        sat_i = cur["bm_saturation_cold_indexed/4"]
+        if (sat_i > 0 && sat_n > 0) {
+            printf "check.sh: cold-saturation speedup (naive/indexed): %.2fx\n", \
+                sat_n / sat_i
+            if (sat_n / sat_i < 1.5) {
+                printf "check.sh: indexed e-matching lost its speedup\n"
+                status = 1
+            }
+        }
+        exit status
+    }' "$baseline" "$bench_json"
+echo "check.sh: e-matching benchmark gate passed ($bench_json)"

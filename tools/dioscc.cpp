@@ -299,7 +299,26 @@ print_json_object(const std::string& kernel_name, const CompileReport& r,
                     fallback_level_name(a.level), a.seconds,
                     json_escape(a.error).c_str());
     }
-    std::printf("]}");
+    // Per-rule e-matching profile (rule-set order), plus the totals.
+    std::size_t ematch_matches = 0;
+    double ematch_search = 0.0;
+    double ematch_apply = 0.0;
+    std::printf("],\"rule_stats\":[");
+    for (std::size_t i = 0; i < r.rule_stats.size(); ++i) {
+        const RuleStats& s = r.rule_stats[i];
+        ematch_matches += s.matches;
+        ematch_search += s.search_seconds;
+        ematch_apply += s.apply_seconds;
+        std::printf("%s{\"rule\":\"%s\",\"matches\":%zu,"
+                    "\"applications\":%zu,\"search_seconds\":%.6f,"
+                    "\"apply_seconds\":%.6f}",
+                    i == 0 ? "" : ",", json_escape(s.name).c_str(),
+                    s.matches, s.applications, s.search_seconds,
+                    s.apply_seconds);
+    }
+    std::printf("],\"ematch_matches\":%zu,\"ematch_search_seconds\":%.6f,"
+                "\"ematch_apply_seconds\":%.6f}",
+                ematch_matches, ematch_search, ematch_apply);
 }
 
 /** Report object for a kernel that produced no result at all. */
