@@ -1,0 +1,534 @@
+/**
+ * @file
+ * Chaos soak for the compile service's overload layer (DESIGN.md §5g).
+ *
+ * Drives 100k+ requests of a mixed workload — a few hot keys (cache
+ * hits), a wider cold set (real compiles), deterministically failing
+ * "poison" kernels (negative-cache food), and optionally fault-armed
+ * requests — from several client threads through one CompileService,
+ * with admission control and load shedding enabled, then checks the
+ * service-level invariants the metrics cannot prove on their own:
+ *
+ *   - zero lost responses: every submitted request resolves;
+ *   - zero duplicated responses: each request resolves exactly once;
+ *   - every shed/breaker rejection carries a retry_after_ms hint and a
+ *     structured error;
+ *   - served artifacts are byte-identical across the whole soak AND to
+ *     a cold single-threaded compile of the same kernel (the
+ *     determinism contract under concurrency + caching);
+ *   - remembered failures replay the original error verbatim.
+ *
+ * Fault injection: the DIOS_FAULT environment variable (comma-separated
+ * specs, same syntax as dioscc --fault) is parsed but NOT armed
+ * globally — global arming would put every request into cache-bypass
+ * mode. Instead a fraction of requests carry one spec as a per-compile
+ * fault, exercising the degradation ladder inside worker threads while
+ * the rest of the traffic keeps hitting the caches.
+ *
+ * Emits one JSON object (one field per line, awk-friendly) with p50/p99
+ * latency, shed rate, and the invariant counters to stdout and --out.
+ * Non-zero exit iff an invariant is violated; check.sh gates on it and
+ * compares p99 against bench/BENCH_service_baseline.json.
+ *
+ * Usage: service_soak [--requests N] [--threads N] [--jobs N]
+ *                     [--watermark N] [--capacity N] [--out FILE]
+ */
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "compiler/driver.h"
+#include "scalar/ast.h"
+#include "service/compile_service.h"
+#include "support/numeric.h"
+
+using namespace diospyros;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+scalar::Kernel
+vadd_kernel(std::int64_t n)
+{
+    scalar::KernelBuilder kb("vadd" + std::to_string(n));
+    const scalar::IntRef size = kb.param("n", n);
+    kb.input("A", size);
+    kb.input("B", size);
+    kb.output("C", size);
+    const scalar::IntRef i = scalar::KernelBuilder::var("i");
+    kb.append(scalar::st_for(
+        "i", scalar::IntExpr::constant(0), size,
+        {scalar::st_store("C", i,
+                          scalar::KernelBuilder::load("A", i) +
+                              scalar::KernelBuilder::load("B", i))}));
+    return kb.build();
+}
+
+scalar::Kernel
+dot_kernel(std::int64_t n)
+{
+    scalar::KernelBuilder kb("dot" + std::to_string(n));
+    const scalar::IntRef size = kb.param("n", n);
+    kb.input("A", size);
+    kb.input("B", size);
+    kb.output("C", scalar::IntExpr::constant(1));
+    const scalar::IntRef i = scalar::KernelBuilder::var("i");
+    kb.append(scalar::st_store("C", scalar::IntExpr::constant(0),
+                               scalar::FloatExpr::constant(0.0f)));
+    kb.append(scalar::st_for(
+        "i", scalar::IntExpr::constant(0), size,
+        {scalar::st_store(
+            "C", scalar::IntExpr::constant(0),
+            scalar::KernelBuilder::load("C", scalar::IntExpr::constant(0)) +
+                scalar::KernelBuilder::load("A", i) *
+                    scalar::KernelBuilder::load("B", i))}));
+    return kb.build();
+}
+
+/** Deterministic UserError: loads from an undeclared array. */
+scalar::Kernel
+poison_kernel(std::int64_t n)
+{
+    scalar::KernelBuilder kb("poison" + std::to_string(n));
+    const scalar::IntRef size = kb.param("n", n);
+    kb.output("C", size);
+    const scalar::IntRef i = scalar::KernelBuilder::var("i");
+    kb.append(scalar::st_for(
+        "i", scalar::IntExpr::constant(0), size,
+        {scalar::st_store("C", i, scalar::KernelBuilder::load("Z", i))}));
+    return kb.build();
+}
+
+CompilerOptions
+soak_options()
+{
+    CompilerOptions options;
+    options.limits.node_limit = 200'000;
+    options.limits.iter_limit = 10;
+    options.limits.time_limit_seconds = 20.0;
+    return options;
+}
+
+/** xorshift64*: cheap, deterministic, one state per client thread. */
+struct Rng64 {
+    std::uint64_t state;
+    explicit Rng64(std::uint64_t seed) : state(seed | 1) {}
+    std::uint64_t
+    next()
+    {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        return state * 0x2545F4914F6CDD1DULL;
+    }
+};
+
+std::vector<std::string>
+fault_specs_from_env()
+{
+    std::vector<std::string> specs;
+    const char* env = std::getenv("DIOS_FAULT");
+    if (env == nullptr || *env == '\0') {
+        return specs;
+    }
+    std::string text = env;
+    std::size_t begin = 0;
+    while (begin <= text.size()) {
+        const std::size_t comma = text.find(',', begin);
+        const std::size_t end =
+            comma == std::string::npos ? text.size() : comma;
+        if (end > begin) {
+            specs.push_back(text.substr(begin, end - begin));
+        }
+        if (comma == std::string::npos) {
+            break;
+        }
+        begin = comma + 1;
+    }
+    return specs;
+}
+
+struct SoakConfig {
+    std::size_t requests = 100'000;
+    int threads = 4;
+    int jobs = 2;
+    std::size_t capacity = 64;
+    std::size_t watermark = 48;
+    std::string out_path;
+};
+
+struct SoakCounters {
+    std::atomic<std::uint64_t> ok{0};
+    std::atomic<std::uint64_t> shed{0};
+    std::atomic<std::uint64_t> breaker{0};
+    std::atomic<std::uint64_t> negative{0};
+    std::atomic<std::uint64_t> expired{0};
+    std::atomic<std::uint64_t> failed{0};
+    std::atomic<std::uint64_t> fault_armed{0};
+    std::atomic<std::uint64_t> lost{0};
+    std::atomic<std::uint64_t> shed_missing_retry{0};
+    std::atomic<std::uint64_t> byte_mismatches{0};
+    std::atomic<std::uint64_t> error_mismatches{0};
+};
+
+/**
+ * First-seen artifact (or failure message) per kernel name, compared
+ * against every later response and, after the soak, against a cold
+ * single-threaded compile. Byte identity here is the determinism
+ * acceptance criterion.
+ */
+class ReferenceBook {
+  public:
+    /** Returns false when `text` differs from the recorded one. */
+    bool
+    check(const std::string& name, const std::string& text)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto [it, inserted] = book_.try_emplace(name, text);
+        return inserted || it->second == text;
+    }
+
+    std::map<std::string, std::string>
+    snapshot() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return book_;
+    }
+
+  private:
+    mutable std::mutex mu_;
+    std::map<std::string, std::string> book_;
+};
+
+void
+usage(const char* argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--requests N] [--threads N] [--jobs N] "
+                 "[--watermark N] [--capacity N] [--out FILE]\n",
+                 argv0);
+    std::exit(2);
+}
+
+SoakConfig
+parse_args(int argc, char** argv)
+{
+    SoakConfig cfg;
+    auto next = [&](int& i) -> std::string {
+        if (i + 1 >= argc) {
+            usage(argv[0]);
+        }
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--requests") {
+            cfg.requests = static_cast<std::size_t>(
+                require_positive_integer(arg, next(i)));
+        } else if (arg == "--threads") {
+            cfg.threads = static_cast<int>(
+                require_positive_integer(arg, next(i)));
+        } else if (arg == "--jobs") {
+            cfg.jobs = static_cast<int>(
+                require_positive_integer(arg, next(i)));
+        } else if (arg == "--watermark") {
+            cfg.watermark = static_cast<std::size_t>(
+                require_nonnegative_integer(arg, next(i)));
+        } else if (arg == "--capacity") {
+            cfg.capacity = static_cast<std::size_t>(
+                require_positive_integer(arg, next(i)));
+        } else if (arg == "--out") {
+            cfg.out_path = next(i);
+        } else {
+            usage(argv[0]);
+        }
+    }
+    return cfg;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+try {
+    const SoakConfig cfg = parse_args(argc, argv);
+    const std::vector<std::string> fault_specs = fault_specs_from_env();
+
+    // The workload: 4 hot keys, 24 cold keys, 3 poison keys.
+    std::vector<scalar::Kernel> hot;
+    for (std::int64_t n = 4; n <= 16; n += 4) {
+        hot.push_back(vadd_kernel(n));
+    }
+    std::vector<scalar::Kernel> cold;
+    for (std::int64_t n = 20; n <= 64; n += 4) {
+        cold.push_back(vadd_kernel(n));
+    }
+    for (std::int64_t n = 4; n <= 48; n += 4) {
+        cold.push_back(dot_kernel(n));
+    }
+    std::vector<scalar::Kernel> poison;
+    for (std::int64_t n = 4; n <= 6; ++n) {
+        poison.push_back(poison_kernel(n));
+    }
+
+    service::CompileService::Options sopts;
+    sopts.jobs = cfg.jobs;
+    sopts.queue_capacity = cfg.capacity;
+    sopts.shed_watermark = cfg.watermark;
+    service::CompileService svc(sopts);
+    const CompilerOptions options = soak_options();
+
+    SoakCounters counters;
+    ReferenceBook artifacts;
+    ReferenceBook failures;
+    // resolved[i]: how many times request i produced a result. Anything
+    // other than exactly 1 per slot after the soak is lost/duplicated.
+    std::vector<std::uint8_t> resolved(cfg.requests, 0);
+    std::vector<double> latency_us(cfg.requests, 0.0);
+    std::atomic<std::size_t> next_request{0};
+
+    const Clock::time_point soak_start = Clock::now();
+    std::vector<std::thread> clients;
+    for (int t = 0; t < cfg.threads; ++t) {
+        clients.emplace_back([&, t] {
+            Rng64 rng(0x9E3779B97F4A7C15ULL * (t + 1));
+            for (;;) {
+                const std::size_t idx = next_request.fetch_add(1);
+                if (idx >= cfg.requests) {
+                    return;
+                }
+                const std::uint64_t draw = rng.next() % 1000;
+                CompilerOptions req = options;
+                const scalar::Kernel* kernel = nullptr;
+                bool faulted = false;
+                if (draw < 700) {
+                    kernel = &hot[rng.next() % hot.size()];
+                } else if (draw < 930) {
+                    kernel = &cold[rng.next() % cold.size()];
+                } else if (draw < 970 || fault_specs.empty()) {
+                    kernel = &poison[rng.next() % poison.size()];
+                } else {
+                    kernel = &hot[rng.next() % hot.size()];
+                    req.fault_specs = {
+                        fault_specs[rng.next() % fault_specs.size()]};
+                    faulted = true;
+                    counters.fault_armed.fetch_add(1);
+                }
+                service::SubmitOptions subopts;
+                const std::uint64_t cls = rng.next() % 10;
+                if (cls < 2) {
+                    subopts.priority = service::Priority::kInteractive;
+                } else if (cls < 8) {
+                    subopts.priority = service::Priority::kBatch;
+                    subopts.submit_timeout_seconds = 0.25;
+                } else {
+                    subopts.priority = service::Priority::kBackground;
+                    subopts.submit_timeout_seconds = 0.1;
+                }
+                if (rng.next() % 20 == 0) {
+                    subopts.request_deadline_seconds = 5.0;
+                }
+
+                const Clock::time_point begin = Clock::now();
+                service::Ticket ticket =
+                    svc.submit(*kernel, req, subopts);
+                if (ticket.future.wait_for(std::chrono::seconds(120)) !=
+                    std::future_status::ready) {
+                    counters.lost.fetch_add(1);
+                    continue;  // slot stays 0 -> reported lost
+                }
+                const CompileResult& result = ticket.get();
+                latency_us[idx] =
+                    std::chrono::duration<double, std::micro>(
+                        Clock::now() - begin)
+                        .count();
+                resolved[idx] =
+                    static_cast<std::uint8_t>(resolved[idx] + 1);
+
+                const service::CacheOutcome outcome = ticket.outcome();
+                switch (outcome) {
+                  case service::CacheOutcome::kShed:
+                    counters.shed.fetch_add(1);
+                    if (ticket.retry_after_ms() == 0 ||
+                        result.error.empty()) {
+                        counters.shed_missing_retry.fetch_add(1);
+                    }
+                    continue;
+                  case service::CacheOutcome::kBreakerOpen:
+                    counters.breaker.fetch_add(1);
+                    if (ticket.retry_after_ms() == 0) {
+                        counters.shed_missing_retry.fetch_add(1);
+                    }
+                    continue;
+                  case service::CacheOutcome::kExpired:
+                    counters.expired.fetch_add(1);
+                    continue;
+                  case service::CacheOutcome::kNegativeHit:
+                    counters.negative.fetch_add(1);
+                    break;
+                  default:
+                    break;
+                }
+                if (result.ok) {
+                    counters.ok.fetch_add(1);
+                    // Fault-armed compiles may legitimately degrade;
+                    // everything else must be byte-identical.
+                    if (!faulted &&
+                        !artifacts.check(kernel->name,
+                                         result.compiled->c_source)) {
+                        counters.byte_mismatches.fetch_add(1);
+                    }
+                } else {
+                    counters.failed.fetch_add(1);
+                    // Deterministic failures must replay verbatim.
+                    if (!faulted &&
+                        !failures.check(kernel->name, result.error)) {
+                        counters.error_mismatches.fetch_add(1);
+                    }
+                }
+            }
+        });
+    }
+    for (std::thread& c : clients) {
+        c.join();
+    }
+    const service::DrainStats drained =
+        svc.drain(service::DrainMode::kFinish);
+    (void)drained;
+    const double soak_seconds =
+        std::chrono::duration<double>(Clock::now() - soak_start).count();
+
+    // Response accounting: exactly one resolution per request.
+    const std::uint64_t lost = counters.lost.load();
+    std::uint64_t duplicated = 0;
+    for (std::size_t i = 0; i < cfg.requests; ++i) {
+        if (resolved[i] > 1) {
+            ++duplicated;
+        }
+    }
+
+    // Byte-identity versus a *cold, single-threaded* compile of every
+    // kernel that was served during the soak.
+    std::uint64_t cold_mismatches = 0;
+    for (const auto& [name, text] : artifacts.snapshot()) {
+        const scalar::Kernel* kernel = nullptr;
+        for (const auto& k : hot) {
+            if (k.name == name) {
+                kernel = &k;
+            }
+        }
+        for (const auto& k : cold) {
+            if (k.name == name) {
+                kernel = &k;
+            }
+        }
+        if (kernel == nullptr) {
+            continue;
+        }
+        const CompileResult reference =
+            compile_kernel_resilient(*kernel, options);
+        if (!reference.ok || reference.compiled->c_source != text) {
+            ++cold_mismatches;
+        }
+    }
+    counters.byte_mismatches.fetch_add(cold_mismatches);
+
+    std::vector<double> sorted;
+    sorted.reserve(cfg.requests);
+    for (std::size_t i = 0; i < cfg.requests; ++i) {
+        if (resolved[i] >= 1) {
+            sorted.push_back(latency_us[i]);
+        }
+    }
+    std::sort(sorted.begin(), sorted.end());
+    auto percentile = [&](double p) {
+        if (sorted.empty()) {
+            return 0.0;
+        }
+        const std::size_t idx = std::min(
+            sorted.size() - 1,
+            static_cast<std::size_t>(p * static_cast<double>(
+                                             sorted.size())));
+        return sorted[idx] / 1000.0;  // ms
+    };
+
+    const service::ServiceMetrics m = svc.metrics();
+    const std::uint64_t responses =
+        static_cast<std::uint64_t>(sorted.size());
+    const double shed_rate =
+        static_cast<double>(counters.shed.load() +
+                            counters.breaker.load()) /
+        static_cast<double>(cfg.requests);
+
+    std::string json = "{\n";
+    auto field = [&](const char* name, double v, bool last = false) {
+        char buf[160];
+        std::snprintf(buf, sizeof buf, "\"%s\": %.6f%s\n", name, v,
+                      last ? "" : ",");
+        json += buf;
+    };
+    auto count = [&](const char* name, std::uint64_t v) {
+        char buf[160];
+        std::snprintf(buf, sizeof buf, "\"%s\": %llu,\n", name,
+                      static_cast<unsigned long long>(v));
+        json += buf;
+    };
+    count("requests", cfg.requests);
+    count("responses", responses);
+    count("lost", lost);
+    count("duplicated", duplicated);
+    count("ok", counters.ok.load());
+    count("shed", counters.shed.load());
+    count("breaker_open", counters.breaker.load());
+    count("negative_hits", counters.negative.load());
+    count("expired", counters.expired.load());
+    count("failed", counters.failed.load());
+    count("fault_armed", counters.fault_armed.load());
+    count("shed_missing_retry", counters.shed_missing_retry.load());
+    count("byte_mismatches", counters.byte_mismatches.load());
+    count("error_mismatches", counters.error_mismatches.load());
+    count("memory_hits", m.memory_hits);
+    count("misses", m.misses);
+    count("coalesced", m.coalesced);
+    count("shed_overload", m.shed_overload);
+    count("shed_timeout", m.shed_timeout);
+    count("expired_in_queue", m.expired_in_queue);
+    field("shed_rate", shed_rate);
+    field("p50_ms", percentile(0.50));
+    field("p99_ms", percentile(0.99));
+    field("soak_seconds", soak_seconds);
+    field("throughput_rps",
+          static_cast<double>(cfg.requests) / soak_seconds, true);
+    json += "}\n";
+
+    std::fputs(json.c_str(), stdout);
+    if (!cfg.out_path.empty()) {
+        std::ofstream out(cfg.out_path);
+        out << json;
+    }
+
+    const bool violated =
+        lost != 0 || duplicated != 0 ||
+        counters.shed_missing_retry.load() != 0 ||
+        counters.byte_mismatches.load() != 0 ||
+        counters.error_mismatches.load() != 0;
+    if (violated) {
+        std::fprintf(stderr, "service_soak: INVARIANT VIOLATION\n");
+        return 1;
+    }
+    return 0;
+} catch (const std::exception& e) {
+    std::fprintf(stderr, "service_soak: error: %s\n", e.what());
+    return 1;
+}

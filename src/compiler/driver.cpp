@@ -280,7 +280,43 @@ rung_options(const CompilerOptions& base, int level)
     return o;
 }
 
+/**
+ * The compile-wide budget: the relative `deadline_seconds` intersected
+ * with the absolute deadline a service may have attached at admission.
+ */
+Deadline
+effective_deadline(const CompilerOptions& options)
+{
+    const Deadline relative =
+        options.deadline_seconds > 0.0
+            ? Deadline::after_seconds(options.deadline_seconds)
+            : Deadline::unlimited();
+    return Deadline::sooner(relative, options.absolute_deadline);
+}
+
 }  // namespace
+
+const char*
+failure_class_name(FailureClass c)
+{
+    switch (c) {
+      case FailureClass::kNone:
+        return "none";
+      case FailureClass::kUser:
+        return "user";
+      case FailureClass::kResource:
+        return "resource";
+      case FailureClass::kInternal:
+        return "internal";
+      case FailureClass::kInjectedFault:
+        return "injected-fault";
+      case FailureClass::kOverloaded:
+        return "overloaded";
+      case FailureClass::kExpired:
+        return "expired";
+    }
+    return "unknown";
+}
 
 const char*
 fallback_level_name(int level)
@@ -326,11 +362,8 @@ CompiledKernel::run(const scalar::BufferMap& inputs,
 CompiledKernel
 compile_kernel(const scalar::Kernel& kernel, CompilerOptions options)
 {
-    const Deadline deadline =
-        options.deadline_seconds > 0.0
-            ? Deadline::after_seconds(options.deadline_seconds)
-            : Deadline::unlimited();
-    return compile_with_deadline(kernel, options, deadline);
+    return compile_with_deadline(kernel, options,
+                                 effective_deadline(options));
 }
 
 CompileResult
@@ -352,14 +385,12 @@ compile_kernel_resilient(const scalar::Kernel& kernel,
         result.error = e.what();
         // Malformed fault specs come from CLI flags / test config.
         result.user_error = true;
+        result.failure_class = FailureClass::kUser;
         return result;
     }
     const faults::ScopedFaults scoped_faults(std::move(fault_specs));
 
-    const Deadline deadline =
-        options.deadline_seconds > 0.0
-            ? Deadline::after_seconds(options.deadline_seconds)
-            : Deadline::unlimited();
+    const Deadline deadline = effective_deadline(options);
 
     for (int level = 0; level <= kDirectLevel; ++level) {
         Timer attempt_timer;
@@ -376,16 +407,22 @@ compile_kernel_resilient(const scalar::Kernel& kernel,
                           kernel, rung_options(options, level), deadline);
 
             // Post-hoc verification failures degrade like exceptions do.
+            // They indicate a miscompile, i.e. a library bug: kInternal,
+            // so the service never remembers them as a property of the
+            // kernel itself.
             if (compiled.report.validation == Verdict::kNotEquivalent) {
                 diag.error = "translation validation reported "
                              "NOT-equivalent";
+                diag.failure_class = FailureClass::kInternal;
             } else if (!compiled.report.random_check_passed) {
                 diag.error = "random differential check failed";
+                diag.failure_class = FailureClass::kInternal;
             }
             diag.seconds = attempt_timer.elapsed_seconds();
             if (!diag.error.empty()) {
                 result.attempts.push_back(diag);
                 result.error = diag.error;
+                result.failure_class = diag.failure_class;
                 continue;
             }
 
@@ -393,6 +430,7 @@ compile_kernel_resilient(const scalar::Kernel& kernel,
             result.ok = true;
             result.fallback_level = level;
             result.error.clear();
+            result.failure_class = FailureClass::kNone;
             compiled.report.fallback_level = level;
             compiled.report.attempts = result.attempts;
             if (level > 0) {
@@ -405,19 +443,33 @@ compile_kernel_resilient(const scalar::Kernel& kernel,
             // The kernel or options are invalid: every rung would fail
             // the same way, so don't burn budget retrying.
             diag.error = std::string("user error: ") + e.what();
+            diag.failure_class = FailureClass::kUser;
             diag.seconds = attempt_timer.elapsed_seconds();
             result.attempts.push_back(diag);
             result.error = diag.error;
             result.user_error = true;
+            result.failure_class = FailureClass::kUser;
             return result;
+        } catch (const faults::InjectedFault& e) {
+            diag.error = e.what();
+            diag.failure_class = FailureClass::kInjectedFault;
+        } catch (const ResourceLimitError& e) {
+            diag.error = e.what();
+            diag.failure_class = FailureClass::kResource;
+        } catch (const InternalError& e) {
+            diag.error = e.what();
+            diag.failure_class = FailureClass::kInternal;
         } catch (const std::exception& e) {
             diag.error = e.what();
+            diag.failure_class = FailureClass::kInternal;
         } catch (...) {
             diag.error = "unknown exception";
+            diag.failure_class = FailureClass::kInternal;
         }
         diag.seconds = attempt_timer.elapsed_seconds();
         result.attempts.push_back(diag);
         result.error = diag.error;
+        result.failure_class = diag.failure_class;
     }
     return result;
 }

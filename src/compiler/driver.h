@@ -76,6 +76,15 @@ struct CompilerOptions {
      */
     double deadline_seconds = 0.0;
     /**
+     * Absolute wall-clock deadline intersected with `deadline_seconds`.
+     * A service threads the *request* deadline (which started ticking at
+     * admission, so queue wait counts against it) through here; the
+     * compile then honors whichever budget expires first. Unlimited by
+     * default. Like the other wall-clock budgets, excluded from the
+     * cache key (service/cache_key.h).
+     */
+    Deadline absolute_deadline;
+    /**
      * Bounded retries for transient cache-store/scan I/O failures
      * (service/disk_cache.h IoPolicy): each store attempt may be retried
      * this many times with deterministic backoff before the failure
@@ -107,12 +116,36 @@ struct CompilerOptions {
     }
 };
 
+/**
+ * Why a compile (or one ladder attempt) failed, at the granularity the
+ * service's failure memory needs. Deterministic failures (`kUser`, and
+ * `kResource` under a no-larger budget) are safe to negative-cache —
+ * retrying without changing anything would fail identically. Transient
+ * or environmental ones (`kInjectedFault`, `kInternal`) must never be
+ * remembered, and the service-synthesized kinds (`kOverloaded`,
+ * `kExpired`) describe requests that were never compiled at all.
+ */
+enum class FailureClass {
+    kNone = 0,       ///< no failure (the compile succeeded)
+    kUser,           ///< invalid kernel or options — deterministic
+    kResource,       ///< a wall-clock / node / memory budget ran out
+    kInternal,       ///< library bug or unexpected exception
+    kInjectedFault,  ///< an armed fault site fired
+    kOverloaded,     ///< service shed the request (admission control)
+    kExpired,        ///< request deadline passed while queued
+};
+
+/** Debug/JSON spelling ("none", "user", "resource", ...). */
+const char* failure_class_name(FailureClass c);
+
 /** One rung attempt by the resilient driver. */
 struct AttemptDiagnostic {
     /** Ladder rung tried (0 = full pipeline ... 3 = direct scalar). */
     int level = 0;
     /** Failure message; empty when this attempt succeeded. */
     std::string error;
+    /** What kind of failure this attempt hit (kNone on success). */
+    FailureClass failure_class = FailureClass::kNone;
     /** Wall-clock spent on this attempt. */
     double seconds = 0.0;
 };
@@ -204,6 +237,12 @@ struct CompileResult {
      * exit code, since no retry or degradation can fix it.
      */
     bool user_error = false;
+    /**
+     * Classification of the final failure (kNone when ok). The service's
+     * negative cache keys its "safe to remember?" decision off this, so
+     * it must faithfully reflect the *last failed* attempt.
+     */
+    FailureClass failure_class = FailureClass::kNone;
     /** Final failure when !ok; empty otherwise. */
     std::string error;
     /** One entry per rung tried (also mirrored into the report). */

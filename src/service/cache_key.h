@@ -13,7 +13,8 @@
  *    switches, plus the rule-set version below.
  *
  * Deliberately excluded: wall-clock budgets (`time_limit_seconds`,
- * `deadline_seconds`). Re-running with a different timeout must *hit* an
+ * `deadline_seconds`, and the request-scoped `absolute_deadline` the
+ * service derives from them). Re-running with a different timeout must *hit* an
  * already-successful entry — paying saturation again because the budget
  * string changed would defeat the cache. The service separately refuses
  * to serve a cached entry whose saturation was time-bound to a request

@@ -56,6 +56,23 @@ class Deadline {
 
     static Deadline unlimited() { return Deadline(); }
 
+    /**
+     * The stricter of two deadlines. Lets a caller-imposed absolute
+     * budget (e.g. a service request deadline that started ticking at
+     * admission) intersect with a per-compile relative one.
+     */
+    static Deadline
+    sooner(const Deadline& a, const Deadline& b)
+    {
+        if (a.unlimited_) {
+            return b;
+        }
+        if (b.unlimited_) {
+            return a;
+        }
+        return a.expiry_ <= b.expiry_ ? a : b;
+    }
+
     bool is_unlimited() const { return unlimited_; }
 
     bool

@@ -91,4 +91,17 @@ require_positive_number(const std::string& flag, const std::string& text)
     return *value;
 }
 
+/** Parses `text` for `flag` as a non-negative number (0 allowed, the
+ *  usual "disable this budget" spelling) or throws UserError. */
+inline double
+require_nonnegative_number(const std::string& flag, const std::string& text)
+{
+    const auto value = parse_number(text);
+    DIOS_CHECK(value.has_value(),
+               flag + " expects a number, got '" + text + "'");
+    DIOS_CHECK(*value >= 0.0,
+               flag + " must be non-negative, got '" + text + "'");
+    return *value;
+}
+
 }  // namespace diospyros

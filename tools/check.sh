@@ -140,14 +140,15 @@ if [[ "${1:-}" != "--fast" || ! -d "$build_tsan" ]]; then
     cmake --preset tsan -S "$repo"
 fi
 cmake --build "$build_tsan" -j "$jobs" \
-      --target service_test resilience_test analysis_test durability_test
+      --target service_test resilience_test analysis_test \
+               durability_test overload_test
 
 export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
 ctest --test-dir "$build_tsan" --output-on-failure \
-      -R '^(service_test|resilience_test|analysis_test|durability_test)$'
+      -R '^(service_test|resilience_test|analysis_test|durability_test|overload_test)$'
 
-echo "check.sh: service + resilience + analysis + durability tests" \
-     "passed under TSan"
+echo "check.sh: service + resilience + analysis + durability + overload" \
+     "tests passed under TSan"
 
 # E-matching benchmark gate: run the matcher microbenchmarks from the
 # default (non-sanitized, RelWithDebInfo) build so timings are
@@ -205,3 +206,53 @@ awk '
         exit status
     }' "$baseline" "$bench_json"
 echo "check.sh: e-matching benchmark gate passed ($bench_json)"
+
+# Overload soak gate (DESIGN.md §5g): 100k mixed hot/cold/poison
+# requests from 4 client threads with per-request fault injection armed
+# via DIOS_FAULT. The soak binary itself exits non-zero on any lost or
+# duplicated response, any shed response missing its retry_after_ms
+# hint, or any served artifact that is not byte-identical to a cold
+# single-threaded compile — so `set -e` makes those hard failures.
+# Fault sites are compile-phase ones: fault-armed requests bypass the
+# caches by design, so cache.* sites would never fire here.
+cmake --build "$build_bench" -j "$jobs" --target service_soak
+svc_json="$build_bench/BENCH_service.json"
+DIOS_FAULT="runner.iter:1:*,extract.build,lower.term,emit.machine:2" \
+    "$build_bench/bench/service_soak" --requests 100000 --threads 4 \
+    --jobs 2 --out "$svc_json" > /dev/null
+echo "check.sh: service soak passed (100k requests, faults armed)"
+
+# A second, deliberately overloaded pass (tiny queue, more clients than
+# workers) must actually exercise load shedding — and still lose
+# nothing. The shed count is asserted, so admission control cannot
+# silently rot into either "shed everything" or "never shed".
+overload_json="$build_bench/BENCH_service_overload.json"
+DIOS_FAULT="runner.iter:1:*,extract.build" \
+    "$build_bench/bench/service_soak" --requests 20000 --threads 8 \
+    --jobs 1 --capacity 4 --watermark 2 --out "$overload_json" \
+    > /dev/null
+sheds=$(sed -n 's/^"shed": \([0-9]*\).*/\1/p' "$overload_json")
+if [[ -z "$sheds" || "$sheds" -eq 0 ]]; then
+    echo "check.sh: overloaded soak shed nothing — watermark dead?" >&2
+    exit 1
+fi
+echo "check.sh: overloaded soak passed ($sheds requests shed, all" \
+     "with retry hints)"
+
+# p99 latency gate against the checked-in baseline: >20% regression of
+# the mixed-workload soak fails the build.
+svc_baseline="$repo/bench/BENCH_service_baseline.json"
+base_p99=$(sed -n 's/^"p99_ms": \([0-9.]*\).*/\1/p' "$svc_baseline")
+cur_p99=$(sed -n 's/^"p99_ms": \([0-9.]*\).*/\1/p' "$svc_json")
+if [[ -z "$base_p99" || -z "$cur_p99" ]]; then
+    echo "check.sh: missing p99_ms in soak output or baseline" >&2
+    exit 1
+fi
+if ! awk -v c="$cur_p99" -v b="$base_p99" \
+        'BEGIN { exit !(c <= b * 1.20) }'; then
+    echo "check.sh: SOAK REGRESSION p99 ${cur_p99}ms vs baseline" \
+         "${base_p99}ms (>20%)" >&2
+    exit 1
+fi
+echo "check.sh: service soak gate passed" \
+     "(p99 ${cur_p99}ms <= 1.2 x baseline ${base_p99}ms, $svc_json)"

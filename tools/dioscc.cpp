@@ -57,6 +57,28 @@
  *                   (0 = unlimited, the default)
  *   --io-retries N  bounded retries (deterministic backoff) for
  *                   transient cache-store I/O failures (default 2)
+ *
+ * Admission control (service paths: --batch, or --cache-dir):
+ *   --priority P    admission class: interactive | batch | background
+ *                   (default: interactive for single kernels, batch for
+ *                   --batch). Workers drain interactive first; past the
+ *                   shed watermark only interactive is admitted.
+ *   --submit-timeout-ms N
+ *                   wait at most N ms for queue space, then shed with a
+ *                   structured Overloaded result (0 = shed immediately;
+ *                   default: block indefinitely)
+ *   --neg-cache-ttl-s S
+ *                   remember deterministic failures for S seconds and
+ *                   serve them without recompiling (0 disables the
+ *                   failure memory and circuit breaker; default 300)
+ *   --shed-watermark N
+ *                   once N jobs are queued, shed batch/background
+ *                   submits immediately (0 = only the hard queue
+ *                   capacity sheds, the default)
+ *
+ *   Shed or breaker-rejected kernels are reported in-band: the batch
+ *   JSON carries "cache":"shed"/"breaker-open"/"negative-hit", the
+ *   retry hint in "retry_after_ms", and per-kernel "queue_wait_ms".
  */
 #include <cstdint>
 #include <cstdio>
@@ -98,6 +120,12 @@ struct CliOptions {
     std::string cache_dir;
     std::uintmax_t cache_disk_budget = 0;
     std::string batch_path;
+    /** Admission-control knobs (service paths only). */
+    service::Priority priority = service::Priority::kBatch;
+    bool priority_set = false;
+    double submit_timeout_seconds = -1.0;  ///< < 0: block (legacy)
+    double neg_cache_ttl_seconds = 300.0;
+    std::size_t shed_watermark = 0;
 };
 
 [[noreturn]] void
@@ -111,7 +139,10 @@ usage(const char* argv0)
                  "[--fault SPEC] [--list-faults] [--emit-c] [--emit-asm] "
                  "[--emit-spec] [--emit-dot FILE] [--json] [--run] "
                  "[--seed N] [--batch FILE] [--jobs N] [--cache-dir D] "
-                 "[--cache-disk-budget BYTES] [--io-retries N]\n",
+                 "[--cache-disk-budget BYTES] [--io-retries N] "
+                 "[--priority interactive|batch|background] "
+                 "[--submit-timeout-ms N] [--neg-cache-ttl-s S] "
+                 "[--shed-watermark N]\n",
                  argv0);
     std::exit(2);
 }
@@ -200,6 +231,20 @@ parse_cli(int argc, char** argv)
                 require_nonnegative_integer(arg, next_arg(i)));
         } else if (arg == "--batch") {
             cli.batch_path = next_arg(i);
+        } else if (arg == "--priority") {
+            cli.priority = service::parse_priority(next_arg(i));
+            cli.priority_set = true;
+        } else if (arg == "--submit-timeout-ms") {
+            cli.submit_timeout_seconds =
+                static_cast<double>(
+                    require_nonnegative_integer(arg, next_arg(i))) /
+                1000.0;
+        } else if (arg == "--neg-cache-ttl-s") {
+            cli.neg_cache_ttl_seconds =
+                require_nonnegative_number(arg, next_arg(i));
+        } else if (arg == "--shed-watermark") {
+            cli.shed_watermark = static_cast<std::size_t>(
+                require_nonnegative_integer(arg, next_arg(i)));
         } else if (arg == "--seed") {
             cli.seed = static_cast<std::uint64_t>(
                 require_nonnegative_integer(arg, next_arg(i)));
@@ -273,10 +318,11 @@ json_escape(const std::string& s)
  */
 void
 print_json_object(const std::string& kernel_name, const CompileReport& r,
-                  const char* cache)
+                  const char* cache, double queue_wait_ms = 0.0)
 {
     std::printf(
         "{\"kernel\":\"%s\",\"ok\":true,\"cache\":\"%s\","
+        "\"queue_wait_ms\":%.3f,"
         "\"total_seconds\":%.6f,"
         "\"saturation_seconds\":%.6f,\"egraph_nodes\":%zu,"
         "\"egraph_classes\":%zu,\"iterations\":%zu,"
@@ -284,7 +330,8 @@ print_json_object(const std::string& kernel_name, const CompileReport& r,
         "\"spec_elements\":%zu,\"memory_proxy_bytes\":%zu,"
         "\"lvn_removed\":%zu,\"fallback_level\":%d,"
         "\"fallback\":\"%s\",\"error\":\"%s\",\"attempts\":[",
-        json_escape(kernel_name).c_str(), cache, r.total_seconds,
+        json_escape(kernel_name).c_str(), cache, queue_wait_ms,
+        r.total_seconds,
         r.saturation_seconds, r.egraph_nodes, r.egraph_classes,
         r.runner_iterations, stop_reason_name(r.stop_reason),
         r.extracted_cost, r.spec_elements, r.memory_proxy_bytes,
@@ -321,14 +368,22 @@ print_json_object(const std::string& kernel_name, const CompileReport& r,
                 ematch_matches, ematch_search, ematch_apply);
 }
 
-/** Report object for a kernel that produced no result at all. */
+/**
+ * Report object for a kernel that produced no result at all: parse
+ * failures, compile failures, and admission rejections alike. Shed and
+ * breaker-open rejections carry their structured retry hint.
+ */
 void
 print_json_failure(const std::string& kernel_name, const std::string& error,
-                   bool user_error, const char* cache)
+                   bool user_error, const char* cache,
+                   double queue_wait_ms = 0.0,
+                   std::uint64_t retry_after_ms = 0)
 {
     std::printf("{\"kernel\":\"%s\",\"ok\":false,\"cache\":\"%s\","
+                "\"queue_wait_ms\":%.3f,\"retry_after_ms\":%llu,"
                 "\"user_error\":%s,\"fallback_level\":-1,\"error\":\"%s\"}",
-                json_escape(kernel_name).c_str(), cache,
+                json_escape(kernel_name).c_str(), cache, queue_wait_ms,
+                static_cast<unsigned long long>(retry_after_ms),
                 user_error ? "true" : "false", json_escape(error).c_str());
 }
 
@@ -374,7 +429,14 @@ run_batch(const CliOptions& cli)
     sopts.cache_dir = cli.cache_dir;
     sopts.disk_budget_bytes = cli.cache_disk_budget;
     sopts.queue_capacity = paths.size() + 1;  // submit never blocks here
+    sopts.negative_ttl_seconds = cli.neg_cache_ttl_seconds;
+    sopts.shed_watermark = cli.shed_watermark;
     service::CompileService svc(sopts);
+
+    service::SubmitOptions subopts;
+    subopts.priority =
+        cli.priority_set ? cli.priority : service::Priority::kBatch;
+    subopts.submit_timeout_seconds = cli.submit_timeout_seconds;
 
     struct Item {
         std::string path;
@@ -391,7 +453,7 @@ run_batch(const CliOptions& cli)
         try {
             const scalar::Kernel kernel = scalar::parse_kernel_file(path);
             item.name = kernel.name;
-            item.ticket = svc.submit(kernel, cli.compiler);
+            item.ticket = svc.submit(kernel, cli.compiler, subopts);
             item.submitted = true;
         } catch (const UserError& e) {
             item.name = path;
@@ -422,11 +484,13 @@ run_batch(const CliOptions& cli)
         const CompileResult& result = item.ticket.get();
         const char* cache =
             service::cache_outcome_json_name(item.ticket.outcome());
+        const double wait_ms = item.ticket.queue_wait_seconds() * 1000.0;
         if (result.ok) {
             std::fprintf(info, "; [%s] %s\n", cache,
                          report_row(item.name, result.report()).c_str());
             if (cli.json) {
-                print_json_object(item.name, result.report(), cache);
+                print_json_object(item.name, result.report(), cache,
+                                  wait_ms);
             }
         } else {
             any_user_error = any_user_error || result.user_error;
@@ -434,7 +498,8 @@ run_batch(const CliOptions& cli)
                          item.name.c_str(), result.error.c_str());
             if (cli.json) {
                 print_json_failure(item.name, result.error,
-                                   result.user_error, cache);
+                                   result.user_error, cache, wait_ms,
+                                   item.ticket.retry_after_ms());
             }
         }
     }
@@ -559,8 +624,17 @@ try {
         sopts.jobs = cli.jobs;
         sopts.cache_dir = cli.cache_dir;
         sopts.disk_budget_bytes = cli.cache_disk_budget;
+        sopts.negative_ttl_seconds = cli.neg_cache_ttl_seconds;
+        sopts.shed_watermark = cli.shed_watermark;
         service::CompileService svc(sopts);
-        service::Ticket ticket = svc.submit(kernel, cli.compiler);
+        // A human at the keyboard is the definition of interactive.
+        service::SubmitOptions subopts;
+        subopts.priority = cli.priority_set
+                               ? cli.priority
+                               : service::Priority::kInteractive;
+        subopts.submit_timeout_seconds = cli.submit_timeout_seconds;
+        service::Ticket ticket =
+            svc.submit(kernel, cli.compiler, subopts);
         const CompileResult& result = ticket.get();
         cache = service::cache_outcome_json_name(ticket.outcome());
         if (!result.ok) {
