@@ -108,12 +108,26 @@ compile_with_deadline(const scalar::Kernel& kernel, CompilerOptions options,
     const ClassId root = graph.add_term(padded);
     graph.rebuild();
     const std::vector<Rewrite> rules = build_rules(options.rules);
-    Runner runner(options.limits);
-    const RunnerReport rr = runner.run(graph, rules, deadline);
+    if (options.strategy) {
+        strategy::StrategyRunOptions sro;
+        sro.base = options.limits;
+        sro.deadline = deadline;
+        const strategy::StrategyReport sr = strategy::run_strategy(
+            graph, root, rules, *options.strategy, sro);
+        out.report.stop_reason = sr.stop_reason;
+        out.report.runner_iterations = sr.iterations;
+        out.report.rule_stats = sr.rule_stats;
+        out.report.strategy_name = sr.strategy_name;
+        out.report.strategy_phases = sr.phases;
+        out.report.strategy_goal_satisfied = sr.goal_satisfied;
+    } else {
+        Runner runner(options.limits);
+        const RunnerReport rr = runner.run(graph, rules, deadline);
+        out.report.stop_reason = rr.stop_reason;
+        out.report.runner_iterations = rr.iterations.size();
+        out.report.rule_stats = rr.rule_stats;
+    }
     out.report.saturation_seconds = phase.elapsed_seconds();
-    out.report.stop_reason = rr.stop_reason;
-    out.report.runner_iterations = rr.iterations.size();
-    out.report.rule_stats = rr.rule_stats;
     out.report.egraph_nodes = graph.num_nodes();
     out.report.egraph_classes = graph.num_classes();
     out.report.memory_proxy_bytes = graph.memory_proxy_bytes();
@@ -274,8 +288,12 @@ rung_options(const CompilerOptions& base, int level)
     }
     if (level >= 2) {
         // Scalar simplification only (the §5.6 ablation configuration —
-        // still beats the fixed-size baseline through global CSE).
+        // still beats the fixed-size baseline through global CSE). A
+        // strategy cannot ride along: its phases name vector rules that
+        // no longer exist, which would turn a resource blow-up into a
+        // spurious UserError.
         o.rules.enable_vector_rules = false;
+        o.strategy.reset();
     }
     return o;
 }

@@ -45,6 +45,7 @@
 #include "scalar/ast.h"
 #include "scalar/interp.h"
 #include "scalar/symbolic.h"
+#include "strategy/strategy.h"
 #include "support/deadline.h"
 #include "validation/validate.h"
 #include "vir/emit.h"
@@ -106,6 +107,18 @@ struct CompilerOptions {
      * Failures raise InternalError, so the resilient driver degrades.
      */
     bool verify_ir = false;
+    /**
+     * Saturation strategy (strategy/strategy.h). Disengaged (the
+     * default), saturation is the legacy monolithic `Runner::run` under
+     * `limits`. Engaged, the strategy's phases run over the shared
+     * e-graph with `limits` as the base budget every phase tightens
+     * into. The degradation ladder keeps the strategy on rung 1 (the
+     * reduced base limits clamp each phase) and drops it from rung 2 on
+     * (vector rules are off there, so phase rule subsets would no
+     * longer resolve). Folded into the service cache key via its
+     * canonical rendering.
+     */
+    std::optional<strategy::Strategy> strategy;
 
     /** Synchronizes rule/target parameters (width, recip support). */
     void
@@ -172,6 +185,15 @@ struct CompileReport {
      * search/apply wall-clock. Surfaced via `dioscc --json`.
      */
     std::vector<RuleStats> rule_stats;
+    /** Strategy that drove saturation ("" = legacy monolithic run). */
+    std::string strategy_name;
+    /**
+     * Per-phase reports when a strategy drove saturation (else empty) —
+     * the `phases` array of `dioscc --json`.
+     */
+    std::vector<strategy::PhaseReport> strategy_phases;
+    /** The strategy goal sketch was satisfied (strategy runs only). */
+    bool strategy_goal_satisfied = false;
     double extracted_cost = 0.0;
     vir::LvnStats lvn;
     /** Estimated peak e-graph memory (bytes), the Table 1 "Memory" proxy. */

@@ -4,6 +4,7 @@
 #include <optional>
 #include <sstream>
 
+#include "strategy/scheduler.h"
 #include "support/faults.h"
 #include "support/timer.h"
 
@@ -25,6 +26,8 @@ stop_reason_name(StopReason r)
         return "memory-limit";
       case StopReason::kDeadline:
         return "deadline";
+      case StopReason::kGoalReached:
+        return "goal-reached";
     }
     return "unknown";
 }
@@ -41,6 +44,19 @@ RunnerReport::to_string() const
 
 RunnerReport
 Runner::run(EGraph& graph, const std::vector<Rewrite>& rules,
+            const Deadline& deadline) const
+{
+    // The legacy admission policy, now spelled as a scheduler: the
+    // limits' backoff threshold and flat match cap. Byte-identical to
+    // the historical inline implementation (pinned by strategy_test).
+    strategy::BackoffScheduler scheduler(limits_.backoff_threshold,
+                                         limits_.match_limit_per_rule);
+    return run(graph, rules, scheduler, deadline);
+}
+
+RunnerReport
+Runner::run(EGraph& graph, const std::vector<Rewrite>& rules,
+            strategy::RuleScheduler& scheduler,
             const Deadline& deadline) const
 {
     RunnerReport report;
@@ -76,10 +92,7 @@ Runner::run(EGraph& graph, const std::vector<Rewrite>& rules,
     };
     constexpr std::size_t kWatchdogStride = 1024;
 
-    // Backoff state (egg's BackoffScheduler): per rule, the iteration it
-    // is banned until and how many times it has been banned so far.
-    std::vector<int> banned_until(rules.size(), 0);
-    std::vector<int> ban_count(rules.size(), 0);
+    scheduler.begin(rules.size());
 
     report.rule_stats.resize(rules.size());
     for (std::size_t r = 0; r < rules.size(); ++r) {
@@ -102,7 +115,7 @@ Runner::run(EGraph& graph, const std::vector<Rewrite>& rules,
         std::vector<std::vector<RuleMatch>> all_matches;
         all_matches.reserve(rules.size());
         for (std::size_t r = 0; r < rules.size(); ++r) {
-            if (limits_.backoff_threshold != 0 && banned_until[r] > iter) {
+            if (!scheduler.allow(r, iter)) {
                 ++stats.banned_rules;
                 all_matches.emplace_back();
                 continue;
@@ -113,17 +126,10 @@ Runner::run(EGraph& graph, const std::vector<Rewrite>& rules,
             const double search_s = search_timer.elapsed_seconds();
             stats.search_seconds += search_s;
             report.rule_stats[r].search_seconds += search_s;
-            if (limits_.backoff_threshold != 0 &&
-                matches.size() > limits_.backoff_threshold) {
-                // Ban for a geometrically growing window and keep only
-                // the threshold's worth of matches this round.
-                ++ban_count[r];
-                banned_until[r] = iter + 1 + (1 << std::min(ban_count[r], 10));
-                matches.resize(limits_.backoff_threshold);
-            }
-            if (limits_.match_limit_per_rule != 0 &&
-                matches.size() > limits_.match_limit_per_rule) {
-                matches.resize(limits_.match_limit_per_rule);
+            const std::size_t admitted =
+                scheduler.admit(r, iter, matches.size());
+            if (admitted < matches.size()) {
+                matches.resize(admitted);
             }
             stats.matches += matches.size();
             report.rule_stats[r].matches += matches.size();
@@ -213,6 +219,13 @@ Runner::run(EGraph& graph, const std::vector<Rewrite>& rules,
         if (iter + 1 == limits_.iter_limit) {
             report.stop_reason = StopReason::kIterLimit;
         }
+    }
+
+    // Surface the scheduler's final per-rule ban state so `--json`
+    // consumers can see which rules were throttled and for how long.
+    for (std::size_t r = 0; r < rules.size(); ++r) {
+        report.rule_stats[r].times_banned = scheduler.times_banned(r);
+        report.rule_stats[r].banned_until = scheduler.banned_until(r);
     }
 
     report.total_seconds = total.elapsed_seconds();

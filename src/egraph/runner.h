@@ -21,6 +21,10 @@
 #include "egraph/rewrite.h"
 #include "support/deadline.h"
 
+namespace diospyros::strategy {
+class RuleScheduler;  // strategy/scheduler.h (header-only interface)
+}  // namespace diospyros::strategy
+
 namespace diospyros {
 
 /** Stop conditions for saturation. */
@@ -54,8 +58,12 @@ enum class StopReason {
     kIterLimit,
     kTimeLimit,
     kMemoryLimit,
-    kDeadline,  ///< the compile-wide Deadline expired mid-saturation
+    kDeadline,     ///< the compile-wide Deadline expired mid-saturation
+    kGoalReached,  ///< a strategy's sketch goal was satisfied (strategy runs)
 };
+
+/** Number of distinct stop reasons (for name round-trip loops). */
+constexpr int kNumStopReasons = static_cast<int>(StopReason::kGoalReached) + 1;
 
 /** Human-readable stop reason. */
 const char* stop_reason_name(StopReason r);
@@ -88,6 +96,14 @@ struct RuleStats {
     std::size_t applications = 0;
     double search_seconds = 0.0;
     double apply_seconds = 0.0;
+    /** Times the scheduler banned this rule during the run. */
+    int times_banned = 0;
+    /**
+     * First iteration the rule may search again, as of run end (0 when
+     * it was never banned). Together with `times_banned` this makes a
+     * misbehaving scheduler debuggable from `dioscc --json` alone.
+     */
+    int banned_until = 0;
 };
 
 /** Overall saturation report. */
@@ -116,8 +132,25 @@ class Runner {
      * it is the binding constraint (the graph is still left usable — an
      * expired deadline here stops gracefully; the *caller* decides
      * whether to keep going or degrade).
+     *
+     * Rule admission follows the limits' legacy policy: exactly
+     * `strategy::BackoffScheduler(limits.backoff_threshold,
+     * limits.match_limit_per_rule)` — see the scheduler overload below.
      */
     RunnerReport run(EGraph& graph, const std::vector<Rewrite>& rules,
+                     const Deadline& deadline = {}) const;
+
+    /**
+     * As above, but with an explicit rule scheduler deciding per
+     * iteration which rules may search and how many matches each may
+     * apply (strategy/scheduler.h). `scheduler.begin()` is called here;
+     * its final ban state is copied into the report's RuleStats. With
+     * an explicit scheduler the limits' own `backoff_threshold` /
+     * `match_limit_per_rule` fields are NOT applied — the scheduler is
+     * the whole admission policy.
+     */
+    RunnerReport run(EGraph& graph, const std::vector<Rewrite>& rules,
+                     strategy::RuleScheduler& scheduler,
                      const Deadline& deadline = {}) const;
 
   private:

@@ -73,6 +73,12 @@ compute_cache_key(const scalar::Kernel& kernel,
 
     h.tag("verify").boolean(o.validate).boolean(o.random_check);
 
+    // The saturation strategy reshapes the e-graph the artifact is
+    // extracted from, so its full canonical rendering (phases, rule
+    // subsets, schedulers, sketches) is part of the artifact's identity.
+    // "" = the legacy monolithic run.
+    h.tag("strategy").str(o.strategy ? o.strategy->to_string() : "");
+
     key.options_hash = h.digest();
     return key;
 }

@@ -106,7 +106,7 @@ opcode_from_name(const std::string& name)
 StopReason
 stop_reason_from_name(const std::string& name)
 {
-    for (int i = 0; i <= static_cast<int>(StopReason::kDeadline); ++i) {
+    for (int i = 0; i < kNumStopReasons; ++i) {
         const auto r = static_cast<StopReason>(i);
         if (name == stop_reason_name(r)) {
             return r;
@@ -165,6 +165,12 @@ report_to_sexpr(const CompileReport& r)
                               i64_atom(r.random_check_passed ? 1 : 0)}),
          field("fallback", {i64_atom(r.fallback_level),
                             Sexpr::string_atom(r.error)}),
+         // Only the strategy's *name* is persisted (like rule_stats,
+         // per-phase telemetry is live-run-only; cache hits come back
+         // with empty `strategy_phases`).
+         field("strategy",
+               {Sexpr::string_atom(r.strategy_name),
+                i64_atom(r.strategy_goal_satisfied ? 1 : 0)}),
          Sexpr::list(std::move(attempts))});
 }
 
@@ -204,6 +210,9 @@ report_from_sexpr(const Sexpr& s)
         } else if (is_field(f, "fallback") && f.size() == 3) {
             r.fallback_level = static_cast<int>(as_i64(f[1]));
             r.error = f[2].token();
+        } else if (is_field(f, "strategy") && f.size() == 3) {
+            r.strategy_name = f[1].token();
+            r.strategy_goal_satisfied = as_i64(f[2]) != 0;
         } else if (is_field(f, "attempts")) {
             for (std::size_t j = 1; j < f.size(); ++j) {
                 const Sexpr& a = f[j];

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Parser for the saturation-strategy DSL (strategy/strategy.h).
+ *
+ * Grammar:
+ *
+ *   (strategy <name>
+ *     (phase <name> (rules <ref>...)
+ *            [(iters <n>)] [(nodes <n>)] [(timeout <seconds>)]
+ *            [(memory <bytes>)]
+ *            [(scheduler limits | none | backoff <t> [<cap>]
+ *                        | match-cap <cap>)]
+ *            [(until <sketch>)] [(repeat <n>)] [(always)])
+ *     ...
+ *     [(goal <sketch>)])
+ *
+ *   <sketch> := (any) | (op <Name> <sketch>...)
+ *             | (contains <sketch>) | (vec-of <name>)
+ *   <ref>    := rule name | single-`*` glob | all
+ *
+ * Errors are reported as stable S4xx diagnostics on the caller's
+ * DiagEngine (pass "strategy-parse"):
+ *
+ *   S400 — input is not a (strategy ...) form
+ *   S401 — malformed phase form
+ *   S402 — malformed or unknown phase clause
+ *   S403 — bad numeric value in a clause
+ *   S405 — malformed scheduler spec
+ *   S406 — malformed sketch
+ *
+ * (S404 unresolved-rule and S407 empty-phase come from
+ * strategy::resolve_phase_rules at run time, when the rule set is
+ * known.)
+ */
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "strategy/strategy.h"
+
+namespace diospyros::analysis {
+class DiagEngine;
+}  // namespace diospyros::analysis
+
+namespace diospyros::strategy {
+
+/**
+ * Parses the DSL text of one strategy. On error, returns nullopt with
+ * S4xx diagnostics on `diags` (never throws for malformed input; only
+ * the underlying s-expression reader's tokenizer errors are converted
+ * to S400 too).
+ */
+std::optional<Strategy> parse_strategy(const std::string& text,
+                                       analysis::DiagEngine& diags);
+
+/**
+ * Parses a sketch s-expression (the `(until ...)` / `(goal ...)`
+ * payload). Returns nullopt with an S406 diagnostic on error.
+ */
+std::optional<Sketch> parse_sketch(const std::string& text,
+                                   analysis::DiagEngine& diags);
+
+/**
+ * Loads a strategy by built-in name or from a file path (built-ins are
+ * tried first). Returns nullopt with diagnostics on `diags` when the
+ * file cannot be read (S409) or fails to parse.
+ */
+std::optional<Strategy> load_strategy(const std::string& name_or_path,
+                                      analysis::DiagEngine& diags);
+
+}  // namespace diospyros::strategy

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Rule schedulers: the pluggable per-rule admission policy of the
+ * saturation runner (egg's `RewriteScheduler` design).
+ *
+ * Each saturation iteration asks the scheduler, per rule, (1) whether
+ * the rule may search at all this iteration (`allow`) and (2) how many
+ * of the matches it found may be applied (`admit`). A scheduler owns the
+ * mutable per-run state this requires (ban windows, counters); `begin`
+ * resets it, so one scheduler object can drive several runs in
+ * sequence but never two runs concurrently.
+ *
+ * The interface is header-only so the runner (src/egraph/, a lower
+ * layer) can drive any scheduler without linking against the strategy
+ * library. Concrete schedulers:
+ *
+ *  - BackoffScheduler — egg's exponential backoff: a rule whose match
+ *    count exceeds a threshold is truncated to the threshold and banned
+ *    for a geometrically growing number of iterations, so one explosive
+ *    rule cannot starve the rest. This is the promotion of the old
+ *    `RunnerLimits::backoff_threshold` special case into a first-class
+ *    policy; `Runner::run` without an explicit scheduler builds exactly
+ *    `BackoffScheduler(limits.backoff_threshold,
+ *    limits.match_limit_per_rule)`, keeping legacy behavior
+ *    byte-identical (pinned by tests/strategy_test.cpp).
+ *
+ *  - MatchCapScheduler — never bans, just caps the matches applied per
+ *    rule per iteration. Cheaper bookkeeping for phases that want
+ *    bounded growth without ban windows.
+ */
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace diospyros::strategy {
+
+/** Per-rule admission policy driven by the saturation runner. */
+class RuleScheduler {
+  public:
+    virtual ~RuleScheduler() = default;
+
+    /** Policy name for reports ("backoff", "match-cap", ...). */
+    virtual const char* name() const = 0;
+
+    /** Resets all per-run state for a rule set of the given size. */
+    virtual void begin(std::size_t num_rules) = 0;
+
+    /**
+     * May `rule` search in iteration `iter`? A false return skips the
+     * rule entirely this iteration (counted in
+     * IterationStats::banned_rules).
+     */
+    virtual bool allow(std::size_t rule, int iter) = 0;
+
+    /**
+     * Called after `rule` found `found` matches in iteration `iter`;
+     * returns how many the runner may apply (<= found). This is where a
+     * backoff policy records an over-threshold search and schedules the
+     * ban window.
+     */
+    virtual std::size_t admit(std::size_t rule, int iter,
+                              std::size_t found) = 0;
+
+    /** Times this rule has been banned so far this run (telemetry). */
+    virtual int
+    times_banned(std::size_t rule) const
+    {
+        (void)rule;
+        return 0;
+    }
+
+    /**
+     * First iteration the rule may search again (0 when it was never
+     * banned; telemetry — surfaced per rule in RuleStats).
+     */
+    virtual int
+    banned_until(std::size_t rule) const
+    {
+        (void)rule;
+        return 0;
+    }
+};
+
+/**
+ * Egg-style exponential backoff (see file header). `threshold` 0
+ * disables banning; `match_cap` 0 disables the flat per-iteration cap
+ * that is applied after the threshold truncation.
+ */
+class BackoffScheduler final : public RuleScheduler {
+  public:
+    explicit BackoffScheduler(std::size_t threshold,
+                              std::size_t match_cap = 0)
+        : threshold_(threshold), match_cap_(match_cap)
+    {
+    }
+
+    const char* name() const override { return "backoff"; }
+
+    void
+    begin(std::size_t num_rules) override
+    {
+        banned_until_.assign(num_rules, 0);
+        times_banned_.assign(num_rules, 0);
+    }
+
+    bool
+    allow(std::size_t rule, int iter) override
+    {
+        return threshold_ == 0 || banned_until_[rule] <= iter;
+    }
+
+    std::size_t
+    admit(std::size_t rule, int iter, std::size_t found) override
+    {
+        std::size_t allowed = found;
+        if (threshold_ != 0 && found > threshold_) {
+            // Ban for a geometrically growing window and keep only the
+            // threshold's worth of matches this round.
+            ++times_banned_[rule];
+            banned_until_[rule] =
+                iter + 1 + (1 << std::min(times_banned_[rule], 10));
+            allowed = threshold_;
+        }
+        if (match_cap_ != 0 && allowed > match_cap_) {
+            allowed = match_cap_;
+        }
+        return allowed;
+    }
+
+    int
+    times_banned(std::size_t rule) const override
+    {
+        return rule < times_banned_.size() ? times_banned_[rule] : 0;
+    }
+
+    int
+    banned_until(std::size_t rule) const override
+    {
+        return rule < banned_until_.size() ? banned_until_[rule] : 0;
+    }
+
+    std::size_t threshold() const { return threshold_; }
+    std::size_t match_cap() const { return match_cap_; }
+
+  private:
+    std::size_t threshold_;
+    std::size_t match_cap_;
+    std::vector<int> banned_until_;
+    std::vector<int> times_banned_;
+};
+
+/** Flat per-rule, per-iteration match cap; never bans. 0 = unlimited. */
+class MatchCapScheduler final : public RuleScheduler {
+  public:
+    explicit MatchCapScheduler(std::size_t cap) : cap_(cap) {}
+
+    const char* name() const override { return "match-cap"; }
+    void begin(std::size_t num_rules) override { (void)num_rules; }
+    bool
+    allow(std::size_t rule, int iter) override
+    {
+        (void)rule;
+        (void)iter;
+        return true;
+    }
+
+    std::size_t
+    admit(std::size_t rule, int iter, std::size_t found) override
+    {
+        (void)rule;
+        (void)iter;
+        return cap_ != 0 && found > cap_ ? cap_ : found;
+    }
+
+    std::size_t cap() const { return cap_; }
+
+  private:
+    std::size_t cap_;
+};
+
+/** Admits everything; the "no policy" scheduler. */
+class NullScheduler final : public RuleScheduler {
+  public:
+    const char* name() const override { return "none"; }
+    void begin(std::size_t num_rules) override { (void)num_rules; }
+    bool
+    allow(std::size_t rule, int iter) override
+    {
+        (void)rule;
+        (void)iter;
+        return true;
+    }
+    std::size_t
+    admit(std::size_t rule, int iter, std::size_t found) override
+    {
+        (void)rule;
+        (void)iter;
+        return found;
+    }
+};
+
+}  // namespace diospyros::strategy

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Sketches: small structural goal patterns checked against an e-graph
+ * (Kœhler et al., *Sketch-Guided Equality Saturation*).
+ *
+ * A sketch describes the *shape* a strategy is growing the e-graph
+ * toward — "some Vec-shaped program with a MAC in it" — without naming
+ * a concrete term. Between phases the strategy engine asks whether the
+ * goal is already reachable from the spec's root class; if so, further
+ * growth phases can be skipped (StopReason::kGoalReached), and a phase
+ * whose `until` sketch is still unsatisfied can be re-run.
+ *
+ * Grammar (s-expression form, parsed by strategy/parse.h):
+ *
+ *   (any)                     — matches every e-class
+ *   (op <Name> <sketch>...)   — the class contains an e-node with
+ *                               operator <Name> whose i-th child class
+ *                               satisfies the i-th sub-sketch (missing
+ *                               trailing sub-sketches default to (any))
+ *   (contains <sketch>)       — the class, or any class reachable from
+ *                               it, satisfies <sketch>
+ *   (vec-of <name>)           — sugar: the class contains the *vector*
+ *                               lift of scalar operator <name>
+ *                               ("+"→VecAdd, "*"→VecMul, "mac"→VecMAC,
+ *                               ...); also accepts vector op names
+ *                               directly
+ *
+ * Satisfaction is decided on the canonical e-graph (requires a clean,
+ * rebuilt graph) with memoization over (class, sketch-node) pairs;
+ * cyclic e-classes are handled by treating in-progress pairs as
+ * unsatisfied, which is sound for this purely existential language.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "egraph/egraph.h"
+#include "ir/term.h"
+
+namespace diospyros::strategy {
+
+/** One node of a sketch pattern (a small tree; copyable value type). */
+struct Sketch {
+    enum class Kind {
+        kAny,       ///< (any)
+        kOp,        ///< (op <Name> <children>...)
+        kContains,  ///< (contains <sketch>) — one child
+    };
+
+    Kind kind = Kind::kAny;
+    /** Operator for kOp. */
+    Op op = Op::kConst;
+    /** Sub-sketches: positional children for kOp, single for kContains. */
+    std::vector<Sketch> children;
+
+    bool operator==(const Sketch&) const = default;
+
+    static Sketch
+    any()
+    {
+        return Sketch{};
+    }
+
+    static Sketch
+    of_op(Op op, std::vector<Sketch> kids = {})
+    {
+        Sketch s;
+        s.kind = Kind::kOp;
+        s.op = op;
+        s.children = std::move(kids);
+        return s;
+    }
+
+    static Sketch
+    contains(Sketch inner)
+    {
+        Sketch s;
+        s.kind = Kind::kContains;
+        s.children.push_back(std::move(inner));
+        return s;
+    }
+
+    /** Canonical textual (s-expression) rendering. */
+    std::string to_string() const;
+};
+
+/**
+ * True when the class `root` satisfies `sketch` in `graph`. Requires a
+ * clean (rebuilt) graph. The usual top-level shape is
+ * `(contains <goal>)` with `root` the spec's list class.
+ */
+bool sketch_satisfied(const EGraph& graph, ClassId root,
+                      const Sketch& sketch);
+
+/**
+ * Operator named by a sketch token: an exact op_name() spelling
+ * ("VecMAC", "+", ...) or a scalar spelling with a vector lift for the
+ * `vec-of` sugar (`vec = true`: "+"/"add"→kVecAdd, "mac"→kVecMAC, ...).
+ * Returns false when the token names nothing.
+ */
+bool op_from_token(const std::string& token, bool vec, Op& out);
+
+}  // namespace diospyros::strategy

@@ -35,6 +35,12 @@ echo "check.sh: all tests passed under ASan+UBSan"
 "$build/tools/dioscc" --lint-rules > /dev/null
 echo "check.sh: rule soundness lint passed"
 
+# Strategy self-check: every built-in saturation strategy must resolve
+# all its rule references against the default rule set and round-trip
+# through its canonical DSL text (non-zero exit on any failure).
+"$build/tools/dioscc" --lint-strategies > /dev/null
+echo "check.sh: strategy lint passed"
+
 # Crash-consistency torture (DESIGN.md §5e): SIGKILL dioscc --batch
 # mid-store dozens of times via the DIOS_CACHE_KILL hook, then damage a
 # quarter-plus of the surviving entries, and prove the store self-heals:
@@ -141,14 +147,14 @@ if [[ "${1:-}" != "--fast" || ! -d "$build_tsan" ]]; then
 fi
 cmake --build "$build_tsan" -j "$jobs" \
       --target service_test resilience_test analysis_test \
-               durability_test overload_test
+               durability_test overload_test strategy_test
 
 export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
 ctest --test-dir "$build_tsan" --output-on-failure \
-      -R '^(service_test|resilience_test|analysis_test|durability_test|overload_test)$'
+      -R '^(service_test|resilience_test|analysis_test|durability_test|overload_test|strategy_test)$'
 
 echo "check.sh: service + resilience + analysis + durability + overload" \
-     "tests passed under TSan"
+     "+ strategy tests passed under TSan"
 
 # E-matching benchmark gate: run the matcher microbenchmarks from the
 # default (non-sanitized, RelWithDebInfo) build so timings are
@@ -206,6 +212,18 @@ awk '
         exit status
     }' "$baseline" "$bench_json"
 echo "check.sh: e-matching benchmark gate passed ($bench_json)"
+
+# Figure-6 strategy gate (DESIGN.md §5h): sweep kernel sizes with and
+# without the explosive full-AC rules, monolithic saturation vs the
+# built-in phased strategy, and write BENCH_fig6.json. The bench exits
+# non-zero when the phased strategy regresses extracted cost on any
+# size, or fails to reach a fixed point / goal stop (or a strictly
+# better extraction) on a size where the monolithic run was truncated
+# by its budget — the "break the timeout wall" claim, enforced.
+cmake --build "$build_bench" -j "$jobs" --target fig6_timeout
+fig6_json="$build_bench/BENCH_fig6.json"
+"$build_bench/bench/fig6_timeout" --out "$fig6_json" > /dev/null
+echo "check.sh: fig6 strategy gate passed ($fig6_json)"
 
 # Overload soak gate (DESIGN.md §5g): 100k mixed hot/cold/poison
 # requests from 4 client threads with per-request fault injection armed

@@ -27,6 +27,18 @@
  *   --lint-rules    lint every registered rewrite rule for soundness
  *                   against the exact validator and exit (no kernel
  *                   required); non-zero exit if any rule is unsound
+ *   --strategy S    saturation strategy: a built-in name ("default",
+ *                   "phased") or a strategy file in the s-expression DSL
+ *                   (src/strategy/parse.h). Phases, per-phase limits,
+ *                   rule schedulers and sketch goals replace the single
+ *                   monolithic saturation run; with --json the report
+ *                   gains a per-phase "phases" array. A bad name/file
+ *                   exits 2 with the S4xx diagnostics.
+ *   --lint-strategies
+ *                   check every built-in strategy (rule references
+ *                   resolve against the registered rule set; canonical
+ *                   rendering round-trips through the parser) and exit;
+ *                   non-zero exit on any failure
  *   --strict        raw pipeline: fail outright instead of walking the
  *                   degradation ladder on errors
  *   --fault SPEC    arm a fault site, SPEC = site[:nth[:count|*]]
@@ -89,6 +101,7 @@
 
 #include <fstream>
 
+#include "analysis/diagnostics.h"
 #include "analysis/lint_rules.h"
 #include "compiler/driver.h"
 #include "service/compile_service.h"
@@ -96,6 +109,8 @@
 #include "rules/rules.h"
 #include "scalar/lower.h"
 #include "scalar/parse.h"
+#include "strategy/parse.h"
+#include "strategy/strategy.h"
 #include "support/faults.h"
 #include "support/numeric.h"
 #include "support/rng.h"
@@ -114,6 +129,7 @@ struct CliOptions {
     bool run = false;
     bool strict = false;
     bool lint_rules = false;
+    bool lint_strategies = false;
     std::string dot_path;
     std::uint64_t seed = 1;
     int jobs = 1;
@@ -135,7 +151,8 @@ usage(const char* argv0)
                  "usage: %s <kernel.ksp> [--width N] [--iters N] "
                  "[--nodes N] [--timeout S] [--deadline S] [--memory B] "
                  "[--no-vector] [--ac] [--recip] [--validate] "
-                 "[--verify-ir] [--lint-rules] [--strict] "
+                 "[--verify-ir] [--lint-rules] [--strategy NAME|FILE] "
+                 "[--lint-strategies] [--strict] "
                  "[--fault SPEC] [--list-faults] [--emit-c] [--emit-asm] "
                  "[--emit-spec] [--emit-dot FILE] [--json] [--run] "
                  "[--seed N] [--batch FILE] [--jobs N] [--cache-dir D] "
@@ -197,6 +214,19 @@ parse_cli(int argc, char** argv)
             cli.compiler.verify_ir = true;
         } else if (arg == "--lint-rules") {
             cli.lint_rules = true;
+        } else if (arg == "--strategy") {
+            const std::string ref = next_arg(i);
+            analysis::DiagEngine diags;
+            auto strat = strategy::load_strategy(ref, diags);
+            if (!strat) {
+                // Structured UserError, same convention as every other
+                // bad flag value: "dioscc: error: ..." and exit 2.
+                throw UserError("--strategy " + ref + ":\n" +
+                                diags.render_text());
+            }
+            cli.compiler.strategy = std::move(*strat);
+        } else if (arg == "--lint-strategies") {
+            cli.lint_strategies = true;
         } else if (arg == "--strict") {
             cli.strict = true;
         } else if (arg == "--fault") {
@@ -256,7 +286,8 @@ parse_cli(int argc, char** argv)
             usage(argv[0]);
         }
     }
-    if (cli.path.empty() && cli.batch_path.empty() && !cli.lint_rules) {
+    if (cli.path.empty() && cli.batch_path.empty() && !cli.lint_rules &&
+        !cli.lint_strategies) {
         usage(argv[0]);
     }
     return cli;
@@ -358,14 +389,52 @@ print_json_object(const std::string& kernel_name, const CompileReport& r,
         ematch_apply += s.apply_seconds;
         std::printf("%s{\"rule\":\"%s\",\"matches\":%zu,"
                     "\"applications\":%zu,\"search_seconds\":%.6f,"
-                    "\"apply_seconds\":%.6f}",
+                    "\"apply_seconds\":%.6f,\"times_banned\":%d,"
+                    "\"banned_until\":%d}",
                     i == 0 ? "" : ",", json_escape(s.name).c_str(),
                     s.matches, s.applications, s.search_seconds,
-                    s.apply_seconds);
+                    s.apply_seconds, s.times_banned, s.banned_until);
     }
     std::printf("],\"ematch_matches\":%zu,\"ematch_search_seconds\":%.6f,"
-                "\"ematch_apply_seconds\":%.6f}",
+                "\"ematch_apply_seconds\":%.6f",
                 ematch_matches, ematch_search, ematch_apply);
+    // Strategy runs: the schedule's identity and per-phase telemetry.
+    std::printf(",\"strategy\":\"%s\",\"goal_satisfied\":%s,\"phases\":[",
+                json_escape(r.strategy_name).c_str(),
+                r.strategy_goal_satisfied ? "true" : "false");
+    for (std::size_t i = 0; i < r.strategy_phases.size(); ++i) {
+        const strategy::PhaseReport& p = r.strategy_phases[i];
+        std::size_t matches = 0;
+        std::size_t applications = 0;
+        for (const RuleStats& s : p.runner.rule_stats) {
+            matches += s.matches;
+            applications += s.applications;
+        }
+        std::printf(
+            "%s{\"phase\":\"%s\",\"runs\":%d,\"skipped\":%s,"
+            "\"stop\":\"%s\",\"iterations\":%zu,\"nodes\":%zu,"
+            "\"classes\":%zu,\"matches\":%zu,\"applications\":%zu,"
+            "\"sketch_checked\":%s,\"sketch_satisfied\":%s,"
+            "\"seconds\":%.6f,\"rule_stats\":[",
+            i == 0 ? "" : ",", json_escape(p.name).c_str(), p.runs,
+            p.skipped ? "true" : "false",
+            p.skipped ? "skipped" : stop_reason_name(p.runner.stop_reason),
+            p.runner.iterations.size(), p.runner.final_nodes,
+            p.runner.final_classes, matches, applications,
+            p.sketch_checked ? "true" : "false",
+            p.sketch_satisfied ? "true" : "false", p.seconds);
+        for (std::size_t j = 0; j < p.runner.rule_stats.size(); ++j) {
+            const RuleStats& s = p.runner.rule_stats[j];
+            std::printf("%s{\"rule\":\"%s\",\"matches\":%zu,"
+                        "\"applications\":%zu,\"times_banned\":%d,"
+                        "\"banned_until\":%d}",
+                        j == 0 ? "" : ",", json_escape(s.name).c_str(),
+                        s.matches, s.applications, s.times_banned,
+                        s.banned_until);
+        }
+        std::printf("]}");
+    }
+    std::printf("]}");
 }
 
 /**
@@ -561,6 +630,90 @@ run_lint_rules(const CliOptions& cli)
 }
 
 /**
+ * --lint-strategies driver: every named built-in strategy must (a)
+ * resolve all its rule references against the default rule set at the
+ * CLI's vector width, and (b) round-trip through its canonical DSL
+ * rendering. Returns non-zero on any failure.
+ */
+int
+run_lint_strategies(const CliOptions& cli)
+{
+    RuleConfig config;
+    config.vector_width = cli.compiler.target.vector_width;
+    const std::vector<Rewrite> rules = build_rules(config);
+
+    bool ok = true;
+    for (const std::string& name : strategy::builtin_strategy_names()) {
+        const auto strat = strategy::builtin_strategy(name);
+        std::string problems;
+
+        analysis::DiagEngine resolve_diags;
+        strategy::resolve_phase_rules(*strat, rules, resolve_diags);
+        if (resolve_diags.has_errors()) {
+            problems += resolve_diags.render_text();
+        }
+
+        analysis::DiagEngine parse_diags;
+        const auto reparsed =
+            strategy::parse_strategy(strat->to_string(), parse_diags);
+        if (!reparsed) {
+            problems += "canonical rendering does not parse:\n" +
+                        parse_diags.render_text();
+        } else if (!(*reparsed == *strat)) {
+            problems +=
+                "canonical rendering does not round-trip to an equal "
+                "strategy\n";
+        }
+
+        if (problems.empty()) {
+            std::printf("%-12s ok (%zu phases%s)\n", name.c_str(),
+                        strat->phases.size(),
+                        strat->goal ? ", goal" : "");
+        } else {
+            ok = false;
+            std::printf("%-12s FAILED\n%s", name.c_str(),
+                        problems.c_str());
+        }
+    }
+    std::printf("; linted %zu built-in strategies at width %d: %s\n",
+                strategy::builtin_strategy_names().size(),
+                config.vector_width, ok ? "all ok" : "FAILED");
+    return ok ? 0 : 1;
+}
+
+/**
+ * Debug-build startup self-check: every named built-in strategy must
+ * reference only registered rules, so a rule rename cannot silently
+ * strand a shipped schedule. Opt out: DIOS_NO_STRATEGY_LINT=1.
+ */
+void
+startup_strategy_lint(int width)
+{
+#ifndef NDEBUG
+    if (std::getenv("DIOS_NO_STRATEGY_LINT") != nullptr) {
+        return;
+    }
+    RuleConfig config;
+    config.vector_width = width;
+    const std::vector<Rewrite> rules = build_rules(config);
+    for (const std::string& name : strategy::builtin_strategy_names()) {
+        analysis::DiagEngine diags;
+        strategy::resolve_phase_rules(*strategy::builtin_strategy(name),
+                                      rules, diags);
+        if (diags.has_errors()) {
+            std::fprintf(
+                stderr,
+                "dioscc: strategy self-check failed for '%s':\n%s",
+                name.c_str(), diags.render_text().c_str());
+            std::exit(1);
+        }
+    }
+#else
+    (void)width;
+#endif
+}
+
+/**
  * Debug-build startup self-check: lint the full rule inventory before
  * compiling anything, so an unsound rewrite is caught at the front door
  * rather than as a miscompiled kernel. Opt out: DIOS_NO_RULE_LINT=1.
@@ -595,7 +748,11 @@ try {
     if (cli.lint_rules) {
         return run_lint_rules(cli);
     }
+    if (cli.lint_strategies) {
+        return run_lint_strategies(cli);
+    }
     startup_rule_lint(cli.compiler.target.vector_width);
+    startup_strategy_lint(cli.compiler.target.vector_width);
     if (!cli.batch_path.empty()) {
         return run_batch(cli);
     }
