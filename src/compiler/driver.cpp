@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "analysis/audit_egraph.h"
+#include "analysis/verify_machine.h"
 #include "analysis/verify_vir.h"
 #include "egraph/extract.h"
 #include "support/error.h"
@@ -51,6 +52,69 @@ bool
 gates_enabled(const CompilerOptions& options)
 {
     return options.verify_ir || analysis::verify_ir_default();
+}
+
+/** Whether this compile runs the machine-code gates (M-codes). */
+bool
+machine_gates_enabled(const CompilerOptions& options)
+{
+    return options.verify_machine || analysis::verify_machine_default();
+}
+
+/**
+ * Machine gates: structural verification of the program as emitted and
+ * as scheduled, plus the scheduler-preservation proof. Raises
+ * InternalError with the rendered M-code findings.
+ */
+void
+verify_machine_or_throw(const vir::EmitTrace& trace, const Program& machine,
+                        const vir::CompiledLayout& layout,
+                        const TargetSpec& target)
+{
+    analysis::DiagEngine diags;
+    analysis::verify_machine_program(trace.unscheduled, target, diags,
+                                     &layout);
+    analysis::verify_machine_program(machine, target, diags, &layout);
+    analysis::check_schedule_preservation(trace.unscheduled, machine,
+                                          trace.schedule, target, diags);
+    DIOS_ASSERT(!diags.has_errors(),
+                "machine verifier rejected the emitted program:\n" +
+                    diags.render_text());
+}
+
+/**
+ * Emits machine code, running the structural/scheduling gates when
+ * enabled, then (when asked) symbolically validates the final scheduled
+ * code against the padded spec and records the verdict in the report.
+ */
+void
+emit_and_verify(CompiledKernel& out, const CompilerOptions& options,
+                const std::vector<vir::OutputSlot>& slots)
+{
+    if (machine_gates_enabled(options)) {
+        vir::EmitTrace trace;
+        out.machine = vir::emit_machine(out.vprogram, out.layout,
+                                        options.target, &trace);
+        verify_machine_or_throw(trace, out.machine, out.layout,
+                                options.target);
+    } else {
+        out.machine = vir::emit_machine(out.vprogram, out.layout,
+                                        options.target);
+    }
+    // Symbolic machine-level validation is opt-in even in debug builds —
+    // it canonicalizes every output element, the same cost class as
+    // term-level validate_translation.
+    if (options.validate || options.verify_machine) {
+        const analysis::MachineValidation mv =
+            analysis::validate_machine_translation(
+                out.padded_spec, slots, out.machine, out.layout,
+                options.target);
+        out.report.machine_validated = true;
+        out.report.machine_validation = mv.verdict;
+        if (mv.witness) {
+            out.report.machine_witness = mv.witness->to_string();
+        }
+    }
 }
 
 /** VIR verifier gate: raises InternalError with the rendered findings. */
@@ -175,8 +239,7 @@ compile_with_deadline(const scalar::Kernel& kernel, CompilerOptions options,
     }
     out.layout = vir::CompiledLayout::make(kernel, width);
     deadline.check("emission");
-    out.machine = vir::emit_machine(out.vprogram, out.layout,
-                                    options.target);
+    emit_and_verify(out, options, slots);
     out.c_source = vir::to_c_intrinsics(out.vprogram, kernel.name);
     out.report.backend_seconds = phase.elapsed_seconds();
 
@@ -248,8 +311,7 @@ compile_direct(const scalar::Kernel& kernel, CompilerOptions options)
                         diags.render_text());
     }
     out.layout = vir::CompiledLayout::make(kernel, width);
-    out.machine = vir::emit_machine(out.vprogram, out.layout,
-                                    options.target);
+    emit_and_verify(out, options, slots);
     out.c_source = vir::to_c_intrinsics(out.vprogram, kernel.name);
     out.report.backend_seconds = phase.elapsed_seconds();
 
@@ -431,6 +493,15 @@ compile_kernel_resilient(const scalar::Kernel& kernel,
             if (compiled.report.validation == Verdict::kNotEquivalent) {
                 diag.error = "translation validation reported "
                              "NOT-equivalent";
+                diag.failure_class = FailureClass::kInternal;
+            } else if (compiled.report.machine_validation ==
+                       Verdict::kNotEquivalent) {
+                diag.error = "machine-level translation validation "
+                             "reported NOT-equivalent";
+                if (!compiled.report.machine_witness.empty()) {
+                    diag.error +=
+                        " (" + compiled.report.machine_witness + ")";
+                }
                 diag.failure_class = FailureClass::kInternal;
             } else if (!compiled.report.random_check_passed) {
                 diag.error = "random differential check failed";

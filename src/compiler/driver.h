@@ -108,6 +108,20 @@ struct CompilerOptions {
      */
     bool verify_ir = false;
     /**
+     * Run the machine-code gates (analysis/verify_machine.h): structural
+     * verification of the emitted program before and after scheduling,
+     * the scheduler-preservation proof (M008), and symbolic machine-level
+     * translation validation of the final scheduled code against the
+     * padded spec. The structural/scheduling gates follow verify_ir's
+     * build-type default (always on in debug and sanitizer builds);
+     * symbolic validation runs only when this flag or `validate` is set,
+     * since it canonicalizes every output element. Release builds opt in
+     * via dioscc --verify-machine. Structural failures raise
+     * InternalError; a kNotEquivalent machine validation degrades the
+     * resilient driver like a failed term-level validation does.
+     */
+    bool verify_machine = false;
+    /**
      * Saturation strategy (strategy/strategy.h). Disengaged (the
      * default), saturation is the legacy monolithic `Runner::run` under
      * `limits`. Engaged, the strategy's phases run over the shared
@@ -200,6 +214,18 @@ struct CompileReport {
     std::size_t memory_proxy_bytes = 0;
     Verdict validation = Verdict::kUnknown;
     bool random_check_passed = true;
+    /**
+     * Symbolic machine-level translation validation of the final
+     * scheduled machine code against the padded spec (M009). kUnknown
+     * until `machine_validated` is set; kNotEquivalent is only ever
+     * reported together with a concrete counterexample in
+     * `machine_witness`.
+     */
+    Verdict machine_validation = Verdict::kUnknown;
+    /** Whether machine-level validation actually ran on this compile. */
+    bool machine_validated = false;
+    /** Rendered counterexample witness for a kNotEquivalent ("" = none). */
+    std::string machine_witness;
     /** Degradation-ladder rung that produced this result (0 = none). */
     int fallback_level = 0;
     /** Every rung tried by the resilient driver (empty for raw compiles). */

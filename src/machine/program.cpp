@@ -403,9 +403,27 @@ Program
 ProgramBuilder::finish()
 {
     for (const auto& [index, label] : fixups_) {
-        DIOS_ASSERT(label_offsets_[label] >= 0,
-                    "branch to an unbound label");
-        code_[index].imm = label_offsets_[label];
+        // Reject malformed fixups outright rather than producing a
+        // program with a garbage branch target: a label handle that was
+        // never created by new_label() (default-constructed or from
+        // another builder) would index label_offsets_ out of range.
+        if (label < 0 ||
+            label >= static_cast<int>(label_offsets_.size())) {
+            throw InternalError(
+                "ProgramBuilder::finish: instruction " +
+                std::to_string(index) +
+                " branches to label id " + std::to_string(label) +
+                ", which this builder never created (" +
+                std::to_string(label_offsets_.size()) + " labels exist)");
+        }
+        if (label_offsets_[static_cast<std::size_t>(label)] < 0) {
+            throw InternalError(
+                "ProgramBuilder::finish: instruction " +
+                std::to_string(index) + " branches to label id " +
+                std::to_string(label) + ", which was never bound");
+        }
+        code_[index].imm =
+            label_offsets_[static_cast<std::size_t>(label)];
     }
     Program p;
     p.code = std::move(code_);

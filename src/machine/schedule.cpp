@@ -244,6 +244,7 @@ schedule_program(const Program& program, const TargetSpec& spec,
         for (int i = 0; i < n; ++i) {
             stats->moved += order[static_cast<std::size_t>(i)] != i;
         }
+        stats->order = order;
     }
     return out;
 }

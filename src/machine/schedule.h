@@ -24,6 +24,14 @@ namespace diospyros {
 struct ScheduleStats {
     bool applied = false;   ///< false if the program was not straight-line
     std::size_t moved = 0;  ///< instructions placed at a new position
+    /**
+     * The permutation chosen: `order[slot]` is the original index of the
+     * instruction now at `slot` (body only; the trailing halt stays
+     * put). Empty when scheduling did not apply. The machine verifier
+     * (analysis/verify_machine.h) replays this claim against an
+     * independently recomputed dependence graph.
+     */
+    std::vector<int> order;
 };
 
 /**

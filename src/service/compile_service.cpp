@@ -5,6 +5,7 @@
 #include <limits>
 #include <utility>
 
+#include "analysis/verify_machine.h"
 #include "analysis/verify_vir.h"
 #include "service/serialize.h"
 #include "support/error.h"
@@ -196,6 +197,9 @@ ServiceMetrics::to_json() const
     json_count(out, "failures", failures, false);
     json_count(out, "user_errors", user_errors, false);
     json_count(out, "verifier_rejects", verifier_rejects, false);
+    json_count(out, "machine_verifier_rejects", machine_verifier_rejects,
+               false);
+    json_count(out, "validation_unknown", validation_unknown, false);
     json_count(out, "quarantined", quarantined, false);
     json_count(out, "recovered_tmp", recovered_tmp, false);
     json_count(out, "checksum_failures", checksum_failures, false);
@@ -800,12 +804,20 @@ CompileService::process(const std::shared_ptr<Job>& job)
     // own gates vouch for what *it* produced) but is never cached, so a
     // corrupt artifact cannot be replayed to future requests.
     bool verifier_ok = true;
+    bool machine_verifier_ok = true;
     if (result->ok && result->compiled) {
         analysis::DiagEngine diags = analysis::verify_compiled_kernel(
             result->compiled->kernel, result->compiled->vprogram);
         verifier_ok = !diags.has_errors();
+        // Same policy for the final artifact: structurally re-verify the
+        // scheduled machine code before it can enter either cache level.
+        analysis::DiagEngine mdiags;
+        machine_verifier_ok = analysis::verify_machine_program(
+            result->compiled->machine, job->options.target, mdiags,
+            &result->compiled->layout);
     }
-    finish(job, std::move(result), /*executed=*/true, verifier_ok);
+    finish(job, std::move(result), /*executed=*/true, verifier_ok,
+           machine_verifier_ok);
 }
 
 void
@@ -896,7 +908,8 @@ CompileService::cap_negative_cache()
 
 void
 CompileService::finish(const std::shared_ptr<Job>& job, ResultPtr result,
-                       bool executed, bool verifier_ok)
+                       bool executed, bool verifier_ok,
+                       bool machine_verifier_ok)
 {
     {
         std::lock_guard<std::mutex> lock(mu_);
@@ -914,6 +927,12 @@ CompileService::finish(const std::shared_ptr<Job>& job, ResultPtr result,
                 0.8 * ewma_compile_seconds_ + 0.2 * spent;
             if (result->ok) {
                 const CompileReport& r = result->report();
+                if ((job->options.validate &&
+                     r.validation == Verdict::kUnknown) ||
+                    (r.machine_validated &&
+                     r.machine_validation == Verdict::kUnknown)) {
+                    ++metrics_.validation_unknown;
+                }
                 metrics_.lift_seconds += r.lift_seconds;
                 metrics_.saturation_seconds += r.saturation_seconds;
                 metrics_.extract_seconds += r.extract_seconds;
@@ -938,13 +957,17 @@ CompileService::finish(const std::shared_ptr<Job>& job, ResultPtr result,
         if (!verifier_ok) {
             ++metrics_.verifier_rejects;
         }
+        if (!machine_verifier_ok) {
+            ++metrics_.machine_verifier_rejects;
+        }
         if (!job->bypass) {
             // Even a non-executed (disk-hit) success heals the failure
             // memory: a probe that finds a good cached artifact closes
             // the breaker just like a probe that recompiled.
             record_outcome(job, *result);
         }
-        if (verifier_ok && !job->bypass && result->ok && result->compiled) {
+        if (verifier_ok && machine_verifier_ok && !job->bypass &&
+            result->ok && result->compiled) {
             MemEntry entry;
             entry.key = job->key;
             entry.result = result;
@@ -963,8 +986,8 @@ CompileService::finish(const std::shared_ptr<Job>& job, ResultPtr result,
     // Transient failures are retried with deterministic backoff under a
     // small fixed wall-clock budget (the compile's own deadline has
     // already been spent; persistence must not stall the caller).
-    if (verifier_ok && executed && !job->bypass && result->ok &&
-        result->compiled && disk_) {
+    if (verifier_ok && machine_verifier_ok && executed && !job->bypass &&
+        result->ok && result->compiled && disk_) {
         IoPolicy policy;
         policy.retries = std::max(0, job->options.io_retries);
         policy.deadline = Deadline::after_seconds(2.0);

@@ -181,6 +181,14 @@ struct ServiceMetrics {
     std::uint64_t user_errors = 0; ///< failures that were the caller's fault
     /** Compiled programs the VIR verifier rejected at the cache gate. */
     std::uint64_t verifier_rejects = 0;
+    /** Compiled programs the machine verifier rejected at the cache gate. */
+    std::uint64_t machine_verifier_rejects = 0;
+    /**
+     * Executed compiles whose requested validation (term-level or
+     * machine-level) came back kUnknown — served and cached, but worth
+     * watching: they are the gap between "proved" and "not disproved".
+     */
+    std::uint64_t validation_unknown = 0;
     // Durability counters (DESIGN.md §5e). The scan-time portion comes
     // from the recovery scan the disk cache runs at startup; the
     // serve-time portion accumulates as corrupt entries are caught.
@@ -472,11 +480,13 @@ class CompileService {
      * Finishes a job: caches (unless bypass/failed/verifier-rejected),
      * updates the failure memory, resolves waiters. `verifier_ok ==
      * false` means the post-compile VIR verifier gate rejected the
-     * program: the result is still delivered to the caller, but never
-     * enters either cache level.
+     * program, `machine_verifier_ok == false` that the structural
+     * machine verifier did: either way the result is still delivered to
+     * the caller, but never enters either cache level.
      */
     void finish(const std::shared_ptr<Job>& job, ResultPtr result,
-                bool executed, bool verifier_ok = true);
+                bool executed, bool verifier_ok = true,
+                bool machine_verifier_ok = true);
 
     /** Memory-cache lookup; must hold mu_. Touches LRU order on hit. */
     ResultPtr lookup_memory(const CacheKey& key,

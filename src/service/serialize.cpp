@@ -163,6 +163,10 @@ report_to_sexpr(const CompileReport& r)
                 u64_atom(r.lvn.output_instrs)}),
          field("validation", {Sexpr::atom(verdict_name(r.validation)),
                               i64_atom(r.random_check_passed ? 1 : 0)}),
+         field("machine-validation",
+               {Sexpr::atom(verdict_name(r.machine_validation)),
+                i64_atom(r.machine_validated ? 1 : 0),
+                Sexpr::string_atom(r.machine_witness)}),
          field("fallback", {i64_atom(r.fallback_level),
                             Sexpr::string_atom(r.error)}),
          // Only the strategy's *name* is persisted (like rule_stats,
@@ -207,6 +211,10 @@ report_from_sexpr(const Sexpr& s)
         } else if (is_field(f, "validation") && f.size() == 3) {
             r.validation = verdict_from_name(f[1].token());
             r.random_check_passed = as_i64(f[2]) != 0;
+        } else if (is_field(f, "machine-validation") && f.size() == 4) {
+            r.machine_validation = verdict_from_name(f[1].token());
+            r.machine_validated = as_i64(f[2]) != 0;
+            r.machine_witness = f[3].token();
         } else if (is_field(f, "fallback") && f.size() == 3) {
             r.fallback_level = static_cast<int>(as_i64(f[1]));
             r.error = f[2].token();

@@ -418,14 +418,20 @@ class Emitter {
 
 Program
 emit_machine(const VProgram& program, CompiledLayout& layout,
-             const TargetSpec& target)
+             const TargetSpec& target, EmitTrace* trace)
 {
     DIOS_FAULT_POINT("emit.machine");
     Emitter emitter(program, layout, target);
     // Compiled kernels are straight-line: list-schedule to hide operand
     // latencies, as the vendor toolchain would (paper §4 delegates this
     // to xt-xcc).
-    return schedule_program(emitter.run(), target);
+    Program raw = emitter.run();
+    if (trace == nullptr) {
+        return schedule_program(raw, target);
+    }
+    Program scheduled = schedule_program(raw, target, &trace->schedule);
+    trace->unscheduled = std::move(raw);
+    return scheduled;
 }
 
 }  // namespace diospyros::vir

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "machine/program.h"
+#include "machine/schedule.h"
 #include "machine/sim.h"
 #include "machine/target.h"
 #include "scalar/ast.h"
@@ -78,12 +79,25 @@ class CompiledLayout {
 };
 
 /**
+ * The intermediate artifacts of one emission, captured for the machine
+ * verifier (analysis/verify_machine.h): the program as selected, before
+ * the list scheduler reordered it, and the scheduler's claimed
+ * permutation. Only populated when the caller asks for it — the release
+ * hot path pays nothing.
+ */
+struct EmitTrace {
+    Program unscheduled;
+    ScheduleStats schedule;
+};
+
+/**
  * Emits machine code for a vector-IR program against a concrete target
  * (scalar-MAC availability and vector width come from `target`). The
  * layout's constant pool is extended as literal vectors are placed, so
- * emit before calling make_memory().
+ * emit before calling make_memory(). When `trace` is non-null it
+ * receives the pre-schedule program and the scheduler's permutation.
  */
 Program emit_machine(const VProgram& program, CompiledLayout& layout,
-                     const TargetSpec& target);
+                     const TargetSpec& target, EmitTrace* trace = nullptr);
 
 }  // namespace diospyros::vir

@@ -40,6 +40,22 @@ check_compiled(const scalar::Kernel& kernel, const CompilerOptions& options,
         << label;
     EXPECT_TRUE(compiled.report.random_check_passed) << label;
 
+    // Machine-level symbolic validation ran (validate=true) and feeds
+    // the same exact canonicalizer as term-level validation: whenever
+    // the term-level proof was exact, the *scheduled machine code* must
+    // also be proved equivalent — not merely fail to disprove it. On
+    // the one kernel whose polynomials cap out the canonicalizer at
+    // both levels (qr4), kUnknown is the honest verdict and the
+    // randomized differential still gates it; kNotEquivalent is a bug
+    // anywhere.
+    EXPECT_TRUE(compiled.report.machine_validated) << label;
+    EXPECT_NE(compiled.report.machine_validation, Verdict::kNotEquivalent)
+        << label << " " << compiled.report.machine_witness;
+    if (compiled.report.validation == Verdict::kEquivalent) {
+        EXPECT_EQ(compiled.report.machine_validation, Verdict::kEquivalent)
+            << label << " " << compiled.report.machine_witness;
+    }
+
     const scalar::BufferMap inputs = kernels::make_inputs(kernel, 7);
     const auto run = compiled.run(inputs, options.target);
     const scalar::BufferMap want = scalar::run_reference(kernel, inputs);

@@ -41,6 +41,21 @@ echo "check.sh: rule soundness lint passed"
 "$build/tools/dioscc" --lint-strategies > /dev/null
 echo "check.sh: strategy lint passed"
 
+# Machine-verifier corpus gate (DESIGN.md §5i): every kernel in
+# tools/kernels compiles under ASan with the full machine-code
+# verification chain engaged — structural M001-M007 checks on the
+# emitted program, the M008 scheduler-preservation proof, and symbolic
+# machine-level translation validation of the scheduled code against
+# the spec. --strict turns any degradation into a hard failure, and the
+# debug build also runs the M-verifier startup self-check on each
+# invocation (planted M004/M008 bugs must be caught before any real
+# compile is attempted).
+for ksp in "$repo"/tools/kernels/*.ksp; do
+    DIOS_NO_RULE_LINT=1 "$build/tools/dioscc" "$ksp" \
+        --verify-machine --validate --strict > /dev/null
+done
+echo "check.sh: machine verifier corpus gate passed"
+
 # Crash-consistency torture (DESIGN.md §5e): SIGKILL dioscc --batch
 # mid-store dozens of times via the DIOS_CACHE_KILL hook, then damage a
 # quarter-plus of the surviving entries, and prove the store self-heals:
@@ -130,13 +145,14 @@ fi
 echo "check.sh: crash-consistency torture passed" \
      "($kills/60 runs killed mid-store, $quarantined entries quarantined)"
 
-# clang-tidy (repo-root .clang-tidy profile) over the analysis and VIR
-# layers, using the ASan build's compile_commands.json. Optional: skipped
-# when clang-tidy is not installed.
+# clang-tidy (repo-root .clang-tidy profile) over the analysis, machine,
+# and VIR layers, using the ASan build's compile_commands.json. Optional:
+# skipped when clang-tidy is not installed.
 if command -v clang-tidy > /dev/null 2>&1; then
     clang-tidy -p "$build" --quiet \
-        "$repo"/src/analysis/*.cpp "$repo"/src/vir/*.cpp
-    echo "check.sh: clang-tidy passed on src/analysis + src/vir"
+        "$repo"/src/analysis/*.cpp "$repo"/src/machine/*.cpp \
+        "$repo"/src/vir/*.cpp
+    echo "check.sh: clang-tidy passed on src/analysis + src/machine + src/vir"
 else
     echo "check.sh: clang-tidy not installed; skipping lint"
 fi

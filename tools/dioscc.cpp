@@ -24,6 +24,17 @@
  *   --verify-ir     run the static-analysis gates (e-graph audit + VIR
  *                   verifier) inside the compile; always on in debug and
  *                   sanitizer builds
+ *   --verify-machine
+ *                   run the machine-code gates: structural verification
+ *                   of the emitted program (M001-M007), the scheduler-
+ *                   preservation proof (M008), and symbolic machine-level
+ *                   translation validation of the scheduled code against
+ *                   the spec (M009, with a concrete counterexample
+ *                   witness on NOT-equivalent). The structural gates are
+ *                   always on in debug and sanitizer builds; this flag
+ *                   opts release builds in and additionally enables the
+ *                   symbolic validation. With --json the verdict lands in
+ *                   "machine_validation" / "machine_witness"
  *   --lint-rules    lint every registered rewrite rule for soundness
  *                   against the exact validator and exit (no kernel
  *                   required); non-zero exit if any rule is unsound
@@ -103,6 +114,7 @@
 
 #include "analysis/diagnostics.h"
 #include "analysis/lint_rules.h"
+#include "analysis/verify_machine.h"
 #include "compiler/driver.h"
 #include "service/compile_service.h"
 #include "egraph/runner.h"
@@ -151,7 +163,8 @@ usage(const char* argv0)
                  "usage: %s <kernel.ksp> [--width N] [--iters N] "
                  "[--nodes N] [--timeout S] [--deadline S] [--memory B] "
                  "[--no-vector] [--ac] [--recip] [--validate] "
-                 "[--verify-ir] [--lint-rules] [--strategy NAME|FILE] "
+                 "[--verify-ir] [--verify-machine] [--lint-rules] "
+                 "[--strategy NAME|FILE] "
                  "[--lint-strategies] [--strict] "
                  "[--fault SPEC] [--list-faults] [--emit-c] [--emit-asm] "
                  "[--emit-spec] [--emit-dot FILE] [--json] [--run] "
@@ -212,6 +225,8 @@ parse_cli(int argc, char** argv)
             cli.compiler.random_check = true;
         } else if (arg == "--verify-ir") {
             cli.compiler.verify_ir = true;
+        } else if (arg == "--verify-machine") {
+            cli.compiler.verify_machine = true;
         } else if (arg == "--lint-rules") {
             cli.lint_rules = true;
         } else if (arg == "--strategy") {
@@ -360,7 +375,10 @@ print_json_object(const std::string& kernel_name, const CompileReport& r,
         "\"stop\":\"%s\",\"extracted_cost\":%.2f,"
         "\"spec_elements\":%zu,\"memory_proxy_bytes\":%zu,"
         "\"lvn_removed\":%zu,\"fallback_level\":%d,"
-        "\"fallback\":\"%s\",\"error\":\"%s\",\"attempts\":[",
+        "\"fallback\":\"%s\",\"error\":\"%s\","
+        "\"validation\":\"%s\",\"random_check_passed\":%s,"
+        "\"machine_validation\":\"%s\",\"machine_validated\":%s,"
+        "\"machine_witness\":\"%s\",\"attempts\":[",
         json_escape(kernel_name).c_str(), cache, queue_wait_ms,
         r.total_seconds,
         r.saturation_seconds, r.egraph_nodes, r.egraph_classes,
@@ -368,7 +386,11 @@ print_json_object(const std::string& kernel_name, const CompileReport& r,
         r.extracted_cost, r.spec_elements, r.memory_proxy_bytes,
         r.lvn.value_numbered + r.lvn.dead_removed, r.fallback_level,
         fallback_level_name(r.fallback_level),
-        json_escape(r.error).c_str());
+        json_escape(r.error).c_str(), verdict_name(r.validation),
+        r.random_check_passed ? "true" : "false",
+        verdict_name(r.machine_validation),
+        r.machine_validated ? "true" : "false",
+        json_escape(r.machine_witness).c_str());
     for (std::size_t i = 0; i < r.attempts.size(); ++i) {
         const AttemptDiagnostic& a = r.attempts[i];
         std::printf("%s{\"level\":%d,\"rung\":\"%s\",\"seconds\":%.6f,"
@@ -714,6 +736,29 @@ startup_strategy_lint(int width)
 }
 
 /**
+ * Debug-build startup self-check: the machine verifier must accept a
+ * known-good program and catch planted bugs (bad shuffle lane, reordered
+ * dependent pair), so a broken gate cannot silently wave miscompiles
+ * through. Opt out: DIOS_NO_MACHINE_LINT=1.
+ */
+void
+startup_machine_lint()
+{
+#ifndef NDEBUG
+    if (std::getenv("DIOS_NO_MACHINE_LINT") != nullptr) {
+        return;
+    }
+    const std::string problem = analysis::machine_verifier_self_check();
+    if (!problem.empty()) {
+        std::fprintf(stderr,
+                     "dioscc: machine verifier self-check failed: %s\n",
+                     problem.c_str());
+        std::exit(1);
+    }
+#endif
+}
+
+/**
  * Debug-build startup self-check: lint the full rule inventory before
  * compiling anything, so an unsound rewrite is caught at the front door
  * rather than as a miscompiled kernel. Opt out: DIOS_NO_RULE_LINT=1.
@@ -753,6 +798,7 @@ try {
     }
     startup_rule_lint(cli.compiler.target.vector_width);
     startup_strategy_lint(cli.compiler.target.vector_width);
+    startup_machine_lint();
     if (!cli.batch_path.empty()) {
         return run_batch(cli);
     }
@@ -844,6 +890,12 @@ try {
                      verdict_name(compiled.report.validation),
                      compiled.report.random_check_passed ? "passed"
                                                          : "FAILED");
+    }
+    if (compiled.report.machine_validated) {
+        std::fprintf(info, "; machine-level validation: %s%s%s\n",
+                     verdict_name(compiled.report.machine_validation),
+                     compiled.report.machine_witness.empty() ? "" : "; ",
+                     compiled.report.machine_witness.c_str());
     }
 
     if (!cli.dot_path.empty()) {
