@@ -1,0 +1,735 @@
+/**
+ * @file
+ * Kill-the-daemon chaos soak for diosd + dioscc --remote (DESIGN.md §5j).
+ *
+ * Topology: one parent orchestrator, one diosd daemon child, N client
+ * *processes* (real fork'd processes, not threads — the failure domain
+ * under test is cross-process). Clients push a mixed workload — hot
+ * keys (cache hits), cold keys (real compiles), poison kernels
+ * (deterministic failures) — through RemoteClient against the daemon's
+ * Unix socket, falling back to local in-process compilation whenever
+ * the daemon stays unreachable. Meanwhile the parent SIGKILLs the
+ * daemon mid-flight on a schedule and restarts it (same socket, same
+ * cache directory), including one extended "dead window" where the
+ * daemon stays down long enough for client retry budgets to exhaust.
+ *
+ * Every restart exercises the full crash-recovery story: pid-file
+ * dead-owner takeover, sharded disk-cache recovery scan, and client
+ * retries replaying torn requests against a daemon with an empty dedup
+ * table (same bytes must come back — from the disk cache or a fresh
+ * compile).
+ *
+ * Each client writes one line per request to a private results file:
+ *
+ *     <index> <kernel> <outcome> <hash> <latency_ms>
+ *
+ * plus a final counters line. The parent aggregates and checks:
+ *   - zero lost responses (every index present once per client);
+ *   - zero duplicated responses (no index appears twice);
+ *   - byte identity: all ok/fallback-ok hashes for a kernel agree with
+ *     each other AND with a cold single-process local reference compile;
+ *   - deterministic failures agree across clients and transports;
+ *   - every unreachable-daemon request completed via local fallback.
+ *
+ * Emits one JSON object (one field per line, awk-friendly) with
+ * p50/p99 latency and the chaos counters; check.sh gates on the exit
+ * code, asserts shed > 0, fallback > 0, kills >= 5, and compares p99
+ * against bench/BENCH_daemon_baseline.json.
+ *
+ * Usage: daemon_soak [--clients N] [--requests N] [--kills N]
+ *                    [--kill-interval-ms MS] [--dead-window-ms MS]
+ *                    [--jobs N] [--capacity N] [--watermark N]
+ *                    [--dir D] [--out FILE]
+ */
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "compiler/driver.h"
+#include "daemon/client.h"
+#include "daemon/daemon.h"
+#include "scalar/parse.h"
+#include "service/serialize.h"
+#include "support/hash.h"
+#include "support/numeric.h"
+
+using namespace diospyros;
+
+namespace {
+
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
+
+struct SoakConfig {
+    int clients = 3;
+    std::size_t requests = 600;
+    int kills = 5;
+    double kill_interval_ms = 300.0;
+    double dead_window_ms = 800.0;
+    /** Per-request client pacing: keeps the soak window open long
+     *  enough for the kill schedule to land mid-flight. */
+    double pace_ms = 5.0;
+    int jobs = 1;
+    std::size_t capacity = 4;
+    std::size_t watermark = 1;
+    std::string dir;
+    std::string out_path;
+};
+
+void
+usage(const char* argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--clients N] [--requests N] [--kills N]\n"
+                 "          [--kill-interval-ms MS] [--dead-window-ms MS]\n"
+                 "          [--pace-ms MS]\n"
+                 "          [--jobs N] [--capacity N] [--watermark N]\n"
+                 "          [--dir D] [--out FILE]\n",
+                 argv0);
+    std::exit(2);
+}
+
+SoakConfig
+parse_args(int argc, char** argv)
+{
+    SoakConfig cfg;
+    auto next = [&](int& i) -> std::string {
+        if (i + 1 >= argc) {
+            usage(argv[0]);
+        }
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--clients") {
+            cfg.clients =
+                static_cast<int>(require_positive_integer(arg, next(i)));
+        } else if (arg == "--requests") {
+            cfg.requests = static_cast<std::size_t>(
+                require_positive_integer(arg, next(i)));
+        } else if (arg == "--kills") {
+            cfg.kills = static_cast<int>(
+                require_nonnegative_integer(arg, next(i)));
+        } else if (arg == "--kill-interval-ms") {
+            cfg.kill_interval_ms =
+                require_positive_number(arg, next(i));
+        } else if (arg == "--dead-window-ms") {
+            cfg.dead_window_ms =
+                require_nonnegative_number(arg, next(i));
+        } else if (arg == "--pace-ms") {
+            cfg.pace_ms = require_nonnegative_number(arg, next(i));
+        } else if (arg == "--jobs") {
+            cfg.jobs =
+                static_cast<int>(require_positive_integer(arg, next(i)));
+        } else if (arg == "--capacity") {
+            cfg.capacity = static_cast<std::size_t>(
+                require_positive_integer(arg, next(i)));
+        } else if (arg == "--watermark") {
+            cfg.watermark = static_cast<std::size_t>(
+                require_nonnegative_integer(arg, next(i)));
+        } else if (arg == "--dir") {
+            cfg.dir = next(i);
+        } else if (arg == "--out") {
+            cfg.out_path = next(i);
+        } else {
+            usage(argv[0]);
+        }
+    }
+    return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// Workload: kernel *texts* (what actually crosses the wire)
+// ---------------------------------------------------------------------------
+
+std::string
+vadd_text(std::int64_t n)
+{
+    std::ostringstream os;
+    os << "(kernel vadd" << n << " (param n " << n
+       << ") (input A n) (input B n) (output C n)"
+       << " (for i 0 n (store C i (+ (load A i) (load B i)))))";
+    return os.str();
+}
+
+std::string
+dot_text(std::int64_t n)
+{
+    std::ostringstream os;
+    os << "(kernel dot" << n << " (param n " << n
+       << ") (input A n) (input B n) (output C 1) (scratch acc 1)"
+       << " (store acc 0 0)"
+       << " (for i 0 n (accumulate acc 0 (* (load A i) (load B i))))"
+       << " (store C 0 (load acc 0)))";
+    return os.str();
+}
+
+/** Deterministic UserError: loads from an undeclared array. */
+std::string
+poison_text(std::int64_t n)
+{
+    std::ostringstream os;
+    os << "(kernel poison" << n << " (param n " << n
+       << ") (output C n) (for i 0 n (store C i (load Z i))))";
+    return os.str();
+}
+
+struct WorkItem {
+    std::string name;
+    std::string text;
+    bool poison = false;
+};
+
+std::vector<WorkItem>
+build_workload()
+{
+    std::vector<WorkItem> items;
+    for (std::int64_t n = 4; n <= 16; n += 4) {  // 4 hot keys
+        items.push_back({"vadd" + std::to_string(n), vadd_text(n), false});
+    }
+    for (std::int64_t n = 20; n <= 32; n += 4) {  // cold vadds
+        items.push_back({"vadd" + std::to_string(n), vadd_text(n), false});
+    }
+    for (std::int64_t n = 4; n <= 12; n += 4) {  // cold dots
+        items.push_back({"dot" + std::to_string(n), dot_text(n), false});
+    }
+    for (std::int64_t n = 4; n <= 5; ++n) {  // poison
+        items.push_back({"poison" + std::to_string(n), poison_text(n),
+                         true});
+    }
+    return items;
+}
+
+CompilerOptions
+soak_options()
+{
+    CompilerOptions options;
+    options.target.vector_width = 4;
+    options.limits.iter_limit = 6;
+    options.limits.node_limit = 20'000;
+    options.limits.time_limit_seconds = 10.0;
+    return options;
+}
+
+struct Rng64 {
+    std::uint64_t state;
+    explicit Rng64(std::uint64_t seed) : state(seed | 1) {}
+    std::uint64_t
+    next()
+    {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        return state * 0x2545F4914F6CDD1DULL;
+    }
+};
+
+std::string
+hash_hex(const std::string& text)
+{
+    StableHasher h;
+    h.tag("dios-soak").str(text);
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(h.digest()));
+    return buf;
+}
+
+// ---------------------------------------------------------------------------
+// Daemon child
+// ---------------------------------------------------------------------------
+
+pid_t
+spawn_daemon(const SoakConfig& cfg, const std::string& socket,
+             const std::string& cache_dir)
+{
+    const pid_t pid = ::fork();
+    if (pid != 0) {
+        return pid;
+    }
+    // Child: run the daemon until SIGKILLed (chaos) or SIGTERMed
+    // (orderly end of soak). No cleanup on the SIGKILL path — that is
+    // the point.
+    try {
+        daemon::DaemonOptions opts;
+        opts.socket_path = socket;
+        opts.service.jobs = cfg.jobs;
+        opts.service.cache_dir = cache_dir;
+        opts.service.queue_capacity = cfg.capacity;
+        opts.service.shed_watermark = cfg.watermark;
+        opts.drain_deadline_seconds = 2.0;
+        daemon::Daemon d(opts);
+        d.start();
+        static std::atomic<bool> stop{false};
+        struct sigaction sa = {};
+        sa.sa_handler = [](int) { stop.store(true); };
+        sigemptyset(&sa.sa_mask);
+        sigaction(SIGTERM, &sa, nullptr);
+        while (!stop.load()) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        }
+        d.shutdown(service::DrainMode::kFinish);
+        ::_exit(0);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "daemon_soak[daemon]: %s\n", e.what());
+        ::_exit(3);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Client child
+// ---------------------------------------------------------------------------
+
+int
+run_client(const SoakConfig& cfg, int id, const std::string& socket,
+           const std::string& results_path)
+{
+    const std::vector<WorkItem> workload = build_workload();
+    const CompilerOptions options = soak_options();
+    std::ofstream out(results_path);
+    if (!out) {
+        std::fprintf(stderr, "daemon_soak[client %d]: cannot open %s\n",
+                     id, results_path.c_str());
+        return 3;
+    }
+
+    daemon::RemoteOptions ropts;
+    ropts.socket_path = socket;
+    ropts.request_timeout_seconds = 60.0;
+    ropts.max_attempts = 4;
+    ropts.backoff_initial_ms = 25.0;
+    ropts.backoff_max_ms = 400.0;
+    ropts.jitter_seed = 0x5eed + static_cast<std::uint64_t>(id);
+    daemon::RemoteClient client(ropts);
+    Rng64 rng(0xC0FFEE ^ (static_cast<std::uint64_t>(id) << 32));
+    std::uint64_t fallback_ok = 0;
+    std::uint64_t fallback_failed = 0;
+
+    // One deterministic unreachable-daemon probe rides along at a
+    // random position: a request aimed at a socket nobody serves MUST
+    // complete locally.
+    daemon::RemoteOptions dead = ropts;
+    dead.socket_path = socket + ".nobody";
+    dead.max_attempts = 2;
+    dead.backoff_initial_ms = 1.0;
+    dead.backoff_max_ms = 2.0;
+    daemon::RemoteClient dead_client(dead);
+    const std::size_t probe_at = rng.next() % cfg.requests;
+
+    // Clients fork together, so elapsed wall time lines up across all
+    // of them: inside this window every client fires unpaced batch
+    // requests for run-unique kernels (the kernel name feeds the cache
+    // key, so each is a genuine compile, never a cache hit). The
+    // overlapping cold storms pile onto the small daemon queue and
+    // deterministically cross the shed watermark. The window sits after
+    // the kill schedule so the daemon is up to do the shedding.
+    const Clock::time_point client_start = Clock::now();
+    const double burst_start_s =
+        (static_cast<double>(cfg.kills) * cfg.kill_interval_ms +
+         cfg.dead_window_ms) /
+            1000.0 +
+        0.3;
+    const double burst_end_s = burst_start_s + 0.5;
+    std::size_t burst_counter = 0;
+    WorkItem burst_item;
+    auto fresh_burst_item = [&]() -> const WorkItem* {
+        std::ostringstream name;
+        name << "burst" << id << "x" << burst_counter++ << "x"
+             << ::getpid();
+        std::ostringstream text;
+        text << "(kernel " << name.str()
+             << " (param n 8) (input A n) (input B n) (output C n)"
+             << " (for i 0 n (store C i (+ (load A i) (load B i)))))";
+        burst_item = {name.str(), text.str(), false};
+        return &burst_item;
+    };
+
+    for (std::size_t i = 0; i < cfg.requests; ++i) {
+        const double elapsed_s =
+            std::chrono::duration<double>(Clock::now() - client_start)
+                .count();
+        const bool burst =
+            elapsed_s >= burst_start_s && elapsed_s < burst_end_s;
+        const std::uint64_t draw = rng.next() % 100;
+        const WorkItem* item;
+        if (burst) {
+            item = fresh_burst_item();
+        } else if (draw < 55) {
+            item = &workload[rng.next() % 4];  // hot
+        } else if (draw < 90) {
+            item = &workload[4 + rng.next() % (workload.size() - 6)];
+        } else {
+            item = &workload[workload.size() - 2 + rng.next() % 2];
+        }
+
+        daemon::CompileRequest req;
+        req.kernel_name = item->name;
+        req.kernel_text = item->text;
+        req.options = options;
+        const std::uint64_t cls = rng.next() % 10;
+        if (burst) {
+            req.priority = service::Priority::kBatch;
+            req.submit_timeout_seconds = 0.05;
+        } else if (cls < 3) {
+            req.priority = service::Priority::kInteractive;
+        } else if (cls < 8) {
+            req.priority = service::Priority::kBatch;
+            req.submit_timeout_seconds = 0.25;
+        } else {
+            req.priority = service::Priority::kBackground;
+            req.submit_timeout_seconds = 0.1;
+        }
+
+        daemon::RemoteClient& transport =
+            i == probe_at ? dead_client : client;
+        const Clock::time_point begin = Clock::now();
+        const auto resp = transport.compile(req);
+        std::string outcome;
+        std::string hash;
+        if (resp && resp->status == daemon::ResponseStatus::kOk) {
+            // Reconstruct the artifact the daemon promised: byte
+            // identity is checked on the *C source*, post-transport.
+            const scalar::Kernel kernel =
+                scalar::parse_kernel(item->text);
+            const CompiledKernel ck =
+                service::compiled_from_entry(kernel, *resp->entry);
+            outcome = "ok";
+            hash = hash_hex(ck.c_source);
+        } else if (resp) {
+            outcome = "failed";
+            hash = hash_hex(resp->error);
+        } else {
+            // Daemon unreachable after retries: the request must still
+            // complete, locally, with the same bytes. A kernel the
+            // server would reject at parse time fails the same way
+            // here.
+            try {
+                const scalar::Kernel kernel =
+                    scalar::parse_kernel(item->text);
+                const CompileResult local =
+                    compile_kernel_resilient(kernel, options);
+                if (local.ok) {
+                    outcome = "fallback-ok";
+                    hash = hash_hex(local.compiled->c_source);
+                    ++fallback_ok;
+                } else {
+                    outcome = "fallback-failed";
+                    hash = hash_hex(local.error);
+                    ++fallback_failed;
+                }
+            } catch (const UserError& e) {
+                outcome = "fallback-failed";
+                hash = hash_hex(e.what());
+                ++fallback_failed;
+            }
+        }
+        const double ms = std::chrono::duration<double, std::milli>(
+                              Clock::now() - begin)
+                              .count();
+        out << i << ' ' << item->name << ' ' << outcome << ' ' << hash
+            << ' ' << ms << '\n';
+        if (cfg.pace_ms > 0 && !burst) {
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(cfg.pace_ms));
+        }
+    }
+
+    const daemon::ClientCounters sum{
+        client.counters().remote_requests +
+            dead_client.counters().remote_requests,
+        client.counters().remote_retries +
+            dead_client.counters().remote_retries,
+        client.counters().remote_fallback_local +
+            dead_client.counters().remote_fallback_local,
+        client.counters().remote_shed + dead_client.counters().remote_shed,
+    };
+    out << "#counters " << sum.remote_requests << ' ' << sum.remote_retries
+        << ' ' << sum.remote_shed << ' ' << sum.remote_fallback_local
+        << ' ' << fallback_ok << ' ' << fallback_failed << '\n';
+    return 0;
+}
+
+bool
+any_alive(const std::vector<pid_t>& pids, std::vector<int>& status,
+          std::vector<bool>& done)
+{
+    bool alive = false;
+    for (std::size_t i = 0; i < pids.size(); ++i) {
+        if (done[i]) {
+            continue;
+        }
+        int st = 0;
+        const pid_t r = ::waitpid(pids[i], &st, WNOHANG);
+        if (r == pids[i]) {
+            status[i] = st;
+            done[i] = true;
+        } else {
+            alive = true;
+        }
+    }
+    return alive;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+try {
+    const SoakConfig cfg = parse_args(argc, argv);
+
+    fs::path root = cfg.dir.empty()
+                        ? fs::temp_directory_path() /
+                              ("dios_daemon_soak_" +
+                               std::to_string(::getpid()))
+                        : fs::path(cfg.dir);
+    fs::remove_all(root);
+    fs::create_directories(root);
+    const std::string socket = (root / "diosd.sock").string();
+    const std::string cache_dir = (root / "cache").string();
+
+    const Clock::time_point soak_start = Clock::now();
+    pid_t daemon_pid = spawn_daemon(cfg, socket, cache_dir);
+
+    // Wait for the first daemon to bind before unleashing clients.
+    for (int spin = 0; spin < 100 && !fs::exists(socket); ++spin) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+
+    std::vector<pid_t> client_pids;
+    std::vector<std::string> client_files;
+    for (int c = 0; c < cfg.clients; ++c) {
+        const std::string path =
+            (root / ("client" + std::to_string(c) + ".txt")).string();
+        client_files.push_back(path);
+        const pid_t pid = ::fork();
+        if (pid == 0) {
+            try {
+                ::_exit(run_client(cfg, c, socket, path));
+            } catch (const std::exception& e) {
+                std::fprintf(stderr, "daemon_soak[client %d]: %s\n", c,
+                             e.what());
+                ::_exit(3);
+            }
+        }
+        client_pids.push_back(pid);
+    }
+
+    // Chaos schedule: SIGKILL + restart, with one extended dead window
+    // in the middle where retry budgets exhaust and clients go local.
+    std::vector<int> client_status(client_pids.size(), 0);
+    std::vector<bool> client_done(client_pids.size(), false);
+    int kills_done = 0;
+    for (int k = 0; k < cfg.kills; ++k) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(
+                cfg.kill_interval_ms));
+        if (!any_alive(client_pids, client_status, client_done)) {
+            break;  // workload already finished; chaos would be theater
+        }
+        ::kill(daemon_pid, SIGKILL);
+        int st = 0;
+        ::waitpid(daemon_pid, &st, 0);
+        ++kills_done;
+        if (k == cfg.kills / 2 && cfg.dead_window_ms > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(
+                    cfg.dead_window_ms));
+        }
+        daemon_pid = spawn_daemon(cfg, socket, cache_dir);
+    }
+
+    while (any_alive(client_pids, client_status, client_done)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+
+    // Orderly daemon shutdown (drain + final fsync of the shared cache).
+    ::kill(daemon_pid, SIGTERM);
+    int daemon_status = 0;
+    ::waitpid(daemon_pid, &daemon_status, 0);
+    const double soak_seconds =
+        std::chrono::duration<double>(Clock::now() - soak_start).count();
+
+    // -----------------------------------------------------------------
+    // Aggregate and verify
+    // -----------------------------------------------------------------
+    std::uint64_t lost = 0;
+    std::uint64_t duplicated = 0;
+    std::uint64_t ok = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t fallback_ok = 0;
+    std::uint64_t fallback_failed = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t fallback_local = 0;
+    std::uint64_t remote_requests = 0;
+    std::uint64_t byte_mismatches = 0;
+    std::uint64_t client_errors = 0;
+    std::vector<double> latencies;
+    // kernel -> first-seen hash, success and failure tracked apart.
+    std::map<std::string, std::string> ok_hashes;
+    std::map<std::string, std::string> err_hashes;
+
+    for (std::size_t c = 0; c < client_files.size(); ++c) {
+        if (client_status[c] != 0) {
+            ++client_errors;
+        }
+        std::ifstream in(client_files[c]);
+        std::vector<std::uint8_t> seen(cfg.requests, 0);
+        bool counters_seen = false;
+        std::string line;
+        while (std::getline(in, line)) {
+            if (line.rfind("#counters ", 0) == 0) {
+                std::istringstream is(line.substr(10));
+                std::uint64_t rq = 0, rt = 0, sh = 0, fb = 0, fo = 0,
+                              ff = 0;
+                is >> rq >> rt >> sh >> fb >> fo >> ff;
+                remote_requests += rq;
+                retries += rt;
+                shed += sh;
+                fallback_local += fb;
+                fallback_ok += fo;
+                fallback_failed += ff;
+                counters_seen = true;
+                continue;
+            }
+            std::istringstream is(line);
+            std::size_t idx = 0;
+            std::string name, outcome, hash;
+            double ms = 0.0;
+            if (!(is >> idx >> name >> outcome >> hash >> ms) ||
+                idx >= cfg.requests) {
+                ++client_errors;
+                continue;
+            }
+            seen[idx] = static_cast<std::uint8_t>(seen[idx] + 1);
+            latencies.push_back(ms);
+            const bool success =
+                outcome == "ok" || outcome == "fallback-ok";
+            if (outcome == "ok") {
+                ++ok;
+            } else if (outcome == "failed") {
+                ++failed;
+            }
+            auto& book = success ? ok_hashes : err_hashes;
+            const auto [it, fresh] = book.try_emplace(name, hash);
+            if (!fresh && it->second != hash) {
+                ++byte_mismatches;
+            }
+        }
+        if (!counters_seen) {
+            ++client_errors;
+        }
+        for (std::size_t i = 0; i < cfg.requests; ++i) {
+            if (seen[i] == 0) {
+                ++lost;
+            } else if (seen[i] > 1) {
+                ++duplicated;
+            }
+        }
+    }
+
+    // Cold single-process reference: every kernel served ok during the
+    // soak must hash identically when compiled from scratch, locally,
+    // with no daemon and no shared cache in the picture.
+    std::uint64_t cold_mismatches = 0;
+    const CompilerOptions options = soak_options();
+    for (const WorkItem& item : build_workload()) {
+        const auto it = ok_hashes.find(item.name);
+        if (it == ok_hashes.end()) {
+            continue;
+        }
+        const scalar::Kernel kernel = scalar::parse_kernel(item.text);
+        const CompileResult reference =
+            compile_kernel_resilient(kernel, options);
+        if (!reference.ok ||
+            hash_hex(reference.compiled->c_source) != it->second) {
+            ++cold_mismatches;
+        }
+    }
+
+    std::sort(latencies.begin(), latencies.end());
+    auto percentile = [&](double p) {
+        if (latencies.empty()) {
+            return 0.0;
+        }
+        const std::size_t idx = std::min(
+            latencies.size() - 1,
+            static_cast<std::size_t>(
+                p * static_cast<double>(latencies.size())));
+        return latencies[idx];
+    };
+
+    const std::uint64_t total_requests =
+        static_cast<std::uint64_t>(cfg.requests) *
+        static_cast<std::uint64_t>(cfg.clients);
+    std::string json = "{\n";
+    auto count = [&](const char* name, std::uint64_t v) {
+        char buf[160];
+        std::snprintf(buf, sizeof buf, "\"%s\": %llu,\n", name,
+                      static_cast<unsigned long long>(v));
+        json += buf;
+    };
+    auto field = [&](const char* name, double v, bool last = false) {
+        char buf[160];
+        std::snprintf(buf, sizeof buf, "\"%s\": %.6f%s\n", name, v,
+                      last ? "" : ",");
+        json += buf;
+    };
+    count("clients", static_cast<std::uint64_t>(cfg.clients));
+    count("requests", total_requests);
+    count("responses", static_cast<std::uint64_t>(latencies.size()));
+    count("lost", lost);
+    count("duplicated", duplicated);
+    count("kills", static_cast<std::uint64_t>(kills_done));
+    count("ok", ok);
+    count("failed", failed);
+    count("fallback_ok", fallback_ok);
+    count("fallback_failed", fallback_failed);
+    count("remote_requests", remote_requests);
+    count("remote_retries", retries);
+    count("shed", shed);
+    count("fallback_local", fallback_local);
+    count("byte_mismatches", byte_mismatches);
+    count("cold_mismatches", cold_mismatches);
+    count("client_errors", client_errors);
+    field("p50_ms", percentile(0.50));
+    field("p99_ms", percentile(0.99));
+    field("soak_seconds", soak_seconds, true);
+    json += "}\n";
+
+    std::fputs(json.c_str(), stdout);
+    if (!cfg.out_path.empty()) {
+        std::ofstream outf(cfg.out_path);
+        outf << json;
+    }
+    if (cfg.dir.empty()) {
+        std::error_code ec;
+        fs::remove_all(root, ec);
+    }
+
+    const bool violated = lost != 0 || duplicated != 0 ||
+                          byte_mismatches != 0 || cold_mismatches != 0 ||
+                          client_errors != 0 || fallback_local == 0;
+    if (violated) {
+        std::fprintf(stderr, "daemon_soak: INVARIANT VIOLATION\n");
+        return 1;
+    }
+    return 0;
+} catch (const std::exception& e) {
+    std::fprintf(stderr, "daemon_soak: error: %s\n", e.what());
+    return 1;
+}

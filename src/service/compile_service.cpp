@@ -228,6 +228,12 @@ ServiceMetrics::to_json() const
     json_count(out, "ematch_applications", ematch_applications, false);
     json_seconds(out, "ematch_search_seconds", ematch_search_seconds, false);
     json_seconds(out, "ematch_apply_seconds", ematch_apply_seconds, false);
+    json_count(out, "remote_requests", remote_requests, false);
+    json_count(out, "remote_retries", remote_retries, false);
+    json_count(out, "remote_fallback_local", remote_fallback_local, false);
+    json_count(out, "frames_rejected", frames_rejected, false);
+    json_count(out, "dedup_hits", dedup_hits, false);
+    json_seconds(out, "uptime_seconds", uptime_seconds, false);
     json_seconds(out, "lift_seconds", lift_seconds, false);
     json_seconds(out, "saturation_seconds", saturation_seconds, false);
     json_seconds(out, "extract_seconds", extract_seconds, false);

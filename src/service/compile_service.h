@@ -231,6 +231,17 @@ struct ServiceMetrics {
     std::uint64_t ematch_applications = 0;
     double ematch_search_seconds = 0.0;
     double ematch_apply_seconds = 0.0;
+    // Daemon / remote counters (DESIGN.md §5j). Filled by diosd and the
+    // dioscc --remote client so health checks read one document; zero
+    // for a purely in-process service.
+    std::uint64_t remote_requests = 0;  ///< requests arriving over a socket
+    std::uint64_t remote_retries = 0;   ///< client resends (backoff/hints)
+    /** Remote-mode requests completed by local fallback compilation. */
+    std::uint64_t remote_fallback_local = 0;
+    std::uint64_t frames_rejected = 0;  ///< malformed/hostile frames dropped
+    std::uint64_t dedup_hits = 0;  ///< retried frames served from dedup cache
+    /** Seconds since the serving process started (0 when not a daemon). */
+    double uptime_seconds = 0.0;
 
     /** One JSON object with every field above. */
     std::string to_json() const;

@@ -315,23 +315,35 @@ DiskCache::DiskCache(const std::string& dir, std::uintmax_t disk_budget_bytes,
     : dir_(dir), disk_budget_bytes_(disk_budget_bytes)
 {
     std::error_code ec;
-    fs::create_directories(dir_, ec);
+    fs::create_directories(dir_ / "shard", ec);
     DIOS_CHECK(!ec && fs::is_directory(dir_),
                "cache directory '" + dir + "' cannot be created: " +
                    (ec ? ec.message() : "path is not a directory"));
     startup_stats_ = scan_and_recover(scan_policy);
 }
 
+std::string
+shard_name_for(const CacheKey& key)
+{
+    return key.hex().substr(0, 2);
+}
+
+fs::path
+DiskCache::shard_dir_for(const CacheKey& key) const
+{
+    return dir_ / "shard" / shard_name_for(key);
+}
+
 fs::path
 DiskCache::path_for(const CacheKey& key) const
 {
-    return dir_ / (key.hex() + ".sexpr");
+    return shard_dir_for(key) / (key.hex() + ".sexpr");
 }
 
 fs::path
 DiskCache::quarantine_path_for(const CacheKey& key) const
 {
-    return dir_ / "quarantine" / (key.hex() + ".sexpr");
+    return shard_dir_for(key) / "quarantine" / (key.hex() + ".sexpr");
 }
 
 LoadResult
@@ -355,16 +367,27 @@ DiskCache::store(const CachedEntry& entry, const IoPolicy& policy) const
     // concurrent *processes* sharing one cache directory unique. Both
     // are needed: two dioscc processes each start their counter at 0.
     static std::atomic<unsigned> counter{0};
+    const fs::path shard_dir = shard_dir_for(entry.key);
     const fs::path final_path = path_for(entry.key);
     const std::string text =
         envelope_to_sexpr(entry).to_pretty_string() + "\n";
 
     return with_retries(policy, [&] {
+        {
+            std::error_code ec;
+            fs::create_directories(shard_dir, ec);
+            if (ec) {
+                throw CacheIoError("cannot create shard directory '" +
+                                   shard_dir.string() +
+                                   "': " + ec.message());
+            }
+        }
         const fs::path tmp_path =
-            dir_ / (entry.key.hex() + ".tmp." +
-                    std::to_string(static_cast<long>(::getpid())) + "." +
-                    std::to_string(counter.fetch_add(
-                        1, std::memory_order_relaxed)));
+            shard_dir / (entry.key.hex() + ".tmp." +
+                         std::to_string(static_cast<long>(::getpid())) +
+                         "." +
+                         std::to_string(counter.fetch_add(
+                             1, std::memory_order_relaxed)));
 
         DIOS_FAULT_POINT("cache.store.write");
         const int fd = ::open(tmp_path.c_str(),
@@ -406,7 +429,7 @@ DiskCache::store(const CachedEntry& entry, const IoPolicy& policy) const
         }
         // Make the publish itself durable: without this, a power cut
         // can roll the rename back even though store() returned.
-        fsync_dir(dir_);
+        fsync_dir(shard_dir);
     });
 }
 
@@ -415,7 +438,18 @@ DiskCache::quarantine(const CacheKey& key, const std::string& reason) const
 {
     const fs::path src = path_for(key);
     const fs::path dst = quarantine_path_for(key);
-    DirLock lock(dir_);
+    const fs::path shard_dir = shard_dir_for(key);
+    {
+        std::error_code ec;
+        fs::create_directories(shard_dir, ec);
+        if (ec) {
+            throw CacheIoError("cannot create shard directory '" +
+                               shard_dir.string() + "': " + ec.message());
+        }
+    }
+    // Per-shard lock: quarantining one entry must not serialize against
+    // maintenance of the other 255 shards.
+    DirLock lock(shard_dir);
     std::error_code ec;
     fs::create_directories(dst.parent_path(), ec);
     if (ec) {
@@ -430,14 +464,14 @@ DiskCache::quarantine(const CacheKey& key, const std::string& reason) const
         throw CacheIoError("cannot quarantine '" + src.string() +
                            "' (" + reason + "): " + ec.message());
     }
-    fsync_dir(dir_);
+    fsync_dir(shard_dir);
 }
 
 RecoveryStats
 DiskCache::scan_and_recover(const IoPolicy& policy) const
 {
     RecoveryStats stats;
-    DirLock lock(dir_);
+    DirLock lock(dir_);  // whole-store maintenance: one scanner at a time
 
     struct Survivor {
         fs::path path;
@@ -446,12 +480,15 @@ DiskCache::scan_and_recover(const IoPolicy& policy) const
     };
     std::vector<Survivor> survivors;
     std::error_code ec;
-    fs::create_directories(dir_ / "quarantine", ec);
+    const fs::path shard_root = dir_ / "shard";
+    fs::create_directories(shard_root, ec);
 
-    for (const fs::directory_entry& de : fs::directory_iterator(dir_, ec)) {
-        if (!de.is_regular_file(ec)) {
-            continue;
-        }
+    // Scans one regular file. `owner` is the directory whose quarantine/
+    // subdir a corrupt entry moves to; legacy flat-layout entries pass
+    // `migrate` and healthy ones are renamed into their shard so every
+    // later load() finds them at the sharded path.
+    const auto scan_file = [&](const fs::directory_entry& de,
+                               const fs::path& owner, bool migrate) {
         const std::string name = de.path().filename().string();
         try {
             stats.io_retries += static_cast<std::uint64_t>(
@@ -483,8 +520,9 @@ DiskCache::scan_and_recover(const IoPolicy& policy) const
                     const LoadResult r = verify_text(*text, nullptr);
                     if (r.status == LoadStatus::kCorrupt) {
                         std::error_code rec;
-                        fs::rename(de.path(),
-                                   dir_ / "quarantine" / name, rec);
+                        fs::create_directories(owner / "quarantine", rec);
+                        fs::rename(de.path(), owner / "quarantine" / name,
+                                   rec);
                         if (!rec) {
                             ++stats.quarantined;
                             if (r.checksum_mismatch) {
@@ -493,16 +531,64 @@ DiskCache::scan_and_recover(const IoPolicy& policy) const
                         }
                         return;
                     }
+                    fs::path home = de.path();
+                    if (migrate && name.size() >= 2) {
+                        const fs::path shard_dir =
+                            shard_root / name.substr(0, 2);
+                        std::error_code rec;
+                        fs::create_directories(shard_dir, rec);
+                        if (!rec) {
+                            fs::rename(de.path(), shard_dir / name, rec);
+                        }
+                        if (!rec) {
+                            home = shard_dir / name;
+                            ++stats.migrated;
+                        }
+                    }
                     Survivor s;
-                    s.path = de.path();
-                    s.size = de.file_size(ec);
-                    s.mtime = de.last_write_time(ec);
+                    s.path = home;
+                    std::error_code sec;
+                    s.size = fs::file_size(home, sec);
+                    s.mtime = fs::last_write_time(home, sec);
                     survivors.push_back(std::move(s));
                 }));
         } catch (const std::exception&) {
             // A file that keeps failing (even after retries) is skipped:
             // the scan must never take the service down. If the entry is
             // truly rotten, the serve-time path quarantines it.
+        }
+    };
+
+    // Legacy flat layout at the root: pre-shard entries are verified and
+    // migrated into their shard; pre-shard torn .tmp files are reclaimed
+    // under the same dead-pid / grace rules as sharded ones.
+    for (const fs::directory_entry& de : fs::directory_iterator(dir_, ec)) {
+        if (!de.is_regular_file(ec)) {
+            continue;
+        }
+        scan_file(de, dir_, /*migrate=*/true);
+    }
+
+    // Every shard, under its own lock (scan holds root + one shard at a
+    // time; quarantine takes only the shard — same order, no deadlock).
+    for (const fs::directory_entry& sd :
+         fs::directory_iterator(shard_root, ec)) {
+        if (!sd.is_directory(ec)) {
+            continue;
+        }
+        try {
+            DirLock shard_lock(sd.path());
+            std::error_code sec;
+            for (const fs::directory_entry& de :
+                 fs::directory_iterator(sd.path(), sec)) {
+                if (!de.is_regular_file(sec)) {
+                    continue;
+                }
+                scan_file(de, sd.path(), /*migrate=*/false);
+            }
+        } catch (const std::exception&) {
+            // An unlockable shard is skipped, never fatal; the next scan
+            // retries it.
         }
     }
 
@@ -526,9 +612,27 @@ DiskCache::scan_and_recover(const IoPolicy& policy) const
             }
         }
     }
-    if (stats.recovered_tmp + stats.quarantined + stats.disk_evicted > 0) {
+    for (const fs::directory_entry& sd :
+         fs::directory_iterator(shard_root, ec)) {
+        if (!sd.is_directory(ec)) {
+            continue;
+        }
+        std::error_code sec;
+        for (const fs::directory_entry& de :
+             fs::directory_iterator(sd.path(), sec)) {
+            if (de.is_regular_file(sec) &&
+                de.path().extension() == ".sexpr") {
+                ++stats.shards_scanned;
+                break;
+            }
+        }
+    }
+    if (stats.recovered_tmp + stats.quarantined + stats.disk_evicted +
+            stats.migrated >
+        0) {
         try {
             fsync_dir(dir_);
+            fsync_dir(shard_root);
         } catch (const CacheIoError&) {
             // Recovery is best-effort; re-running the scan is always safe.
         }

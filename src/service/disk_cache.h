@@ -4,6 +4,17 @@
  * envelope per entry, named by the cache key's hex form, under a
  * caller-chosen directory.
  *
+ * Sharded layout (DESIGN.md §5j): entries live under
+ * `<dir>/shard/<2-hex>/`, where the two hex digits are the leading
+ * nibbles of the key's spec hash. Each shard owns its entries, its torn
+ * `.tmp` files, its `quarantine/` subdirectory, and its own advisory
+ * `lock` file, so maintenance on one shard (quarantine, recovery)
+ * never serializes against the other 255 — the property a standing
+ * daemon needs when many worker threads publish concurrently. The
+ * recovery scan walks every shard (and the legacy flat layout, whose
+ * entries it migrates into their shard) and accounts the disk budget
+ * across all shards together.
+ *
  * Durability model (DESIGN.md §5e):
  *  - store() is atomic AND durable: write to a temp file in the same
  *    directory (name includes the pid and a per-process counter, so
@@ -29,9 +40,11 @@
  *    reclaims orphaned `.tmp` files whose writer is gone, quarantines
  *    entries that fail verification, and — when a disk budget is set —
  *    evicts the oldest entries (mtime LRU) until the store fits.
- *  - scan/evict/quarantine run under an advisory `flock` on `<dir>/lock`
- *    so concurrent dioscc processes sharing the directory serialize
- *    their maintenance; store/load need no lock (atomic rename).
+ *  - the whole-store scan runs under an advisory `flock` on
+ *    `<dir>/lock` and takes each shard's `lock` while inside it;
+ *    quarantine takes only the affected shard's lock, so concurrent
+ *    dioscc/diosd processes sharing the directory serialize their
+ *    maintenance per shard; store/load need no lock (atomic rename).
  *  - Transient store/scan I/O failures (fault sites `cache.store.*`,
  *    `cache.scan`) are retried under a bounded deterministic-backoff
  *    policy (IoPolicy: CompilerOptions::io_retries + a Deadline).
@@ -98,6 +111,10 @@ struct RecoveryStats {
     std::uint64_t checksum_failures = 0;  ///< quarantines due to checksums
     std::uint64_t disk_evicted = 0;       ///< entries evicted for the budget
     std::uint64_t io_retries = 0;         ///< transient errors retried
+    /** Legacy flat-layout entries moved into their shard directory. */
+    std::uint64_t migrated = 0;
+    /** Shard directories that held at least one entry after the scan. */
+    std::uint64_t shards_scanned = 0;
 };
 
 class DiskCache {
@@ -151,6 +168,9 @@ class DiskCache {
     /** Filesystem path an entry for `key` would live at. */
     std::filesystem::path path_for(const CacheKey& key) const;
 
+    /** Shard directory (`<dir>/shard/<2-hex>/`) owning `key`. */
+    std::filesystem::path shard_dir_for(const CacheKey& key) const;
+
     /** Quarantine path the entry for `key` would be moved to. */
     std::filesystem::path quarantine_path_for(const CacheKey& key) const;
 
@@ -161,5 +181,8 @@ class DiskCache {
     std::uintmax_t disk_budget_bytes_ = 0;
     RecoveryStats startup_stats_;
 };
+
+/** Two-hex-digit shard name for a key (leading spec-hash nibbles). */
+std::string shard_name_for(const CacheKey& key);
 
 }  // namespace diospyros::service

@@ -115,7 +115,10 @@ compiled_entry(const Kernel& kernel, const CompilerOptions& options)
 bool
 has_tmp_orphans(const fs::path& dir)
 {
-    for (const fs::directory_entry& de : fs::directory_iterator(dir)) {
+    // Recursive: entries (and their torn .tmp files) live in per-key
+    // shard subdirectories.
+    for (const fs::directory_entry& de :
+         fs::recursive_directory_iterator(dir)) {
         if (de.path().filename().string().find(".tmp.") !=
             std::string::npos) {
             return true;
@@ -299,6 +302,7 @@ TEST(CorruptionRecoveryExtra, MisfiledEntryIsCorrupt)
     const CacheKey key_a = service::compute_cache_key(a, options);
     const CacheKey key_b =
         service::compute_cache_key(vector_add_kernel(8), options);
+    fs::create_directories(disk.path_for(key_b).parent_path());
     fs::copy_file(disk.path_for(key_a), disk.path_for(key_b));
 
     const LoadResult r = disk.load(key_b);
@@ -498,6 +502,31 @@ TEST(RecoveryScan, EvictsOldestPastDiskBudget)
 
     // Eviction is deletion, not quarantine: evicted entries were valid.
     EXPECT_FALSE(fs::exists(disk.quarantine_path_for(keys[0])));
+}
+
+TEST(RecoveryScan, MigratesLegacyFlatEntriesIntoShards)
+{
+    TempDir dir("migrate");
+    const CompilerOptions options = test_options();
+    CacheKey key;
+    {
+        DiskCache disk(dir.str());
+        const CachedEntry entry =
+            compiled_entry(vector_add_kernel(4), options);
+        disk.store(entry);
+        key = entry.key;
+        // Demote the entry to the pre-shard flat layout.
+        fs::rename(disk.path_for(key), dir.path / (key.hex() + ".sexpr"));
+    }
+
+    DiskCache disk(dir.str());
+    EXPECT_EQ(disk.startup_stats().migrated, 1u);
+    EXPECT_EQ(disk.startup_stats().shards_scanned, 1u);
+    EXPECT_FALSE(fs::exists(dir.path / (key.hex() + ".sexpr")));
+    EXPECT_TRUE(fs::exists(disk.path_for(key)));
+    EXPECT_EQ(disk.path_for(key).parent_path().filename().string(),
+              service::shard_name_for(key));
+    EXPECT_EQ(disk.load(key).status, LoadStatus::kHit);
 }
 
 TEST(RecoveryScan, UnlimitedBudgetEvictsNothing)

@@ -356,6 +356,8 @@ TEST(Serialization, CorruptDiskEntryIsDetected)
     const CacheKey key =
         service::compute_cache_key(kernel, test_options());
     {
+        std::filesystem::create_directories(
+            disk.path_for(key).parent_path());
         std::ofstream out(disk.path_for(key));
         out << "(this is (not a cache entry";
     }

@@ -87,8 +87,11 @@ kills=0
 for i in $(seq 1 60); do
     # Evict one entry so every round performs at least one store, and
     # cycle the kill target over both kill points of all three stores
-    # (targets past the last visit simply complete the run).
-    find "$cache" -maxdepth 1 -name '*.sexpr' | head -n 1 | xargs -r rm -f
+    # (targets past the last visit simply complete the run). Entries
+    # live under key-sharded directories (shard/<2-hex>/); quarantined
+    # files are not entries.
+    find "$cache" -name '*.sexpr' -not -path '*/quarantine/*' \
+        | head -n 1 | xargs -r rm -f
     status=0
     DIOS_CACHE_KILL=$((i % 6 + 1)) DIOS_NO_RULE_LINT=1 \
         "$build/tools/dioscc" --batch "$torture/manifest" \
@@ -111,7 +114,8 @@ DIOS_NO_RULE_LINT=1 "$build/tools/dioscc" --batch "$torture/manifest" \
     --cache-dir "$cache" > /dev/null 2>&1
 
 # Damage 2 of the 3 entries (>25%): truncate one, zero a span in another.
-mapfile -t entries < <(find "$cache" -maxdepth 1 -name '*.sexpr' | sort)
+mapfile -t entries < <(find "$cache" -name '*.sexpr' \
+    -not -path '*/quarantine/*' | sort)
 if [[ "${#entries[@]}" -ne 3 ]]; then
     echo "check.sh: expected 3 cache entries, found ${#entries[@]}" >&2
     exit 1
@@ -137,7 +141,8 @@ if find "$cache" -name '*.tmp.*' | grep -q .; then
     echo "check.sh: torn .tmp files survived recovery" >&2
     exit 1
 fi
-quarantined=$(find "$cache/quarantine" -name '*.sexpr' 2> /dev/null | wc -l)
+quarantined=$(find "$cache" -path '*/quarantine/*' -name '*.sexpr' \
+    2> /dev/null | wc -l)
 if [[ "$quarantined" -lt 2 ]]; then
     echo "check.sh: expected >=2 quarantined entries, got $quarantined" >&2
     exit 1
@@ -163,14 +168,14 @@ if [[ "${1:-}" != "--fast" || ! -d "$build_tsan" ]]; then
 fi
 cmake --build "$build_tsan" -j "$jobs" \
       --target service_test resilience_test analysis_test \
-               durability_test overload_test strategy_test
+               durability_test overload_test strategy_test daemon_test
 
 export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
 ctest --test-dir "$build_tsan" --output-on-failure \
-      -R '^(service_test|resilience_test|analysis_test|durability_test|overload_test|strategy_test)$'
+      -R '^(service_test|resilience_test|analysis_test|durability_test|overload_test|strategy_test|daemon_test)$'
 
 echo "check.sh: service + resilience + analysis + durability + overload" \
-     "+ strategy tests passed under TSan"
+     "+ strategy + daemon tests passed under TSan"
 
 # E-matching benchmark gate: run the matcher microbenchmarks from the
 # default (non-sanitized, RelWithDebInfo) build so timings are
@@ -290,3 +295,53 @@ if ! awk -v c="$cur_p99" -v b="$base_p99" \
 fi
 echo "check.sh: service soak gate passed" \
      "(p99 ${cur_p99}ms <= 1.2 x baseline ${base_p99}ms, $svc_json)"
+
+# Daemon chaos gate (DESIGN.md §5j): one diosd child + 3 client
+# processes pushing mixed hot/cold/poison traffic over the Unix-socket
+# protocol while the harness SIGKILLs and restarts the daemon >=5 times
+# mid-flight (including one extended dead window that exhausts client
+# retry budgets). The binary itself exits non-zero on any lost or
+# duplicated response, any artifact not byte-identical to a cold local
+# compile, or an unreachable-daemon request that failed to complete via
+# local fallback — `set -e` makes those hard failures. On top of that,
+# assert the chaos actually happened: kills >= 5, shed > 0 (admission
+# control fired over the wire), fallback > 0 (graceful degradation
+# fired).
+cmake --build "$build_bench" -j "$jobs" --target daemon_soak
+daemon_json="$build_bench/BENCH_daemon.json"
+"$build_bench/bench/daemon_soak" --out "$daemon_json" > /dev/null
+d_kills=$(sed -n 's/^"kills": \([0-9]*\).*/\1/p' "$daemon_json")
+d_shed=$(sed -n 's/^"shed": \([0-9]*\).*/\1/p' "$daemon_json")
+d_fallback=$(sed -n 's/^"fallback_local": \([0-9]*\).*/\1/p' "$daemon_json")
+if [[ -z "$d_kills" || "$d_kills" -lt 5 ]]; then
+    echo "check.sh: daemon soak killed the daemon only ${d_kills:-0}/5" \
+         "times — chaos schedule never landed" >&2
+    exit 1
+fi
+if [[ -z "$d_shed" || "$d_shed" -eq 0 ]]; then
+    echo "check.sh: daemon soak shed nothing over the wire" >&2
+    exit 1
+fi
+if [[ -z "$d_fallback" || "$d_fallback" -eq 0 ]]; then
+    echo "check.sh: daemon soak never fell back to local compilation" >&2
+    exit 1
+fi
+
+# p99 latency gate for the remote path, same 20% rule as the service
+# soak.
+daemon_baseline="$repo/bench/BENCH_daemon_baseline.json"
+base_p99=$(sed -n 's/^"p99_ms": \([0-9.]*\).*/\1/p' "$daemon_baseline")
+cur_p99=$(sed -n 's/^"p99_ms": \([0-9.]*\).*/\1/p' "$daemon_json")
+if [[ -z "$base_p99" || -z "$cur_p99" ]]; then
+    echo "check.sh: missing p99_ms in daemon soak output or baseline" >&2
+    exit 1
+fi
+if ! awk -v c="$cur_p99" -v b="$base_p99" \
+        'BEGIN { exit !(c <= b * 1.20) }'; then
+    echo "check.sh: DAEMON SOAK REGRESSION p99 ${cur_p99}ms vs baseline" \
+         "${base_p99}ms (>20%)" >&2
+    exit 1
+fi
+echo "check.sh: daemon chaos gate passed ($d_kills kills, $d_shed shed," \
+     "$d_fallback local fallbacks, p99 ${cur_p99}ms <= 1.2 x baseline" \
+     "${base_p99}ms, $daemon_json)"

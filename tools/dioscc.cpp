@@ -102,6 +102,26 @@
  *   Shed or breaker-rejected kernels are reported in-band: the batch
  *   JSON carries "cache":"shed"/"breaker-open"/"negative-hit", the
  *   retry hint in "retry_after_ms", and per-kernel "queue_wait_ms".
+ *
+ * Daemon mode (DESIGN.md §5j):
+ *   --serve SOCK    run as a compile daemon on Unix socket SOCK (the
+ *                   in-tool equivalent of the standalone diosd binary;
+ *                   combines with --jobs/--cache-dir/admission flags).
+ *                   SIGINT/SIGTERM drain gracefully and print the final
+ *                   metrics document
+ *   --remote SOCK   compile via a daemon at SOCK instead of in-process
+ *                   (single-kernel and --batch). Retries under bounded
+ *                   exponential backoff with jitter, honours shed
+ *                   retry_after_ms hints, and replays torn requests
+ *                   against the daemon's dedup table. If the daemon
+ *                   stays unreachable, falls back to a local in-process
+ *                   compile ("cache":"local-fallback" in --json) — the
+ *                   bytes of a successful result never depend on the
+ *                   transport
+ *   --read-deadline-s S   (--serve) drop connections idle or mid-frame
+ *                   for S seconds (default 30)
+ *   --drain-deadline-s S  (--serve) escalate a graceful drain to shed
+ *                   after S seconds (default 10)
  */
 #include <cstdint>
 #include <cstdio>
@@ -110,9 +130,18 @@
 #include <string>
 #include <vector>
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <fstream>
+#include <sstream>
+#include <thread>
+
+#include <unistd.h>
 
 #include "analysis/diagnostics.h"
+#include "daemon/client.h"
+#include "daemon/daemon.h"
 #include "analysis/lint_rules.h"
 #include "analysis/verify_machine.h"
 #include "compiler/driver.h"
@@ -154,6 +183,12 @@ struct CliOptions {
     double submit_timeout_seconds = -1.0;  ///< < 0: block (legacy)
     double neg_cache_ttl_seconds = 300.0;
     std::size_t shed_watermark = 0;
+    /** Remote mode: compile via a diosd daemon at this socket. */
+    std::string remote_socket;
+    /** Serve mode: run a diosd daemon on this socket until a signal. */
+    std::string serve_socket;
+    double read_deadline_seconds = 30.0;
+    double drain_deadline_seconds = 10.0;
 };
 
 [[noreturn]] void
@@ -172,7 +207,8 @@ usage(const char* argv0)
                  "[--cache-disk-budget BYTES] [--io-retries N] "
                  "[--priority interactive|batch|background] "
                  "[--submit-timeout-ms N] [--neg-cache-ttl-s S] "
-                 "[--shed-watermark N]\n",
+                 "[--shed-watermark N] [--remote SOCK] [--serve SOCK] "
+                 "[--read-deadline-s S] [--drain-deadline-s S]\n",
                  argv0);
     std::exit(2);
 }
@@ -290,6 +326,16 @@ parse_cli(int argc, char** argv)
         } else if (arg == "--shed-watermark") {
             cli.shed_watermark = static_cast<std::size_t>(
                 require_nonnegative_integer(arg, next_arg(i)));
+        } else if (arg == "--remote") {
+            cli.remote_socket = next_arg(i);
+        } else if (arg == "--serve") {
+            cli.serve_socket = next_arg(i);
+        } else if (arg == "--read-deadline-s") {
+            cli.read_deadline_seconds =
+                require_positive_number(arg, next_arg(i));
+        } else if (arg == "--drain-deadline-s") {
+            cli.drain_deadline_seconds =
+                require_nonnegative_number(arg, next_arg(i));
         } else if (arg == "--seed") {
             cli.seed = static_cast<std::uint64_t>(
                 require_nonnegative_integer(arg, next_arg(i)));
@@ -499,6 +545,205 @@ read_manifest(const std::string& path)
     return out;
 }
 
+// ---------------------------------------------------------------------------
+// Signal handling (--batch / --serve): a Ctrl-C or SIGTERM must drain
+// the service and still flush ONE well-formed --json document.
+// ---------------------------------------------------------------------------
+
+std::atomic<bool> g_interrupted{false};
+
+void
+handle_stop_signal(int)
+{
+    g_interrupted.store(true);
+}
+
+void
+install_stop_handlers()
+{
+    struct sigaction sa = {};
+    sa.sa_handler = handle_stop_signal;
+    sigemptyset(&sa.sa_mask);
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+}
+
+/** Whole-file read (the raw kernel text shipped to a remote daemon). */
+std::string
+slurp_file(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    DIOS_CHECK(in.good(), "cannot open kernel file '" + path + "'");
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/** Client-side counters rendered as a ServiceMetrics JSON document. */
+std::string
+remote_metrics_json(const daemon::ClientCounters& counters)
+{
+    service::ServiceMetrics m;
+    m.remote_requests = counters.remote_requests;
+    m.remote_retries = counters.remote_retries;
+    m.remote_fallback_local = counters.remote_fallback_local;
+    return m.to_json();
+}
+
+/**
+ * --batch --remote driver: every manifest kernel through one diosd
+ * connection, falling back to local in-process compilation for any
+ * request the daemon could not serve. Same output contract as the
+ * local batch driver.
+ */
+int
+run_batch_remote(const CliOptions& cli)
+{
+    install_stop_handlers();
+    std::FILE* info = cli.json ? stderr : stdout;
+    const std::vector<std::string> paths = read_manifest(cli.batch_path);
+
+    daemon::RemoteOptions ropts;
+    ropts.socket_path = cli.remote_socket;
+    ropts.jitter_seed = cli.seed;
+    daemon::RemoteClient client(ropts);
+
+    bool any_user_error = false;
+    if (cli.json) {
+        std::printf("[");
+    }
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+        if (cli.json && i > 0) {
+            std::printf(",");
+        }
+        if (g_interrupted.load()) {
+            // Flush the remainder as structured interruptions; the
+            // array still closes and parses.
+            if (cli.json) {
+                print_json_failure(paths[i], "interrupted by signal",
+                                   /*user_error=*/false, "none");
+            }
+            std::fprintf(stderr, "dioscc: interrupted: %s skipped\n",
+                         paths[i].c_str());
+            continue;
+        }
+        std::string name = paths[i];
+        try {
+            const scalar::Kernel kernel =
+                scalar::parse_kernel_file(paths[i]);
+            name = kernel.name;
+            daemon::CompileRequest req;
+            req.kernel_name = kernel.name;
+            req.kernel_text = slurp_file(paths[i]);
+            req.options = cli.compiler;
+            req.priority = cli.priority_set ? cli.priority
+                                            : service::Priority::kBatch;
+            req.submit_timeout_seconds = cli.submit_timeout_seconds;
+            const std::optional<daemon::CompileResponse> resp =
+                client.compile(req);
+            if (resp && resp->status == daemon::ResponseStatus::kOk) {
+                const CompiledKernel compiled = service::compiled_from_entry(
+                    kernel, *resp->entry);
+                std::fprintf(info, "; [remote] %s\n",
+                             report_row(name, compiled.report).c_str());
+                if (cli.json) {
+                    print_json_object(name, compiled.report, "remote");
+                }
+            } else if (resp) {
+                any_user_error = any_user_error ||
+                                 resp->failure_class == FailureClass::kUser;
+                std::fprintf(stderr, "dioscc: error: %s: %s\n",
+                             name.c_str(), resp->error.c_str());
+                if (cli.json) {
+                    print_json_failure(
+                        name, resp->error,
+                        resp->failure_class == FailureClass::kUser,
+                        "remote", 0.0, resp->retry_after_ms);
+                }
+            } else {
+                // Daemon unreachable (or kept shedding): local fallback.
+                // Same pipeline, same bytes — only the worker moved.
+                const CompileResult result =
+                    compile_kernel_resilient(kernel, cli.compiler);
+                if (result.ok) {
+                    std::fprintf(
+                        info, "; [local-fallback] %s\n",
+                        report_row(name, result.report()).c_str());
+                    if (cli.json) {
+                        print_json_object(name, result.report(),
+                                          "local-fallback");
+                    }
+                } else {
+                    any_user_error = any_user_error || result.user_error;
+                    std::fprintf(stderr, "dioscc: error: %s: %s\n",
+                                 name.c_str(), result.error.c_str());
+                    if (cli.json) {
+                        print_json_failure(name, result.error,
+                                           result.user_error,
+                                           "local-fallback");
+                    }
+                }
+            }
+        } catch (const UserError& e) {
+            any_user_error = true;
+            std::fprintf(stderr, "dioscc: error: %s: %s\n", name.c_str(),
+                         e.what());
+            if (cli.json) {
+                print_json_failure(name, e.what(), /*user_error=*/true,
+                                   "none");
+            }
+        }
+    }
+    if (cli.json) {
+        std::printf("]\n");
+    }
+    std::fprintf(info, "; remote metrics: %s\n",
+                 remote_metrics_json(client.counters()).c_str());
+    return any_user_error ? 2 : 0;
+}
+
+/**
+ * --serve driver: run a diosd daemon in-process until SIGINT/SIGTERM,
+ * then drain gracefully and flush one final metrics document.
+ */
+int
+run_serve(const CliOptions& cli)
+{
+    DIOS_CHECK(cli.path.empty() && cli.batch_path.empty() &&
+                   cli.remote_socket.empty() && !cli.strict && !cli.run,
+               "--serve combines only with --json, --jobs, --cache-dir, "
+               "--cache-disk-budget, --shed-watermark, "
+               "--neg-cache-ttl-s, --read-deadline-s, and "
+               "--drain-deadline-s");
+    daemon::DaemonOptions dopts;
+    dopts.socket_path = cli.serve_socket;
+    dopts.service.jobs = cli.jobs;
+    dopts.service.cache_dir = cli.cache_dir;
+    dopts.service.disk_budget_bytes = cli.cache_disk_budget;
+    dopts.service.negative_ttl_seconds = cli.neg_cache_ttl_seconds;
+    dopts.service.shed_watermark = cli.shed_watermark;
+    dopts.read_deadline_seconds = cli.read_deadline_seconds;
+    dopts.drain_deadline_seconds = cli.drain_deadline_seconds;
+
+    daemon::Daemon daemon(dopts);
+    daemon.start();
+    install_stop_handlers();
+    std::fprintf(stderr, "; dioscc: serving on %s (pid %d, %d jobs)\n",
+                 cli.serve_socket.c_str(), ::getpid(), cli.jobs);
+    while (!g_interrupted.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    std::fprintf(stderr, "; dioscc: signal received, draining\n");
+    daemon.shutdown(service::DrainMode::kFinish);
+    if (cli.json) {
+        std::printf("%s\n", daemon.status_json().c_str());
+    } else {
+        std::printf("; daemon metrics: %s\n",
+                    daemon.status_json().c_str());
+    }
+    return 0;
+}
+
 /**
  * --batch driver: every manifest kernel through one CompileService.
  * Returns non-zero only when some kernel failed with a *user* error.
@@ -512,6 +757,7 @@ run_batch(const CliOptions& cli)
                "--batch combines only with --json, --jobs, --cache-dir, "
                "--cache-disk-budget, and compiler options");
 
+    install_stop_handlers();
     std::FILE* info = cli.json ? stderr : stdout;
     const std::vector<std::string> paths = read_manifest(cli.batch_path);
 
@@ -554,6 +800,7 @@ run_batch(const CliOptions& cli)
     }
 
     bool any_user_error = false;
+    bool drained = false;
     if (cli.json) {
         std::printf("[");
     }
@@ -571,6 +818,24 @@ run_batch(const CliOptions& cli)
                                    /*user_error=*/true, "none");
             }
             continue;
+        }
+        // Poll instead of blocking so a SIGINT/SIGTERM mid-batch sheds
+        // the queue and every remaining ticket resolves with a
+        // structured Overloaded result — the JSON array always closes.
+        while (!drained) {
+            if (g_interrupted.load()) {
+                std::fprintf(stderr,
+                             "dioscc: interrupted: shedding queued "
+                             "kernels\n");
+                svc.drain(service::DrainMode::kShed);
+                drained = true;
+                break;
+            }
+            if (item.ticket.future.wait_for(
+                    std::chrono::milliseconds(100)) ==
+                std::future_status::ready) {
+                break;
+            }
         }
         const CompileResult& result = item.ticket.get();
         const char* cache =
@@ -799,8 +1064,12 @@ try {
     startup_rule_lint(cli.compiler.target.vector_width);
     startup_strategy_lint(cli.compiler.target.vector_width);
     startup_machine_lint();
+    if (!cli.serve_socket.empty()) {
+        return run_serve(cli);
+    }
     if (!cli.batch_path.empty()) {
-        return run_batch(cli);
+        return cli.remote_socket.empty() ? run_batch(cli)
+                                         : run_batch_remote(cli);
     }
     const scalar::Kernel kernel = scalar::parse_kernel_file(cli.path);
 
@@ -813,7 +1082,58 @@ try {
 
     CompiledKernel compiled;
     const char* cache = "none";
-    if (cli.strict) {
+    if (!cli.remote_socket.empty()) {
+        DIOS_CHECK(!cli.strict,
+                   "--remote and --strict do not combine: the strict "
+                   "path is local by definition");
+        daemon::RemoteOptions ropts;
+        ropts.socket_path = cli.remote_socket;
+        ropts.jitter_seed = cli.seed;
+        daemon::RemoteClient client(ropts);
+        daemon::CompileRequest req;
+        req.kernel_name = kernel.name;
+        req.kernel_text = slurp_file(cli.path);
+        req.options = cli.compiler;
+        req.priority = cli.priority_set ? cli.priority
+                                        : service::Priority::kInteractive;
+        req.submit_timeout_seconds = cli.submit_timeout_seconds;
+        const std::optional<daemon::CompileResponse> resp =
+            client.compile(req);
+        if (resp && resp->status == daemon::ResponseStatus::kOk) {
+            compiled = service::compiled_from_entry(kernel, *resp->entry);
+            cache = "remote";
+        } else if (resp) {
+            std::fprintf(stderr, "dioscc: error: %s\n",
+                         resp->error.c_str());
+            return resp->failure_class == FailureClass::kUser ? 2 : 1;
+        } else {
+            // Unreachable daemon: degrade to a local compile. Identical
+            // pipeline and options — the artifact bytes do not change,
+            // only the process that computed them, so the notice goes
+            // to stderr even when commentary is routed to stdout.
+            std::fprintf(stderr,
+                         "; daemon unreachable after %llu retries: "
+                         "compiling locally\n",
+                         static_cast<unsigned long long>(
+                             client.counters().remote_retries));
+            CompileResult result =
+                compile_kernel_resilient(kernel, cli.compiler);
+            if (!result.ok) {
+                std::fprintf(stderr, "dioscc: error: %s\n",
+                             result.error.c_str());
+                return result.user_error ? 2 : 1;
+            }
+            if (result.fallback_level > 0) {
+                std::fprintf(info,
+                             "; DEGRADED to rung %d (%s) after: %s\n",
+                             result.fallback_level,
+                             fallback_level_name(result.fallback_level),
+                             result.compiled->report.error.c_str());
+            }
+            compiled = std::move(*result.compiled);
+            cache = "local-fallback";
+        }
+    } else if (cli.strict) {
         // The resilient driver arms --fault specs itself; the strict
         // path must arm them here or they would be silently ignored.
         for (const std::string& spec : cli.compiler.fault_specs) {
