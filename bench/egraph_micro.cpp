@@ -88,7 +88,7 @@ void
 bm_saturation_iteration(benchmark::State& state)
 {
     const TermRef spec = matmul_spec(static_cast<int>(state.range(0)));
-    RuleConfig config;
+    RuleConfig config(4);
     const std::vector<Rewrite> rules = build_rules(config);
     for (auto _ : state) {
         EGraph g;
@@ -113,7 +113,7 @@ void
 bm_saturation_cold_indexed(benchmark::State& state)
 {
     const TermRef spec = matmul_spec(static_cast<int>(state.range(0)));
-    RuleConfig config;
+    RuleConfig config(4);
     const std::vector<Rewrite> rules = build_rules(config);
     for (auto _ : state) {
         EGraph g;
@@ -132,7 +132,7 @@ void
 bm_saturation_cold_naive(benchmark::State& state)
 {
     const TermRef spec = matmul_spec(static_cast<int>(state.range(0)));
-    RuleConfig config;
+    RuleConfig config(4);
     std::vector<Rewrite> rules;
     for (const Rewrite& r : build_rules(config)) {
         rules.push_back(r.with_naive_search());
@@ -156,7 +156,7 @@ bm_search_all_rules_indexed(benchmark::State& state)
     EGraph g;
     g.add_term(matmul_spec(static_cast<int>(state.range(0))));
     g.rebuild();
-    RuleConfig config;
+    RuleConfig config(4);
     const std::vector<Rewrite> rules = build_rules(config);
     Runner(RunnerLimits{.node_limit = 1'000'000,
                         .iter_limit = 4,
@@ -178,7 +178,7 @@ bm_search_all_rules_naive(benchmark::State& state)
     EGraph g;
     g.add_term(matmul_spec(static_cast<int>(state.range(0))));
     g.rebuild();
-    RuleConfig config;
+    RuleConfig config(4);
     const std::vector<Rewrite> rules = build_rules(config);
     Runner(RunnerLimits{.node_limit = 1'000'000,
                         .iter_limit = 4,
@@ -200,12 +200,12 @@ bm_extract(benchmark::State& state)
     const ClassId root =
         g.add_term(matmul_spec(static_cast<int>(state.range(0))));
     g.rebuild();
-    RuleConfig config;
+    RuleConfig config(4);
     Runner(RunnerLimits{.node_limit = 1'000'000,
                         .iter_limit = 6,
                         .time_limit_seconds = 60.0})
         .run(g, build_rules(config));
-    const DiosCostModel cost;
+    const DiosCostModel cost({}, 4);
     for (auto _ : state) {
         const Extractor ex(g, cost);
         benchmark::DoNotOptimize(ex.extract(g.find(root)).cost);

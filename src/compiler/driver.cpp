@@ -148,6 +148,7 @@ compile_with_deadline(const scalar::Kernel& kernel, CompilerOptions options,
                       const Deadline& deadline)
 {
     options.sync();
+    check_vector_width(options.target.vector_width);
     const int width = options.target.vector_width;
 
     CompiledKernel out;
@@ -270,6 +271,7 @@ CompiledKernel
 compile_direct(const scalar::Kernel& kernel, CompilerOptions options)
 {
     options.sync();
+    check_vector_width(options.target.vector_width);
     const int width = options.target.vector_width;
 
     CompiledKernel out;

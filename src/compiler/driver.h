@@ -57,7 +57,7 @@ namespace diospyros {
 /** Compiler configuration (paper §5.2 defaults). */
 struct CompilerOptions {
     TargetSpec target = TargetSpec::fusion_g3_like();
-    RuleConfig rules;
+    RuleConfig rules{target.vector_width};
     RunnerLimits limits = {.node_limit = 10'000'000,
                            .iter_limit = 100,
                            .time_limit_seconds = 180.0,

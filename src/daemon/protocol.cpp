@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "analysis/diagnostics.h"
+#include "machine/target.h"
 #include "strategy/parse.h"
 #include "support/error.h"
 #include "support/sexpr.h"
@@ -196,8 +197,13 @@ decode_compile_request(const std::string& payload)
             for (std::size_t j = 1; j < f.size(); ++j) {
                 const Sexpr& g = f[j];
                 if (is_field(g, "width")) {
-                    o.target.vector_width =
-                        static_cast<int>(field_i64(g));
+                    // Reject bad widths here at the protocol boundary:
+                    // a daemon must fail the one request, not crash or
+                    // poison the shared cache with an impossible lane
+                    // count.
+                    const int width = static_cast<int>(field_i64(g));
+                    check_vector_width(width);
+                    o.target.vector_width = width;
                 } else if (is_field(g, "recip")) {
                     o.target.has_reciprocal = field_bool(g);
                 } else if (is_field(g, "nodes")) {

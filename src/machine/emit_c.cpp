@@ -1,0 +1,679 @@
+#include "machine/emit_c.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "machine/target.h"
+#include "support/error.h"
+
+namespace diospyros {
+namespace {
+
+/** Instruction-set flavor of one emitted leaf body. */
+enum class Flavor { kScalar, kX86, kNeon };
+
+/** One leaf body: an ISA name, its dispatch guard, and the SIMD chunk
+ *  sizes (in floats) its registers support, widest first. Lanes not
+ *  covered by any chunk fall back to a scalar tail loop, so every leaf
+ *  can execute every kernel width. */
+struct Leaf {
+    const char* id;
+    Flavor flavor;
+    const char* target_attr;  ///< x86 per-function target; "" = none
+    std::vector<int> chunks;
+};
+
+const char*
+x86_prefix(int chunk)
+{
+    switch (chunk) {
+      case 16:
+        return "_mm512_";
+      case 8:
+        return "_mm256_";
+      default:
+        return "_mm_";
+    }
+}
+
+/** Float immediates go through their exact bit pattern so the emitted
+ *  text round-trips every value (including -0.0 and denormals) without
+ *  decimal-formatting pitfalls. */
+std::string
+f32_literal(float v)
+{
+    std::uint32_t bits = 0;
+    std::memcpy(&bits, &v, sizeof bits);
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "dios_f32_bits(0x%08xu) /* %g */",
+                  static_cast<unsigned>(bits), static_cast<double>(v));
+    return buf;
+}
+
+struct RegCounts {
+    int i = 0;
+    int f = 0;
+    int v = 0;
+};
+
+RegCounts
+count_regs(const Program& p)
+{
+    RegCounts c{p.num_int_regs, p.num_float_regs, p.num_vec_regs};
+    for (const Instr& instr : p.code) {
+        const InstrPorts ports = instr_ports(instr);
+        for (const int r : ports.i_src) {
+            c.i = std::max(c.i, r + 1);
+        }
+        for (const int r : ports.f_src) {
+            c.f = std::max(c.f, r + 1);
+        }
+        for (const int r : ports.v_src) {
+            c.v = std::max(c.v, r + 1);
+        }
+        if (ports.dst >= 0) {
+            if (ports.dst_file == 1) {
+                c.i = std::max(c.i, ports.dst + 1);
+            } else if (ports.dst_file == 2) {
+                c.f = std::max(c.f, ports.dst + 1);
+            } else if (ports.dst_file == 3) {
+                c.v = std::max(c.v, ports.dst + 1);
+            }
+        }
+    }
+    return c;
+}
+
+std::string
+rn(int i)
+{
+    return "r" + std::to_string(i);
+}
+
+std::string
+fn(int i)
+{
+    return "f" + std::to_string(i);
+}
+
+std::string
+vn(int i)
+{
+    return "v" + std::to_string(i);
+}
+
+/** Emits one leaf body function. The body mirrors machine/sim.cpp
+ *  statement for statement: same IEEE float ops, same (non-fused) MAC,
+ *  reciprocal as a literal division. */
+void
+emit_leaf_body(std::ostringstream& out, const Program& program, int width,
+               const Leaf& leaf, const std::string& name)
+{
+    const std::string i1 = "    ";
+    const std::string i2 = "        ";
+
+    if (leaf.target_attr[0] != '\0') {
+        out << "__attribute__((target(\"" << leaf.target_attr << "\")))\n";
+    }
+    out << "static void\n" << name << "(float* restrict mem)\n{\n";
+    out << i1 << "(void)mem;\n";
+
+    const RegCounts regs = count_regs(program);
+    for (int k = 0; k < regs.i; ++k) {
+        out << i1 << "int64_t " << rn(k) << " = 0;\n";
+    }
+    for (int k = 0; k < regs.f; ++k) {
+        out << i1 << "float " << fn(k) << " = 0.0f;\n";
+    }
+    for (int k = 0; k < regs.v; ++k) {
+        out << i1 << "__attribute__((aligned(64))) float " << vn(k) << "["
+            << width << "] = {0};\n";
+    }
+
+    // --- Per-flavor expression builders. -------------------------------
+    const bool neon = leaf.flavor == Flavor::kNeon;
+    auto ld = [&](int c, const std::string& ptr) {
+        if (neon) {
+            return "vld1q_f32(" + ptr + ")";
+        }
+        return std::string(x86_prefix(c)) + "loadu_ps(" + ptr + ")";
+    };
+    auto st = [&](int c, const std::string& ptr, const std::string& val) {
+        if (neon) {
+            return "vst1q_f32(" + ptr + ", " + val + ")";
+        }
+        return std::string(x86_prefix(c)) + "storeu_ps(" + ptr + ", " +
+               val + ")";
+    };
+    auto set1 = [&](int c, const std::string& s) {
+        if (neon) {
+            return "vdupq_n_f32(" + s + ")";
+        }
+        return std::string(x86_prefix(c)) + "set1_ps(" + s + ")";
+    };
+    auto arith = [&](int c, const char* x86name, const char* neon_name,
+                     const std::string& a, const std::string& b) {
+        if (neon) {
+            return std::string(neon_name) + "(" + a + ", " + b + ")";
+        }
+        return std::string(x86_prefix(c)) + x86name + "_ps(" + a + ", " +
+               b + ")";
+    };
+    auto sqrtv = [&](int c, const std::string& a) {
+        if (neon) {
+            return "vsqrtq_f32(" + a + ")";
+        }
+        return std::string(x86_prefix(c)) + "sqrt_ps(" + a + ")";
+    };
+    auto negv = [&](int c, const std::string& a) -> std::string {
+        if (neon) {
+            return "vnegq_f32(" + a + ")";
+        }
+        if (c == 16) {
+            // _mm512_xor_ps needs AVX-512DQ; stay within avx512f by
+            // flipping the sign bit in the integer domain.
+            return "_mm512_castsi512_ps(_mm512_xor_epi32("
+                   "_mm512_castps_si512(" +
+                   a + "), _mm512_set1_epi32((int)0x80000000)))";
+        }
+        const std::string p = x86_prefix(c);
+        return p + "xor_ps(" + a + ", " + p + "set1_ps(-0.0f))";
+    };
+
+    /** Emits intrinsic chunks (widest first) then a scalar tail loop. */
+    auto spans = [&](const std::function<std::string(int, const std::string&)>&
+                         chunk_stmt,
+                     const std::function<std::string(const std::string&)>&
+                         lane_stmt) {
+        int at = 0;
+        for (const int c : leaf.chunks) {
+            while (width - at >= c) {
+                out << i2 << chunk_stmt(c, " + " + std::to_string(at))
+                    << ";\n";
+                at += c;
+            }
+        }
+        if (at < width) {
+            out << i2 << "for (int l = " << at << "; l < " << width
+                << "; ++l) { " << lane_stmt("l") << "; }\n";
+        }
+    };
+    auto lanewise_binary = [&](const Instr& i, const char* x86name,
+                               const char* neon_name, const char* c_op) {
+        const std::string d = vn(i.dst), a = vn(i.a), b = vn(i.b);
+        out << i1 << "{\n";
+        spans(
+            [&](int c, const std::string& off) {
+                return st(c, d + off,
+                          arith(c, x86name, neon_name, ld(c, a + off),
+                                ld(c, b + off)));
+            },
+            [&](const std::string& l) {
+                return d + "[" + l + "] = " + a + "[" + l + "] " + c_op +
+                       " " + b + "[" + l + "]";
+            });
+        out << i1 << "}\n";
+    };
+
+    auto ea_decl = [&](const Instr& i) {
+        std::string e = std::to_string(i.imm);
+        if (i.a >= 0) {
+            e = "(ptrdiff_t)" + rn(i.a) + " + " + e;
+        }
+        return i2 + "const ptrdiff_t ea = " + e + ";\n";
+    };
+
+    // --- Instruction stream. -------------------------------------------
+    for (std::size_t idx = 0; idx < program.code.size(); ++idx) {
+        const Instr& i = program.code[idx];
+        out << i1 << "/* " << idx << ": " << disassemble(i, width)
+            << " */\n";
+        switch (i.op) {
+          case Opcode::kMovI:
+            out << i1 << rn(i.dst) << " = " << i.imm << ";\n";
+            break;
+          case Opcode::kAddI:
+            out << i1 << rn(i.dst) << " = " << rn(i.a) << " + " << i.imm
+                << ";\n";
+            break;
+          case Opcode::kIAdd:
+            out << i1 << rn(i.dst) << " = " << rn(i.a) << " + " << rn(i.b)
+                << ";\n";
+            break;
+          case Opcode::kIMul:
+            out << i1 << rn(i.dst) << " = " << rn(i.a) << " * " << rn(i.b)
+                << ";\n";
+            break;
+          case Opcode::kIMulI:
+            out << i1 << rn(i.dst) << " = " << rn(i.a) << " * " << i.imm
+                << ";\n";
+            break;
+          case Opcode::kFLoad:
+            out << i1 << "{\n"
+                << ea_decl(i) << i2 << fn(i.dst) << " = mem[ea];\n"
+                << i1 << "}\n";
+            break;
+          case Opcode::kFStore:
+            out << i1 << "{\n"
+                << ea_decl(i) << i2 << "mem[ea] = " << fn(i.b) << ";\n"
+                << i1 << "}\n";
+            break;
+          case Opcode::kFMovI:
+            out << i1 << fn(i.dst) << " = " << f32_literal(i.fimm)
+                << ";\n";
+            break;
+          case Opcode::kFMov:
+            out << i1 << fn(i.dst) << " = " << fn(i.a) << ";\n";
+            break;
+          case Opcode::kFAdd:
+            out << i1 << fn(i.dst) << " = " << fn(i.a) << " + " << fn(i.b)
+                << ";\n";
+            break;
+          case Opcode::kFSub:
+            out << i1 << fn(i.dst) << " = " << fn(i.a) << " - " << fn(i.b)
+                << ";\n";
+            break;
+          case Opcode::kFMul:
+            out << i1 << fn(i.dst) << " = " << fn(i.a) << " * " << fn(i.b)
+                << ";\n";
+            break;
+          case Opcode::kFDiv:
+            out << i1 << fn(i.dst) << " = " << fn(i.a) << " / " << fn(i.b)
+                << ";\n";
+            break;
+          case Opcode::kFNeg:
+            out << i1 << fn(i.dst) << " = -" << fn(i.a) << ";\n";
+            break;
+          case Opcode::kFSqrt:
+            out << i1 << fn(i.dst) << " = sqrtf(" << fn(i.a) << ");\n";
+            break;
+          case Opcode::kFSgn:
+            out << i1 << fn(i.dst) << " = dios_sgnf(" << fn(i.a) << ");\n";
+            break;
+          case Opcode::kFRecip:
+            out << i1 << fn(i.dst) << " = 1.0f / " << fn(i.a) << ";\n";
+            break;
+          case Opcode::kFMac:
+            out << i1 << fn(i.dst) << " += " << fn(i.a) << " * " << fn(i.b)
+                << ";\n";
+            break;
+          case Opcode::kVLoad: {
+            const std::string d = vn(i.dst);
+            out << i1 << "{\n" << ea_decl(i);
+            spans(
+                [&](int c, const std::string& off) {
+                    return st(c, d + off, ld(c, "mem + ea" + off));
+                },
+                [&](const std::string& l) {
+                    return d + "[" + l + "] = mem[ea + " + l + "]";
+                });
+            out << i1 << "}\n";
+            break;
+          }
+          case Opcode::kVStore: {
+            const std::string s = vn(i.b);
+            out << i1 << "{\n" << ea_decl(i);
+            spans(
+                [&](int c, const std::string& off) {
+                    return st(c, "mem + ea" + off, ld(c, s + off));
+                },
+                [&](const std::string& l) {
+                    return "mem[ea + " + l + "] = " + s + "[" + l + "]";
+                });
+            out << i1 << "}\n";
+            break;
+          }
+          case Opcode::kVSplat:
+          case Opcode::kVSplatR: {
+            const std::string d = vn(i.dst);
+            const std::string src = i.op == Opcode::kVSplat
+                                        ? f32_literal(i.fimm)
+                                        : fn(i.a);
+            out << i1 << "{\n"
+                << i2 << "const float s = " << src << ";\n";
+            spans(
+                [&](int c, const std::string& off) {
+                    return st(c, d + off, set1(c, "s"));
+                },
+                [&](const std::string& l) {
+                    return d + "[" + l + "] = s";
+                });
+            out << i1 << "}\n";
+            break;
+          }
+          case Opcode::kVAdd:
+            lanewise_binary(i, "add", "vaddq_f32", "+");
+            break;
+          case Opcode::kVSub:
+            lanewise_binary(i, "sub", "vsubq_f32", "-");
+            break;
+          case Opcode::kVMul:
+            lanewise_binary(i, "mul", "vmulq_f32", "*");
+            break;
+          case Opcode::kVDiv:
+            lanewise_binary(i, "div", "vdivq_f32", "/");
+            break;
+          case Opcode::kVNeg: {
+            const std::string d = vn(i.dst), a = vn(i.a);
+            out << i1 << "{\n";
+            spans(
+                [&](int c, const std::string& off) {
+                    return st(c, d + off, negv(c, ld(c, a + off)));
+                },
+                [&](const std::string& l) {
+                    return d + "[" + l + "] = -" + a + "[" + l + "]";
+                });
+            out << i1 << "}\n";
+            break;
+          }
+          case Opcode::kVSqrt: {
+            const std::string d = vn(i.dst), a = vn(i.a);
+            out << i1 << "{\n";
+            spans(
+                [&](int c, const std::string& off) {
+                    return st(c, d + off, sqrtv(c, ld(c, a + off)));
+                },
+                [&](const std::string& l) {
+                    return d + "[" + l + "] = sqrtf(" + a + "[" + l + "])";
+                });
+            out << i1 << "}\n";
+            break;
+          }
+          case Opcode::kVSgn: {
+            // Rare op: scalar lanes on every leaf.
+            const std::string d = vn(i.dst), a = vn(i.a);
+            out << i1 << "for (int l = 0; l < " << width << "; ++l) { "
+                << d << "[l] = dios_sgnf(" << a << "[l]); }\n";
+            break;
+          }
+          case Opcode::kVRecip: {
+            // Exact: the simulator computes 1.0f / x, so no rcpps-style
+            // approximation is allowed here.
+            const std::string d = vn(i.dst), a = vn(i.a);
+            out << i1 << "{\n";
+            spans(
+                [&](int c, const std::string& off) {
+                    return st(c, d + off,
+                              arith(c, "div", "vdivq_f32",
+                                    set1(c, "1.0f"), ld(c, a + off)));
+                },
+                [&](const std::string& l) {
+                    return d + "[" + l + "] = 1.0f / " + a + "[" + l + "]";
+                });
+            out << i1 << "}\n";
+            break;
+          }
+          case Opcode::kVMac: {
+            // Deliberately non-fused (add of a separate multiply) to
+            // match the simulator bit for bit.
+            const std::string d = vn(i.dst), a = vn(i.a), b = vn(i.b);
+            out << i1 << "{\n";
+            spans(
+                [&](int c, const std::string& off) {
+                    return st(c, d + off,
+                              arith(c, "add", "vaddq_f32", ld(c, d + off),
+                                    arith(c, "mul", "vmulq_f32",
+                                          ld(c, a + off),
+                                          ld(c, b + off))));
+                },
+                [&](const std::string& l) {
+                    return d + "[" + l + "] = " + d + "[" + l + "] + (" +
+                           a + "[" + l + "] * " + b + "[" + l + "])";
+                });
+            out << i1 << "}\n";
+            break;
+          }
+          case Opcode::kShuf:
+          case Opcode::kSel: {
+            // Lane tables are emit-time constants; unroll through
+            // temporaries so a destination aliasing a source reads the
+            // pre-instruction values, exactly like the simulator's
+            // copy-then-write.
+            const std::string d = vn(i.dst), a = vn(i.a), b = vn(i.b);
+            out << i1 << "{\n";
+            for (int l = 0; l < width; ++l) {
+                const int lane = i.lanes[static_cast<std::size_t>(l)];
+                std::string src;
+                if (i.op == Opcode::kShuf) {
+                    DIOS_ASSERT(lane >= 0 && lane < width,
+                                "emit_c_kernel: shuf lane out of range");
+                    src = a + "[" + std::to_string(lane) + "]";
+                } else {
+                    DIOS_ASSERT(lane >= 0 && lane < 2 * width,
+                                "emit_c_kernel: sel lane out of range");
+                    src = lane < width
+                              ? a + "[" + std::to_string(lane) + "]"
+                              : b + "[" + std::to_string(lane - width) +
+                                    "]";
+                }
+                out << i2 << "const float t" << l << " = " << src << ";\n";
+            }
+            for (int l = 0; l < width; ++l) {
+                out << i2 << d << "[" << l << "] = t" << l << ";\n";
+            }
+            out << i1 << "}\n";
+            break;
+          }
+          case Opcode::kVInsert:
+            out << i1 << vn(i.dst) << "[" << i.imm << "] = " << fn(i.a)
+                << ";\n";
+            break;
+          case Opcode::kVExtract:
+            out << i1 << fn(i.dst) << " = " << vn(i.a) << "[" << i.imm
+                << "];\n";
+            break;
+          case Opcode::kHalt:
+            out << i1 << "return;\n";
+            break;
+          case Opcode::kJump:
+          case Opcode::kBranchLt:
+          case Opcode::kBranchGe:
+            DIOS_ASSERT(false,
+                        "emit_c_kernel: control flow is not supported");
+        }
+    }
+    out << "}\n\n";
+}
+
+}  // namespace
+
+std::string
+native_symbol_for(const std::string& kernel_name)
+{
+    std::string sym = "dios_";
+    for (const char c : kernel_name) {
+        sym += std::isalnum(static_cast<unsigned char>(c)) ? c : '_';
+    }
+    return sym;
+}
+
+std::string
+emit_c_kernel(const Program& program, const EmitCOptions& options)
+{
+    check_vector_width(options.vector_width);
+    const std::string& sym = options.symbol;
+    DIOS_CHECK(!sym.empty() &&
+                   (std::isalpha(static_cast<unsigned char>(sym[0])) ||
+                    sym[0] == '_') &&
+                   std::all_of(sym.begin(), sym.end(),
+                               [](char c) {
+                                   return std::isalnum(
+                                              static_cast<unsigned char>(
+                                                  c)) ||
+                                          c == '_';
+                               }),
+               "emit-native symbol must be a C identifier: " + sym);
+    for (const Instr& i : program.code) {
+        DIOS_ASSERT(i.op != Opcode::kJump && i.op != Opcode::kBranchLt &&
+                        i.op != Opcode::kBranchGe,
+                    "emit_c_kernel: control flow is not supported");
+    }
+
+    const int width = options.vector_width;
+    std::ostringstream out;
+    out << "/* " << sym << ": generated by dioscc --emit-native "
+        << "(diospyros native backend).\n"
+        << " * Do not edit. " << width
+        << "-lane kernel over a flat float memory of "
+        << options.memory_words << " words.\n"
+        << " *\n"
+        << " * Compile (GCC or Clang) with -ffp-contract=off: the scalar\n"
+        << " * tails spell multiply-accumulate as separate multiply and\n"
+        << " * add, and contraction into FMA would change results vs the\n"
+        << " * cycle simulator. E.g.:\n"
+        << " *   cc -O2 -fPIC -shared -ffp-contract=off -o " << sym
+        << ".so " << sym << ".c -lm\n"
+        << " */\n"
+        << "#include <math.h>\n"
+        << "#include <stddef.h>\n"
+        << "#include <stdint.h>\n"
+        << "#include <string.h>\n\n"
+        << "#if defined(__x86_64__) || defined(__i386__)\n"
+        << "#  define DIOS_NATIVE_X86 1\n"
+        << "#  include <immintrin.h>\n"
+        << "#elif defined(__aarch64__)\n"
+        << "#  define DIOS_NATIVE_NEON 1\n"
+        << "#  include <arm_neon.h>\n"
+        << "#endif\n\n"
+        << "static inline float\n"
+        << "dios_f32_bits(uint32_t bits)\n"
+        << "{\n"
+        << "    float f;\n"
+        << "    memcpy(&f, &bits, sizeof f);\n"
+        << "    return f;\n"
+        << "}\n\n"
+        << "static inline float\n"
+        << "dios_sgnf(float x)\n"
+        << "{\n"
+        << "    return (float)((x > 0.0f) - (x < 0.0f));\n"
+        << "}\n\n"
+        << "const size_t " << sym << "_mem_words = "
+        << options.memory_words << ";\n"
+        << "const int " << sym << "_vector_width = " << width << ";\n\n";
+
+    const bool has_pool = !options.pool.empty();
+    if (has_pool) {
+        DIOS_CHECK(options.memory_words == 0 ||
+                       options.pool_base + options.pool.size() ==
+                           options.memory_words,
+                   "constant pool does not sit at the end of the memory "
+                   "image");
+        out << "/* Constant pool (materialized literal lane vectors), "
+               "copied into\n"
+            << " * mem[" << options.pool_base
+            << "..] on every entry — callers only initialize the input\n"
+            << " * arrays. Stored as exact bit patterns. */\n"
+            << "static const uint32_t " << sym << "_pool_bits["
+            << options.pool.size() << "] = {";
+        for (std::size_t k = 0; k < options.pool.size(); ++k) {
+            std::uint32_t bits = 0;
+            std::memcpy(&bits, &options.pool[k], sizeof bits);
+            char buf[16];
+            std::snprintf(buf, sizeof buf, "0x%08xu",
+                          static_cast<unsigned>(bits));
+            out << (k % 6 == 0 ? "\n    " : " ") << buf
+                << (k + 1 < options.pool.size() ? "," : "");
+        }
+        out << "};\n\n"
+            << "static void\n"
+            << sym << "_init_pool(float* mem)\n{\n"
+            << "    /* Skip the store when the pool is already in place: "
+               "repeated\n"
+            << "     * calls on a persistent buffer would otherwise re-store "
+               "words\n"
+            << "     * the SIMD leaves immediately reload as wide vectors, "
+               "and those\n"
+            << "     * narrow-store/wide-load pairs defeat store "
+               "forwarding. */\n"
+            << "    if (memcmp(mem + " << options.pool_base << ", " << sym
+            << "_pool_bits, sizeof " << sym << "_pool_bits) != 0) {\n"
+            << "        memcpy(mem + " << options.pool_base << ", " << sym
+            << "_pool_bits, sizeof " << sym << "_pool_bits);\n"
+            << "    }\n"
+            << "}\n\n";
+    }
+
+    const Leaf scalar_leaf{"scalar", Flavor::kScalar, "", {}};
+    out << "/* Portable scalar core: the reference every SIMD leaf must "
+           "match. */\n";
+    emit_leaf_body(out, program, width, scalar_leaf, sym + "_body_scalar");
+
+    out << "#if defined(DIOS_NATIVE_X86)\n\n";
+    const Leaf x86_leaves[] = {
+        {"sse2", Flavor::kX86, "sse2", {4}},
+        {"avx2", Flavor::kX86, "avx2", {8, 4}},
+        {"avx512", Flavor::kX86, "avx512f", {16, 8, 4}},
+    };
+    for (const Leaf& leaf : x86_leaves) {
+        emit_leaf_body(out, program, width, leaf,
+                       sym + "_body_" + leaf.id);
+    }
+    out << "#elif defined(DIOS_NATIVE_NEON)\n\n";
+    const Leaf neon_leaf{"neon", Flavor::kNeon, "", {4}};
+    emit_leaf_body(out, program, width, neon_leaf, sym + "_body_neon");
+    out << "#endif\n\n";
+
+    // ---- Runtime CPU dispatch (hmmer h4_simdvec_width() idiom). -------
+    out << "/* SIMD register width, in floats, of the leaf the dispatcher"
+           "\n * selects on this machine (1 = portable scalar core). */\n"
+        << "int\n" << sym << "_native_width(void)\n{\n"
+        << "#if defined(DIOS_NATIVE_X86)\n"
+        << "    if (__builtin_cpu_supports(\"avx512f\")) { return 16; }\n"
+        << "    if (__builtin_cpu_supports(\"avx2\")) { return 8; }\n"
+        << "    if (__builtin_cpu_supports(\"sse2\")) { return 4; }\n"
+        << "    return 1;\n"
+        << "#elif defined(DIOS_NATIVE_NEON)\n"
+        << "    return 4;\n"
+        << "#else\n"
+        << "    return 1;\n"
+        << "#endif\n"
+        << "}\n\n"
+        << "const char*\n" << sym << "_native_isa(void)\n{\n"
+        << "#if defined(DIOS_NATIVE_X86)\n"
+        << "    if (__builtin_cpu_supports(\"avx512f\")) { return "
+           "\"avx512\"; }\n"
+        << "    if (__builtin_cpu_supports(\"avx2\")) { return \"avx2\"; "
+           "}\n"
+        << "    if (__builtin_cpu_supports(\"sse2\")) { return \"sse2\"; "
+           "}\n"
+        << "    return \"scalar\";\n"
+        << "#elif defined(DIOS_NATIVE_NEON)\n"
+        << "    return \"neon\";\n"
+        << "#else\n"
+        << "    return \"scalar\";\n"
+        << "#endif\n"
+        << "}\n\n"
+        << "/* Always-scalar entry point (native baseline timing). */\n"
+        << "void\n" << sym << "_scalar(float* mem)\n{\n"
+        << (has_pool ? "    " + sym + "_init_pool(mem);\n" : "")
+        << "    " << sym << "_body_scalar(mem);\n"
+        << "}\n\n"
+        << "/* CPU-dispatched entry point: widest leaf the host "
+           "supports. */\n"
+        << "void\n" << sym << "(float* mem)\n{\n"
+        << (has_pool ? "    " + sym + "_init_pool(mem);\n" : "")
+        << "#if defined(DIOS_NATIVE_X86)\n"
+        << "    if (__builtin_cpu_supports(\"avx512f\")) { " << sym
+        << "_body_avx512(mem); return; }\n"
+        << "    if (__builtin_cpu_supports(\"avx2\")) { " << sym
+        << "_body_avx2(mem); return; }\n"
+        << "    if (__builtin_cpu_supports(\"sse2\")) { " << sym
+        << "_body_sse2(mem); return; }\n"
+        << "#elif defined(DIOS_NATIVE_NEON)\n"
+        << "    " << sym << "_body_neon(mem);\n"
+        << "    return;\n"
+        << "#endif\n"
+        << "    " << sym << "_body_scalar(mem);\n"
+        << "}\n";
+
+    return out.str();
+}
+
+}  // namespace diospyros

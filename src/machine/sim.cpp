@@ -87,8 +87,7 @@ Simulator::run(const Program& program, Memory& memory,
                std::uint64_t max_instructions) const
 {
     const int width = spec_.vector_width;
-    DIOS_CHECK(width >= 1 && width <= kMaxVectorWidth,
-               "unsupported vector width");
+    check_vector_width(width);
 
     std::vector<std::int64_t> iregs(
         static_cast<std::size_t>(program.num_int_regs) + 1, 0);

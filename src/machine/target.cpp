@@ -1,6 +1,24 @@
 #include "machine/target.h"
 
+#include "support/error.h"
+
 namespace diospyros {
+
+bool
+is_supported_vector_width(int width)
+{
+    return width >= 1 && width <= kMaxVectorWidth &&
+           (width & (width - 1)) == 0;
+}
+
+void
+check_vector_width(int width)
+{
+    DIOS_CHECK(is_supported_vector_width(width),
+               "unsupported vector width " + std::to_string(width) +
+                   ": must be a power of two in [1, " +
+                   std::to_string(kMaxVectorWidth) + "]");
+}
 
 const char*
 opcode_name(Opcode op)
@@ -127,6 +145,22 @@ functional_unit(Opcode op)
 
 namespace {
 
+/**
+ * Extra result latency of the iterative vector units (divide, sqrt,
+ * reciprocal) at `width` lanes: doubling the lanes past the 4-wide
+ * baseline costs one more refinement step per doubling. Widths <= 4
+ * pay nothing, keeping the legacy presets byte-identical.
+ */
+int
+iterative_widening_penalty(int width)
+{
+    int extra = 0;
+    for (int w = 8; w <= width; w *= 2) {
+        ++extra;
+    }
+    return extra;
+}
+
 /** Fills a result-latency table with the shared baseline values. */
 std::array<int, kNumOpcodes>
 baseline_costs()
@@ -185,6 +219,19 @@ baseline_costs()
     return t;
 }
 
+/** Baseline table with the width-scaled iterative vector unit costs. */
+std::array<int, kNumOpcodes>
+baseline_costs_for_width(int width)
+{
+    std::array<int, kNumOpcodes> t = baseline_costs();
+    const int extra = iterative_widening_penalty(width);
+    for (const Opcode op :
+         {Opcode::kVDiv, Opcode::kVSqrt, Opcode::kVRecip}) {
+        t[static_cast<int>(op)] += extra;
+    }
+    return t;
+}
+
 }  // namespace
 
 TargetSpec
@@ -211,6 +258,51 @@ TargetSpec::narrow_2wide()
     spec.cost_table = baseline_costs();
     spec.taken_branch_penalty = 1;
     return spec;
+}
+
+TargetSpec
+TargetSpec::wide_8()
+{
+    TargetSpec spec;
+    spec.name = "wide-8";
+    spec.vector_width = 8;
+    spec.has_reciprocal = false;
+    spec.has_scalar_mac = false;
+    spec.cost_table = baseline_costs_for_width(8);
+    spec.taken_branch_penalty = 1;
+    return spec;
+}
+
+TargetSpec
+TargetSpec::wide_16()
+{
+    TargetSpec spec;
+    spec.name = "wide-16";
+    spec.vector_width = 16;
+    spec.has_reciprocal = false;
+    spec.has_scalar_mac = false;
+    spec.cost_table = baseline_costs_for_width(16);
+    spec.taken_branch_penalty = 1;
+    return spec;
+}
+
+TargetSpec
+TargetSpec::for_width(int width)
+{
+    switch (width) {
+      case 2:
+        return narrow_2wide();
+      case 4:
+        return fusion_g3_like();
+      case 8:
+        return wide_8();
+      case 16:
+        return wide_16();
+      default:
+        detail::raise_user("no target preset for vector width " +
+                           std::to_string(width) +
+                           ": presets exist for 2, 4, 8, and 16 lanes");
+    }
 }
 
 TargetSpec

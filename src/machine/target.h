@@ -20,7 +20,17 @@
 namespace diospyros {
 
 /** Maximum SIMD width any TargetSpec may request. */
-constexpr int kMaxVectorWidth = 8;
+constexpr int kMaxVectorWidth = 16;
+
+/** Whether `width` is a lane count any layer may be asked to handle:
+ *  a power of two in [1, kMaxVectorWidth]. The layout/padding logic and
+ *  the lane-table encodings all assume power-of-two widths. */
+bool is_supported_vector_width(int width);
+
+/** Validates a caller-supplied lane width; throws UserError otherwise.
+ *  Shared by the compiler driver, the rule builder, and the daemon's
+ *  protocol boundary so every entry point rejects the same set. */
+void check_vector_width(int width);
 
 /** Opcodes of the simulated DSP ISA. */
 enum class Opcode : std::uint8_t {
@@ -137,6 +147,24 @@ struct TargetSpec {
 
     /** A narrower 2-wide variant used in tests and portability studies. */
     static TargetSpec narrow_2wide();
+
+    /**
+     * Wider presets for the multi-ISA width-sensitivity studies
+     * (ROADMAP "parametric multi-ISA backend"). Same pipeline shape as
+     * the 4-wide default, but the iterative vector units (divide, sqrt,
+     * reciprocal) pay extra latency as lanes double — a wider iterative
+     * unit needs more refinement steps, which is what makes mostly-
+     * padded wide vectors of them unprofitable.
+     */
+    static TargetSpec wide_8();
+    static TargetSpec wide_16();
+
+    /**
+     * The canonical preset for a lane width in {2, 4, 8, 16}
+     * (narrow_2wide / fusion_g3_like / wide_8 / wide_16). Throws
+     * UserError for any other width.
+     */
+    static TargetSpec for_width(int width);
 
     /**
      * The default target with its VLIW bundles enabled (3 slots:

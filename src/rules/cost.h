@@ -48,7 +48,12 @@ struct CostParams {
 /** The Diospyros cost model over the e-graph. */
 class DiosCostModel : public CostModel {
   public:
-    explicit DiosCostModel(CostParams params = {}, int vector_width = 4)
+    /**
+     * The machine vector width is a required argument: a cost model priced
+     * for the wrong lane count silently mis-ranks Vec packings, so callers
+     * must state the width they are extracting for.
+     */
+    DiosCostModel(CostParams params, int vector_width)
         : params_(params), width_(vector_width)
     {
     }

@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "machine/target.h"
 #include "support/error.h"
 
 namespace diospyros {
@@ -517,7 +518,7 @@ build_rules(const RuleConfig& config)
 {
     std::vector<Rewrite> rules;
     const int w = config.vector_width;
-    DIOS_CHECK(w >= 1 && w <= 8, "unsupported vector width");
+    check_vector_width(w);
 
     if (config.enable_scalar_rules) {
         rules.push_back(Rewrite::make("add-0", "(+ ?a 0)", "?a"));

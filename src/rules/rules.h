@@ -27,8 +27,16 @@ namespace diospyros {
 
 /** Knobs controlling which rule families are built. */
 struct RuleConfig {
+    /**
+     * The machine vector width is a required constructor argument: the
+     * chunking and lane-lifting rules bake the lane count into every
+     * pattern they build, so a silently defaulted width produces rules
+     * for the wrong machine.
+     */
+    explicit RuleConfig(int width) : vector_width(width) {}
+
     /** Machine vector width (lanes per Vec). */
-    int vector_width = 4;
+    int vector_width;
     /** Vector-introduction rules; off reproduces the §5.6 ablation. */
     bool enable_vector_rules = true;
     /** Scalar simplification rules. */

@@ -203,6 +203,16 @@ verify_text(const std::string& text, const CacheKey* expected_key)
         return r;
     }
     if (env.format_version != kCacheFormatVersion) {
+        if (env.format_version < kCacheFormatVersion) {
+            // A recognizably *older* envelope is a legitimate miss: the
+            // writer was simply an earlier build. Only claims of a
+            // format this build has never produced smell like
+            // corruption.
+            r.status = LoadStatus::kMiss;
+            r.detail = "stale format-version " +
+                       std::to_string(env.format_version);
+            return r;
+        }
         r.status = LoadStatus::kCorrupt;
         r.detail = "unsupported format-version " +
                    std::to_string(env.format_version);

@@ -251,8 +251,16 @@ program_to_sexpr(const Program& p)
             Sexpr::atom(opcode_name(instr.op)), i64_atom(instr.dst),
             i64_atom(instr.a),    i64_atom(instr.b),
             i64_atom(instr.imm),  f64_atom(instr.fimm)};
-        for (const std::int16_t lane : instr.lanes) {
-            fields.push_back(i64_atom(lane));
+        // Explicit lane count (trailing zeros trimmed) rather than a
+        // fixed kMaxVectorWidth slots: entries stay readable across
+        // builds whose compile-time maximum width differs.
+        std::size_t nlanes = instr.lanes.size();
+        while (nlanes > 0 && instr.lanes[nlanes - 1] == 0) {
+            --nlanes;
+        }
+        fields.push_back(i64_atom(static_cast<std::int64_t>(nlanes)));
+        for (std::size_t k = 0; k < nlanes; ++k) {
+            fields.push_back(i64_atom(instr.lanes[k]));
         }
         code.push_back(Sexpr::list(std::move(fields)));
     }
@@ -277,8 +285,7 @@ program_from_sexpr(const Sexpr& s)
         } else if (is_field(f, "code")) {
             for (std::size_t j = 1; j < f.size(); ++j) {
                 const Sexpr& node = f[j];
-                DIOS_CHECK(node.is_list() &&
-                               node.size() == 6 + kMaxVectorWidth,
+                DIOS_CHECK(node.is_list() && node.size() >= 7,
                            "cache entry: malformed instruction");
                 Instr instr;
                 instr.op = opcode_from_name(node[0].token());
@@ -287,10 +294,15 @@ program_from_sexpr(const Sexpr& s)
                 instr.b = static_cast<int>(as_i64(node[3]));
                 instr.imm = static_cast<int>(as_i64(node[4]));
                 instr.fimm = static_cast<float>(as_f64(node[5]));
-                for (int k = 0; k < kMaxVectorWidth; ++k) {
+                const std::int64_t nlanes = as_i64(node[6]);
+                DIOS_CHECK(nlanes >= 0 && nlanes <= kMaxVectorWidth &&
+                               node.size() ==
+                                   7 + static_cast<std::size_t>(nlanes),
+                           "cache entry: malformed lane table");
+                for (std::int64_t k = 0; k < nlanes; ++k) {
                     instr.lanes[static_cast<std::size_t>(k)] =
                         static_cast<std::int16_t>(
-                            as_i64(node[6 + static_cast<std::size_t>(k)]));
+                            as_i64(node[7 + static_cast<std::size_t>(k)]));
                 }
                 p.code.push_back(instr);
             }

@@ -59,10 +59,15 @@ CachedEntry entry_from_sexpr(const Sexpr& sexpr);
 /**
  * Version of the on-disk *envelope* format (distinct from
  * kRuleSetVersion, which versions the artifact semantics). Bump when
- * the envelope layout itself changes; entries with any other value are
- * quarantined by the recovery scan, never served.
+ * the envelope layout itself changes. Entries from an *older* format
+ * are ordinary misses — stale, not suspect — while entries claiming a
+ * version this build has never heard of are quarantined.
+ *
+ * History: 1–2 fixed-width lane tables (6 + kMaxVectorWidth slots per
+ * instruction); 3 explicit per-instruction lane counts, so the format
+ * survives kMaxVectorWidth changes.
  */
-constexpr std::uint64_t kCacheFormatVersion = 2;
+constexpr std::uint64_t kCacheFormatVersion = 3;
 
 /**
  * Wraps an entry in the durable on-disk envelope:

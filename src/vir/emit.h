@@ -14,6 +14,8 @@
  */
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <string>
 #include <utility>
 #include <vector>
@@ -71,6 +73,30 @@ class CompiledLayout {
 
     /** Reads the real (unpadded) output arrays back. */
     scalar::BufferMap read_outputs(const Memory& memory) const;
+
+    /**
+     * Total words of the flat memory image (padded arrays followed by
+     * the constant pool) — what make_memory() produces, exported so the
+     * native backend can size a raw buffer without building a Memory.
+     */
+    std::size_t
+    memory_words() const
+    {
+        std::size_t words = 0;
+        for (const Entry& e : entries_) {
+            words = std::max(words, static_cast<std::size_t>(e.base) +
+                                        static_cast<std::size_t>(
+                                            e.padded_len));
+        }
+        return words + pool_.size();
+    }
+
+    /** Word offset of the constant pool: the end of the padded arrays. */
+    std::size_t
+    pool_base_words() const
+    {
+        return memory_words() - pool_.size();
+    }
 
   private:
     std::vector<Entry> entries_;

@@ -422,8 +422,7 @@ TEST(AuditEGraph, CleanAfterSaturationAndExtraction)
         "0)"));
     graph.rebuild();
 
-    RuleConfig config;
-    config.vector_width = 4;
+    RuleConfig config(4);
     Runner(RunnerLimits{.node_limit = 50'000,
                         .iter_limit = 6,
                         .time_limit_seconds = 10.0})
@@ -493,8 +492,7 @@ TEST(AuditExtraction, FlagsNonMonotonicCostModel)
 
 TEST(LintRules, EveryRegisteredRuleIsSound)
 {
-    RuleConfig config;
-    config.vector_width = 4;
+    RuleConfig config(4);
     config.full_ac = true;
     config.target_has_recip = true;
     const std::vector<RuleLintResult> results = lint_rules(config);

@@ -324,7 +324,9 @@ TEST(Compiler, RejectsKernelWithoutOutputs)
 TEST(Compiler, RejectsUnsupportedVectorWidth)
 {
     CompilerOptions options = test_options();
-    options.target.vector_width = 16;  // > kMaxVectorWidth
+    options.target.vector_width = 32;  // > kMaxVectorWidth
+    EXPECT_THROW(compile_kernel(vector_add_kernel(8), options), UserError);
+    options.target.vector_width = 3;  // not a power of two
     EXPECT_THROW(compile_kernel(vector_add_kernel(8), options), UserError);
 }
 

@@ -301,6 +301,34 @@ TEST(Protocol, CompileRequestRoundTripsOptions)
     EXPECT_EQ(back.options.limits.iter_limit, 6);
 }
 
+TEST(Protocol, RejectsUnsupportedWidthAtTheBoundary)
+{
+    CompileRequest req;
+    req.kernel_name = "dot4";
+    req.kernel_text = "(kernel dot4 (param n 4))";
+    req.options = test_options();
+    std::string wire = encode_compile_request(req);
+    const std::string tag = "(width ";
+    const std::size_t at = wire.find(tag);
+    ASSERT_NE(at, std::string::npos);
+    const std::size_t end = wire.find(')', at);
+    for (const char* bad : {"0", "-4", "3", "32", "1024"}) {
+        std::string mutated = wire;
+        mutated.replace(at, end - at, tag + std::string(bad));
+        EXPECT_THROW(daemon::decode_compile_request(mutated), UserError)
+            << "width " << bad;
+    }
+    // Every in-range power of two decodes.
+    for (const char* good : {"1", "2", "4", "8", "16"}) {
+        std::string mutated = wire;
+        mutated.replace(at, end - at, tag + std::string(good));
+        const CompileRequest back =
+            daemon::decode_compile_request(mutated);
+        EXPECT_EQ(back.options.target.vector_width,
+                  std::stoi(std::string(good)));
+    }
+}
+
 TEST(Protocol, CompileResponseRoundTripsAllStatuses)
 {
     CompileResponse shed;

@@ -289,6 +289,34 @@ INSTANTIATE_TEST_SUITE_P(
         return info.param.name;
     });
 
+TEST(CorruptionRecoveryExtra, OlderFormatVersionIsCleanMiss)
+{
+    TempDir dir("stale_format");
+    DiskCache disk(dir.str());
+    const CompilerOptions options = test_options();
+    const Kernel kernel = vector_add_kernel(4);
+    const CacheKey key = service::compute_cache_key(kernel, options);
+    disk.store(compiled_entry(kernel, options));
+
+    std::string text = slurp(disk.path_for(key));
+    const std::string tag = "(format-version";
+    const std::size_t at = text.find(tag);
+    ASSERT_NE(at, std::string::npos);
+    const std::size_t end = text.find(')', at);
+    text.replace(at, end - at,
+                 tag + " " +
+                     std::to_string(service::kCacheFormatVersion - 1));
+    spit(disk.path_for(key), text);
+
+    // An entry written by an older build is a legitimate miss: never
+    // served (its payload layout may differ) but never quarantined as
+    // corruption either.
+    const LoadResult r = disk.load(key);
+    EXPECT_EQ(r.status, LoadStatus::kMiss);
+    EXPECT_FALSE(r.entry.has_value());
+    EXPECT_NE(r.detail.find("stale format-version"), std::string::npos);
+}
+
 TEST(CorruptionRecoveryExtra, MisfiledEntryIsCorrupt)
 {
     TempDir dir("misfiled");

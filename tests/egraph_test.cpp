@@ -696,7 +696,7 @@ random_vec_graph(Rng& rng)
 
 TEST(OpIndex, IndexedSearchEqualsNaiveForEveryRule)
 {
-    RuleConfig config;
+    RuleConfig config(4);
     config.target_has_recip = true;
     const std::vector<Rewrite> rules = build_rules(config);
     Rng rng(42);
@@ -726,7 +726,7 @@ TEST(OpIndex, SaturationWithIndexMatchesNaiveByteForByte)
     // End to end: saturate two copies of the same graph, one through the
     // op-indexed searchers and one forced down the full-scan path. The
     // final graphs and the extracted programs must agree exactly.
-    RuleConfig config;
+    RuleConfig config(4);
     const std::vector<Rewrite> rules = build_rules(config);
     std::vector<Rewrite> naive_rules;
     naive_rules.reserve(rules.size());

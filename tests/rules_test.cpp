@@ -24,7 +24,7 @@ small_limits()
 
 /** Saturate `spec` under `config` and extract the best term. */
 TermRef
-optimize(const std::string& spec, RuleConfig config = {})
+optimize(const std::string& spec, RuleConfig config = RuleConfig(4))
 {
     EGraph g;
     const ClassId root = g.add_term(Term::parse(spec));
@@ -53,8 +53,7 @@ contains_op(const TermRef& term, Op op)
 
 TEST(ListChunk, SplitsIntoWidthVectorsWithPadding)
 {
-    RuleConfig config;
-    config.vector_width = 4;
+    RuleConfig config(4);
     // 6 outputs -> two Vec chunks, the second padded with two zeros. For a
     // pure data copy the cost model may still *extract* the scalar List
     // (nothing to vectorize), so check the e-graph itself contains the
@@ -94,8 +93,7 @@ TEST(ListChunk, SplitsIntoWidthVectorsWithPadding)
 TEST(VecLift, VectorizesAlignedAdd)
 {
     // The paper §3.2 example (width 2): 4-element vector-vector add.
-    RuleConfig config;
-    config.vector_width = 2;
+    RuleConfig config(2);
     const TermRef best = optimize(
         "(List (+ (Get a 0) (Get b 0)) (+ (Get a 1) (Get b 1)) (+ (Get a "
         "2) (Get b 2)) (+ (Get a 3) (Get b 3)))",
@@ -113,8 +111,7 @@ TEST(VecLift, VectorizesAlignedAdd)
 TEST(VecLift, HandlesZeroLanes)
 {
     // The §3.3 concrete rewrite: (Vec (+ a b) 0 (+ c d) 0).
-    RuleConfig config;
-    config.vector_width = 4;
+    RuleConfig config(4);
     const TermRef best = optimize(
         "(List (+ (Get a 0) (Get b 0)) 0 (+ (Get a 2) (Get b 2)) 0)",
         config);
@@ -129,8 +126,7 @@ TEST(VecLift, HandlesZeroLanes)
 TEST(VecLift, BareLanesVectorizeViaIdentity)
 {
     // Mixed vector: two adds, one bare element, one zero.
-    RuleConfig config;
-    config.vector_width = 4;
+    RuleConfig config(4);
     const TermRef best = optimize(
         "(List (+ (Get a 0) (Get b 0)) (Get a 1) (+ (Get a 2) (Get b 2)) "
         "0)",
@@ -145,8 +141,7 @@ TEST(VecLift, BareLanesVectorizeViaIdentity)
 
 TEST(VecLift, UnaryOperators)
 {
-    RuleConfig config;
-    config.vector_width = 4;
+    RuleConfig config(4);
     const TermRef best = optimize(
         "(List (sqrt (Get a 0)) (sqrt (Get a 1)) (sqrt (Get a 2)) 0)",
         config);
@@ -159,8 +154,7 @@ TEST(VecLift, UnaryOperators)
 TEST(VecMac, FusesMultiplyAccumulateLanes)
 {
     // Each lane (+ acc (* b c)); this is the motivating 2DConv shape.
-    RuleConfig config;
-    config.vector_width = 2;
+    RuleConfig config(2);
     const TermRef best = optimize(
         "(List (+ (Get o 0) (* (Get i 0) (Get f 0))) (+ (Get o 1) (* (Get "
         "i 1) (Get f 0))))",
@@ -177,8 +171,7 @@ TEST(VecMac, HandlesCommutedAndPartialLanes)
 {
     // The §3.3 example: three MAC-shaped lanes plus one commuted lane
     // (+ (* b3 c3) a3).
-    RuleConfig config;
-    config.vector_width = 4;
+    RuleConfig config(4);
     const TermRef best = optimize(
         "(List (+ (Get a 0) (* (Get b 0) (Get c 0)))"
         " (+ (Get a 1) (* (Get b 1) (Get c 1)))"
@@ -197,8 +190,7 @@ TEST(VecMac, HandlesCommutedAndPartialLanes)
 
 TEST(VecMac, PureProductsUseZeroAccumulator)
 {
-    RuleConfig config;
-    config.vector_width = 2;
+    RuleConfig config(2);
     const TermRef best = optimize(
         "(List (* (Get b 0) (Get c 0)) (* (Get b 1) (Get c 1)))", config);
     // Either VecMul directly or VecMAC with zero acc; both vectorize.
@@ -212,7 +204,7 @@ TEST(VecMac, PureProductsUseZeroAccumulator)
 
 TEST(ScalarRules, SimplifyIdentities)
 {
-    RuleConfig config;
+    RuleConfig config(4);
     config.enable_vector_rules = false;
     const TermRef best =
         optimize("(+ (* (Get a 0) 1) (* (Get a 1) 0))", config);
@@ -221,7 +213,7 @@ TEST(ScalarRules, SimplifyIdentities)
 
 TEST(ScalarRules, NegationNormalizes)
 {
-    RuleConfig config;
+    RuleConfig config(4);
     config.enable_vector_rules = false;
     const TermRef best = optimize("(neg (neg (Get a 0)))", config);
     EXPECT_EQ(Term::to_string(best), "(Get a 0)");
@@ -232,7 +224,7 @@ TEST(ScalarRules, NegationNormalizes)
 
 TEST(ScalarRules, SubSelfIsZero)
 {
-    RuleConfig config;
+    RuleConfig config(4);
     config.enable_vector_rules = false;
     EXPECT_EQ(Term::to_string(
                   optimize("(- (+ (Get a 0) 0) (Get a 0))", config)),
@@ -242,8 +234,7 @@ TEST(ScalarRules, SubSelfIsZero)
 TEST(TargetExtension, RecipRuleFires)
 {
     // Paper §6: adding a fast-reciprocal instruction is two rule hooks.
-    RuleConfig config;
-    config.vector_width = 2;
+    RuleConfig config(2);
     config.target_has_recip = true;
     const TermRef best = optimize(
         "(List (/ 1 (Get a 0)) (/ 1 (Get a 1)))", config);
@@ -253,8 +244,7 @@ TEST(TargetExtension, RecipRuleFires)
 
 TEST(TargetExtension, WithoutRecipNoRecipAppears)
 {
-    RuleConfig config;
-    config.vector_width = 2;
+    RuleConfig config(2);
     config.target_has_recip = false;
     const TermRef best = optimize(
         "(List (/ 1 (Get a 0)) (/ 1 (Get a 1)))", config);
@@ -265,7 +255,7 @@ TEST(TargetExtension, WithoutRecipNoRecipAppears)
 TEST(FullAc, FindsRewritesAcrossAssociativity)
 {
     // (a + b) + c == a + (b + c): only provable with AC on.
-    RuleConfig config;
+    RuleConfig config(4);
     config.enable_vector_rules = false;
     config.full_ac = true;
     EGraph g;
@@ -420,8 +410,7 @@ TEST(RuleSoundness, RandomSpecsEvaluateIdentically)
     // Property: for random small specs, saturation + extraction under the
     // full default rule set preserves semantics exactly.
     Rng rng(77);
-    RuleConfig config;
-    config.vector_width = 4;
+    RuleConfig config(4);
     const std::vector<Rewrite> rules = build_rules(config);
     const DiosCostModel cost({}, 4);
 

@@ -136,7 +136,7 @@ TEST(SketchTest, ContainsVecMacAfterSaturationOnly)
     EXPECT_FALSE(strategy::sketch_satisfied(p.graph, p.root, goal));
 
     Runner runner(small_limits());
-    runner.run(p.graph, build_rules({}));
+    runner.run(p.graph, build_rules(RuleConfig(4)));
     EXPECT_TRUE(strategy::sketch_satisfied(p.graph, p.root, goal));
     // The lanes are MACs, so no VecSqrt exists anywhere in the graph.
     EXPECT_FALSE(strategy::sketch_satisfied(
@@ -281,7 +281,7 @@ TEST(StrategyDslTest, LoadStrategyResolvesBuiltinsAndReportsBadPaths)
 
 TEST(StrategyResolveTest, GlobsExactNamesAndAll)
 {
-    const std::vector<Rewrite> rules = build_rules({});
+    const std::vector<Rewrite> rules = build_rules(RuleConfig(4));
     analysis::DiagEngine diags;
 
     Strategy s;
@@ -300,7 +300,7 @@ TEST(StrategyResolveTest, GlobsExactNamesAndAll)
 
 TEST(StrategyResolveTest, UnknownReferenceIsS404)
 {
-    const std::vector<Rewrite> rules = build_rules({});
+    const std::vector<Rewrite> rules = build_rules(RuleConfig(4));
     analysis::DiagEngine diags;
     Strategy s;
     s.name = "t";
@@ -326,7 +326,7 @@ TEST(StrategyResolveTest, UnknownReferenceIsS404)
 TEST(StrategyRunTest, DefaultStrategyMatchesLegacyRunnerExactly)
 {
     for (const char* spec : {kVaddSpec, kMacSpec}) {
-        const std::vector<Rewrite> rules = build_rules({});
+        const std::vector<Rewrite> rules = build_rules(RuleConfig(4));
 
         Prepared legacy = prepare(spec);
         Runner runner(small_limits());
@@ -369,7 +369,7 @@ TEST(StrategyRunTest, PhasedIsDeterministic)
         Prepared p = prepare(kMacSpec);
         StrategyRunOptions options;
         options.base = small_limits();
-        out = strategy::run_strategy(p.graph, p.root, build_rules({}),
+        out = strategy::run_strategy(p.graph, p.root, build_rules(RuleConfig(4)),
                                      strategy::builtin_phased(), options);
         extracted = extract_text(p.graph, p.root);
     };
@@ -414,7 +414,7 @@ TEST(StrategyRunTest, PhaseHandoffLeavesInvariantsClean)
             << phase.name << "\n" << diags.render_text();
     };
     const StrategyReport report = strategy::run_strategy(
-        p.graph, p.root, build_rules({}), strategy::builtin_phased(),
+        p.graph, p.root, build_rules(RuleConfig(4)), strategy::builtin_phased(),
         options);
     // Several phases executed, each leaving a clean, canonical graph.
     EXPECT_GT(executed, 1);
@@ -445,7 +445,7 @@ TEST(StrategyRunTest, GoalSkipsNonAlwaysPhases)
     StrategyRunOptions options;
     options.base = small_limits();
     const StrategyReport report = strategy::run_strategy(
-        p.graph, p.root, build_rules({}), s, options);
+        p.graph, p.root, build_rules(RuleConfig(4)), s, options);
 
     ASSERT_EQ(report.phases.size(), 3u);
     EXPECT_TRUE(report.goal_satisfied);
@@ -475,7 +475,7 @@ TEST(StrategyRunTest, UntilSketchRerunsUpToRepeat)
     StrategyRunOptions options;
     options.base = small_limits();
     const StrategyReport report = strategy::run_strategy(
-        g.graph, g.root, build_rules({}), s, options);
+        g.graph, g.root, build_rules(RuleConfig(4)), s, options);
     ASSERT_EQ(report.phases.size(), 1u);
     EXPECT_EQ(report.phases[0].runs, 3);
     EXPECT_TRUE(report.phases[0].sketch_checked);
@@ -485,7 +485,7 @@ TEST(StrategyRunTest, UntilSketchRerunsUpToRepeat)
 TEST(StrategyRunTest, PhaseLimitsOnlyTightenTheBase)
 {
     // An AC-heavy spec that cannot saturate in two iterations.
-    RuleConfig config;
+    RuleConfig config(4);
     config.full_ac = true;
     Strategy s;
     s.name = "clamped";
@@ -507,7 +507,7 @@ TEST(StrategyRunTest, PhaseLimitsOnlyTightenTheBase)
 
 TEST(StrategyRunTest, BackoffBansSurfaceInRuleStats)
 {
-    RuleConfig config;
+    RuleConfig config(4);
     config.full_ac = true;
     Strategy s;
     s.name = "banned";

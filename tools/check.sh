@@ -345,3 +345,51 @@ fi
 echo "check.sh: daemon chaos gate passed ($d_kills kills, $d_shed shed," \
      "$d_fallback local fallbacks, p99 ${cur_p99}ms <= 1.2 x baseline" \
      "${base_p99}ms, $daemon_json)"
+
+# Native-differential gate (DESIGN.md §5k): emit every Table-1 kernel as
+# multi-ISA C at widths 2/4/8/16, compile each unit with the host
+# toolchain, execute natively, and check ULP-bounded agreement against
+# the cycle simulator (<= 4 ULP) and the scalar reference interpreter
+# (5e-3 relative). The binary exits non-zero on any native
+# disagreement, so `set -e` makes that a hard failure. Unsupported leaf
+# widths never need skipping: every emitted unit carries SSE2 / AVX2 /
+# AVX-512 / NEON leaves plus a portable scalar core, each chunked
+# widest-first with a scalar tail, so whatever ISA the host dispatch
+# picks executes every width — a width wider than the host's vectors
+# just runs as multiple narrower chunks. The per-case "isa" field
+# records which leaf the runtime dispatch actually selected.
+cmake --build "$build_bench" -j "$jobs" --target native_diff
+native_json="$build_bench/BENCH_native.json"
+"$build_bench/bench/native_diff" --out "$native_json" > /dev/null
+host_isa=$(sed -n 's/.*"isa": "\([a-z0-9_]*\)".*/\1/p' "$native_json" \
+    | head -n 1)
+echo "check.sh: native differential passed (host ISA:" \
+     "${host_isa:-unknown}, $native_json)"
+
+# Speedup gate against the checked-in baseline: the geomean
+# native-vs-scalar speedup must not regress more than 20%.
+native_baseline="$repo/bench/BENCH_native_baseline.json"
+base_g=$(sed -n 's/.*"geomean_speedup": \([0-9.]*\).*/\1/p' \
+    "$native_baseline")
+cur_g=$(sed -n 's/.*"geomean_speedup": \([0-9.]*\).*/\1/p' "$native_json")
+if [[ -z "$base_g" || -z "$cur_g" ]]; then
+    echo "check.sh: missing geomean_speedup in native output or baseline" >&2
+    exit 1
+fi
+if ! awk -v c="$cur_g" -v b="$base_g" \
+        'BEGIN { exit !(c >= b * 0.80) }'; then
+    echo "check.sh: NATIVE REGRESSION geomean speedup ${cur_g}x vs" \
+         "baseline ${base_g}x (>20%)" >&2
+    exit 1
+fi
+echo "check.sh: native speedup gate passed" \
+     "(geomean ${cur_g}x >= 0.8 x baseline ${base_g}x)"
+
+# A quick ASan pass of the harness itself (one kernel, all widths,
+# correctness only): the dlopen/dlsym loader, the memory-image
+# round-trip, and the ULP comparator all run instrumented. The emitted
+# kernel .so stays uninstrumented (plain host cc), which ASan tolerates
+# in the dlopen direction.
+"$build/bench/native_diff" --check-only --filter QProd \
+    --out "$build/BENCH_native_asan.json" > /dev/null
+echo "check.sh: native differential passed under ASan (QProd subset)"

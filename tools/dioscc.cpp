@@ -56,6 +56,9 @@
  *                   (also honoured from the DIOS_FAULT env var)
  *   --list-faults   print the fault-site catalog and exit
  *   --emit-c        print the generated C intrinsics
+ *   --emit-native   print a host-compilable multi-ISA C kernel
+ *                   (SSE/AVX2/AVX-512/NEON leaves + CPU dispatch; see
+ *                   machine/emit_c.h)
  *   --emit-asm      print the scheduled DSP assembly
  *   --emit-spec     print the lifted specification
  *   --emit-dot FILE write the saturated e-graph as Graphviz (debugging)
@@ -145,6 +148,7 @@
 #include "analysis/lint_rules.h"
 #include "analysis/verify_machine.h"
 #include "compiler/driver.h"
+#include "machine/emit_c.h"
 #include "service/compile_service.h"
 #include "egraph/runner.h"
 #include "rules/rules.h"
@@ -164,6 +168,7 @@ struct CliOptions {
     std::string path;
     CompilerOptions compiler;
     bool emit_c = false;
+    bool emit_native = false;
     bool emit_asm = false;
     bool emit_spec = false;
     bool json = false;
@@ -201,7 +206,8 @@ usage(const char* argv0)
                  "[--verify-ir] [--verify-machine] [--lint-rules] "
                  "[--strategy NAME|FILE] "
                  "[--lint-strategies] [--strict] "
-                 "[--fault SPEC] [--list-faults] [--emit-c] [--emit-asm] "
+                 "[--fault SPEC] [--list-faults] [--emit-c] "
+                 "[--emit-native] [--emit-asm] "
                  "[--emit-spec] [--emit-dot FILE] [--json] [--run] "
                  "[--seed N] [--batch FILE] [--jobs N] [--cache-dir D] "
                  "[--cache-disk-budget BYTES] [--io-retries N] "
@@ -289,6 +295,8 @@ parse_cli(int argc, char** argv)
             std::exit(0);
         } else if (arg == "--emit-c") {
             cli.emit_c = true;
+        } else if (arg == "--emit-native") {
+            cli.emit_native = true;
         } else if (arg == "--emit-asm") {
             cli.emit_asm = true;
         } else if (arg == "--emit-spec") {
@@ -751,9 +759,9 @@ run_serve(const CliOptions& cli)
 int
 run_batch(const CliOptions& cli)
 {
-    DIOS_CHECK(!cli.strict && !cli.run && !cli.emit_c && !cli.emit_asm &&
-                   !cli.emit_spec && cli.dot_path.empty() &&
-                   cli.path.empty(),
+    DIOS_CHECK(!cli.strict && !cli.run && !cli.emit_c &&
+                   !cli.emit_native && !cli.emit_asm && !cli.emit_spec &&
+                   cli.dot_path.empty() && cli.path.empty(),
                "--batch combines only with --json, --jobs, --cache-dir, "
                "--cache-disk-budget, and compiler options");
 
@@ -874,8 +882,7 @@ run_batch(const CliOptions& cli)
 RuleConfig
 maximal_rule_config(int width)
 {
-    RuleConfig config;
-    config.vector_width = width;
+    RuleConfig config(width);
     config.enable_scalar_rules = true;
     config.enable_vector_rules = true;
     config.full_ac = true;
@@ -925,8 +932,7 @@ run_lint_rules(const CliOptions& cli)
 int
 run_lint_strategies(const CliOptions& cli)
 {
-    RuleConfig config;
-    config.vector_width = cli.compiler.target.vector_width;
+    RuleConfig config(cli.compiler.target.vector_width);
     const std::vector<Rewrite> rules = build_rules(config);
 
     bool ok = true;
@@ -980,8 +986,7 @@ startup_strategy_lint(int width)
     if (std::getenv("DIOS_NO_STRATEGY_LINT") != nullptr) {
         return;
     }
-    RuleConfig config;
-    config.vector_width = width;
+    RuleConfig config(width);
     const std::vector<Rewrite> rules = build_rules(config);
     for (const std::string& name : strategy::builtin_strategy_names()) {
         analysis::DiagEngine diags;
@@ -1073,9 +1078,10 @@ try {
     }
     const scalar::Kernel kernel = scalar::parse_kernel_file(cli.path);
 
-    // With --json, stdout must stay machine-parseable: route the ';'
-    // commentary to stderr.
-    std::FILE* info = cli.json ? stderr : stdout;
+    // With --json, stdout must stay machine-parseable; with
+    // --emit-native it must stay host-compilable (the ';' commentary
+    // is not C). Route the commentary to stderr in both cases.
+    std::FILE* info = (cli.json || cli.emit_native) ? stderr : stdout;
 
     std::fprintf(info, "; kernel '%s' from %s\n", kernel.name.c_str(),
                  cli.path.c_str());
@@ -1241,6 +1247,16 @@ try {
     }
     if (cli.emit_c) {
         std::printf("\n%s", compiled.c_source.c_str());
+    }
+    if (cli.emit_native) {
+        EmitCOptions copts;
+        copts.symbol = native_symbol_for(kernel.name);
+        copts.vector_width = cli.compiler.target.vector_width;
+        copts.memory_words = compiled.layout.memory_words();
+        copts.pool = compiled.layout.pool();
+        copts.pool_base = compiled.layout.pool_base_words();
+        std::printf("\n%s",
+                    emit_c_kernel(compiled.machine, copts).c_str());
     }
     if (cli.emit_asm) {
         std::printf("\n; scheduled DSP assembly\n%s",
